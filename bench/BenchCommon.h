@@ -1,0 +1,71 @@
+//===- bench/BenchCommon.h - Shared bench-harness helpers ------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure bench binaries: the
+/// standard scale (overridable via MDABT_REFS for quick runs), and
+/// uniform printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_BENCH_BENCHCOMMON_H
+#define MDABT_BENCH_BENCHCOMMON_H
+
+#include "reporting/Experiment.h"
+#include "support/Format.h"
+#include "support/Stats.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdabt {
+namespace bench {
+
+/// The scale every experiment uses.  Set MDABT_REFS to shrink runs
+/// (e.g. MDABT_REFS=200000 for a smoke pass).
+inline workloads::ScaleConfig stdScale() {
+  workloads::ScaleConfig Scale;
+  Scale.TotalRefs = 1'500'000;
+  if (const char *Env = std::getenv("MDABT_REFS")) {
+    long long V = std::atoll(Env);
+    if (V > 10000)
+      Scale.TotalRefs = static_cast<uint64_t>(V);
+  }
+  return Scale;
+}
+
+/// Standard bench banner.
+inline void banner(const char *Title, const char *PaperShape) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", Title);
+  std::printf("Paper-expected shape: %s\n", PaperShape);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// Print the table; when MDABT_CSV names a directory, also write
+/// <dir>/<Name>.csv so plots can be regenerated from the raw data.
+inline void printTable(const TablePrinter &T, const char *Name = nullptr) {
+  std::fputs(T.toText().c_str(), stdout);
+  std::printf("\n");
+  const char *Dir = std::getenv("MDABT_CSV");
+  if (!Dir || !Name)
+    return;
+  std::string Path = std::string(Dir) + "/" + Name + ".csv";
+  if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::string Csv = T.toCsv();
+    std::fwrite(Csv.data(), 1, Csv.size(), F);
+    std::fclose(F);
+    std::printf("(csv written to %s)\n\n", Path.c_str());
+  }
+}
+
+} // namespace bench
+} // namespace mdabt
+
+#endif // MDABT_BENCH_BENCHCOMMON_H

@@ -1,0 +1,43 @@
+//===- bench/fig13_retranslation.cpp - Paper Figure 13 --------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 13: gain/loss of block retranslation (invalidate
+/// and retranslate after 4 misalignment traps in a block) on top of
+/// DPEH.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace mdabt;
+using namespace mdabt::bench;
+
+int main() {
+  banner("Figure 13: performance gain/loss with retranslation "
+         "(baseline: DPEH; trigger: 4 traps per block)",
+         "some benchmarks benefit, some degrade slightly; overall not "
+         "substantial");
+
+  workloads::ScaleConfig Scale = stdScale();
+  TablePrinter T(
+      {"Benchmark", "DPEH cycles", "DPEH+retrans cycles", "Gain"});
+  std::vector<double> Gains;
+  for (const workloads::BenchmarkInfo *Info :
+       workloads::selectedBenchmarks()) {
+    dbt::RunResult Base = reporting::runPolicy(
+        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
+    dbt::RunResult Retr = reporting::runPolicy(
+        *Info, {mda::MechanismKind::Dpeh, 50, false, 4, false}, Scale);
+    double Gain = reporting::gainOver(Base.Cycles, Retr.Cycles);
+    Gains.push_back(Gain);
+    T.addRow({Info->Name, withCommas(Base.Cycles), withCommas(Retr.Cycles),
+              signedPercent(Gain)});
+  }
+  T.addRow({"Average", "", "", signedPercent(arithmeticMean(Gains))});
+  printTable(T, "fig13_retranslation");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/fig14_multiversion.cpp - Paper Figure 14 ---------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 14: gain/loss of multi-version code (alignment
+/// check selecting between the plain op and the MDA sequence, paper
+/// Fig. 8) on top of DPEH.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace mdabt;
+using namespace mdabt::bench;
+
+int main() {
+  banner("Figure 14: performance gain/loss with multi-version code "
+         "(baseline: DPEH)",
+         "~1.1% mean, up to ~4.7%: MDA instructions are mostly biased "
+         "(Fig. 15), so the checks rarely pay");
+
+  workloads::ScaleConfig Scale = stdScale();
+  TablePrinter T({"Benchmark", "DPEH cycles", "DPEH+MV cycles", "Gain"});
+  std::vector<double> Gains;
+  for (const workloads::BenchmarkInfo *Info :
+       workloads::selectedBenchmarks()) {
+    dbt::RunResult Base = reporting::runPolicy(
+        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
+    dbt::RunResult Mv = reporting::runPolicy(
+        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, true}, Scale);
+    double Gain = reporting::gainOver(Base.Cycles, Mv.Cycles);
+    Gains.push_back(Gain);
+    T.addRow({Info->Name, withCommas(Base.Cycles), withCommas(Mv.Cycles),
+              signedPercent(Gain)});
+  }
+  T.addRow({"Average", "", "", signedPercent(arithmeticMean(Gains))});
+  printTable(T, "fig14_multiversion");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/fig1_alignment_flags.cpp - Paper Figure 1 --------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 1: the speedup of compiling with alignment-
+/// enforcing flags on *native guest hardware* (which services MDAs with
+/// split accesses).  Two modeled compilers differ in padding
+/// aggressiveness (pathscale pads less than icc).  The paper's point:
+/// means of only ~1-2%, with regressions — which is why released X86
+/// binaries are not alignment-optimized.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "guest/NativeSim.h"
+
+using namespace mdabt;
+using namespace mdabt::bench;
+
+namespace {
+
+struct Compiler {
+  const char *Name;
+  double PaddingFactor;
+};
+
+} // namespace
+
+int main() {
+  banner("Figure 1: performance with alignment optimization flags",
+         "mean speedup ~1% (pathscale) / ~1.8% (icc); some benchmarks "
+         "regress from the padded working set.  The paper's unspecified "
+         "'set of SPEC benchmarks' cannot have included the extreme-MDA "
+         "codes (art/ammp at ~40% MDA ratio would dominate any mean), so "
+         "this set excludes benchmarks with ratio > 20%");
+
+  workloads::ScaleConfig Scale = stdScale();
+  const Compiler Compilers[] = {{"pathscale", 1.45}, {"intel-cc", 1.30}};
+
+  TablePrinter T({"Benchmark", "pathscale", "intel-cc"});
+  std::vector<double> Mean[2];
+  for (const workloads::BenchmarkInfo *Info :
+       workloads::selectedBenchmarks()) {
+    if (Info->PaperRatio > 0.20)
+      continue; // art, ammp
+    std::vector<std::string> Row = {Info->Name};
+    for (int C = 0; C != 2; ++C) {
+      workloads::Fig1Pair Pair = workloads::buildFig1Pair(
+          *Info, Compilers[C].PaddingFactor, Scale);
+      guest::NativeRunResult Default = guest::runNative(Pair.Default);
+      guest::NativeRunResult Aligned = guest::runNative(Pair.Aligned);
+      double Speedup = static_cast<double>(Default.Cycles) /
+                           static_cast<double>(Aligned.Cycles) -
+                       1.0;
+      Row.push_back(signedPercent(Speedup));
+      Mean[C].push_back(Speedup);
+    }
+    T.addRow(Row);
+  }
+  T.addRow({"Average", signedPercent(arithmeticMean(Mean[0])),
+            signedPercent(arithmeticMean(Mean[1]))});
+  printTable(T, "fig1_alignment_flags");
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- bench/table4_static_residual.cpp - Paper Table IV ------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table IV: the number of MDAs remaining when the REF run
+/// is translated under a profile collected with the TRAIN input —
+/// measured as the misalignment traps under the StaticProfiling policy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace mdabt;
+using namespace mdabt::bench;
+
+int main() {
+  banner("Table IV: remaining MDAs while profiling with the train input "
+         "set",
+         "huge for eon/art/soplex; zero for "
+         "bwaves/sixtrack/povray/gromacs/lbm/sphinx3");
+
+  workloads::ScaleConfig Scale = stdScale();
+  TablePrinter T({"Benchmark", "Paper", "Measured (scaled)"});
+  for (const workloads::BenchmarkInfo *Info :
+       workloads::selectedBenchmarks()) {
+    dbt::RunResult R = reporting::runPolicy(
+        *Info, {mda::MechanismKind::StaticProfiling, 0, false, 0, false},
+        Scale);
+    T.addRow({Info->Name,
+              paperCount(static_cast<uint64_t>(Info->PaperTrainResidual)),
+              withCommas(R.Counters.get("dbt.fault_traps"))});
+  }
+  printTable(T, "table4_static_residual");
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- examples/policy_explorer.cpp - Interactive mechanism comparison ----==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Run any Table-I benchmark under any MDA handling mechanism and print
+/// the full cycle/event breakdown:
+///
+///   policy_explorer [benchmark] [policy] [refs]
+///
+/// policy: direct | static | dyn@N | eh | eh+rearrange | dpeh |
+///         dpeh+retrans | dpeh+mv | all (default)
+/// benchmark: any Table-I name (default 410.bwaves); "list" lists them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Experiment.h"
+#include "support/Format.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace mdabt;
+
+namespace {
+
+bool parsePolicy(const std::string &Name, mda::PolicySpec &Spec) {
+  using mda::MechanismKind;
+  if (Name == "direct") {
+    Spec = {MechanismKind::Direct, 0, false, 0, false};
+    return true;
+  }
+  if (Name == "static") {
+    Spec = {MechanismKind::StaticProfiling, 0, false, 0, false};
+    return true;
+  }
+  if (Name.rfind("dyn@", 0) == 0) {
+    Spec = {MechanismKind::DynamicProfiling,
+            static_cast<uint32_t>(std::atoi(Name.c_str() + 4)), false, 0,
+            false};
+    return Spec.Threshold != 0;
+  }
+  if (Name == "eh") {
+    Spec = {MechanismKind::ExceptionHandling, 50, false, 0, false};
+    return true;
+  }
+  if (Name == "eh+rearrange") {
+    Spec = {MechanismKind::ExceptionHandling, 50, true, 0, false};
+    return true;
+  }
+  if (Name == "dpeh") {
+    Spec = {MechanismKind::Dpeh, 50, false, 0, false};
+    return true;
+  }
+  if (Name == "dpeh+retrans") {
+    Spec = {MechanismKind::Dpeh, 50, false, 4, false};
+    return true;
+  }
+  if (Name == "dpeh+mv") {
+    Spec = {MechanismKind::Dpeh, 50, false, 0, true};
+    return true;
+  }
+  return false;
+}
+
+void runOne(const workloads::BenchmarkInfo &Info,
+            const mda::PolicySpec &Spec,
+            const workloads::ScaleConfig &Scale) {
+  dbt::RunResult R = reporting::runPolicy(Info, Spec, Scale);
+  std::printf("--- %s under %s ---\n", Info.Name,
+              mda::policySpecName(Spec).c_str());
+  std::printf("cycles: %s  (completed: %s)\n",
+              withCommas(R.Cycles).c_str(), R.Completed ? "yes" : "NO");
+  for (const auto &Entry : R.Counters.entries())
+    std::printf("  %-22s %s\n", Entry.first.c_str(),
+                withCommas(Entry.second).c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string BenchName = Argc > 1 ? Argv[1] : "410.bwaves";
+  std::string PolicyName = Argc > 2 ? Argv[2] : "all";
+  workloads::ScaleConfig Scale;
+  Scale.TotalRefs = Argc > 3 ? std::strtoull(Argv[3], nullptr, 10)
+                             : 1'000'000;
+
+  if (BenchName == "list") {
+    for (const workloads::BenchmarkInfo &B : workloads::specCatalog())
+      std::printf("%-16s %s  NMI=%u  ratio=%s%s\n", B.Name, B.Suite,
+                  B.PaperNmi, percent(B.PaperRatio).c_str(),
+                  B.Selected ? "  [selected]" : "");
+    return 0;
+  }
+
+  const workloads::BenchmarkInfo *Info =
+      workloads::findBenchmark(BenchName);
+  if (!Info) {
+    std::fprintf(stderr,
+                 "error: unknown benchmark '%s' (try 'list')\n",
+                 BenchName.c_str());
+    return 1;
+  }
+
+  if (PolicyName == "all") {
+    const char *All[] = {"direct", "static",       "dyn@50",
+                         "eh",     "eh+rearrange", "dpeh",
+                         "dpeh+retrans", "dpeh+mv"};
+    for (const char *P : All) {
+      mda::PolicySpec Spec;
+      parsePolicy(P, Spec);
+      runOne(*Info, Spec, Scale);
+    }
+    return 0;
+  }
+
+  mda::PolicySpec Spec;
+  if (!parsePolicy(PolicyName, Spec)) {
+    std::fprintf(stderr, "error: unknown policy '%s'\n",
+                 PolicyName.c_str());
+    return 1;
+  }
+  runOne(*Info, Spec, Scale);
+  return 0;
+}

@@ -1,0 +1,148 @@
+//===- examples/shared_library.cpp - MDAs from shared libraries -----------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's section-II observation: "more than 90% of
+/// MDAs ... actually come from shared libraries" — even an application
+/// whose own data is perfectly aligned misaligns constantly inside a
+/// libc-style memcpy called with arbitrary pointers.
+///
+/// The guest program is an aligned application that repeatedly calls a
+/// word-at-a-time `memcpy`-like routine on byte-offset buffers.  We run
+/// the MDA census to attribute MDAs to app vs library code, then compare
+/// how the Direct method and DPEH cope.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Engine.h"
+#include "guest/Assembler.h"
+#include "guest/GuestMemory.h"
+#include "guest/Interpreter.h"
+#include "guest/MdaCensus.h"
+#include "mda/Policies.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace mdabt;
+
+namespace {
+
+struct Program {
+  guest::GuestImage Image;
+  uint32_t LibStart; ///< guest PC where "library" code begins
+};
+
+/// App: aligned array sweeps + calls to lib_memcpy(dst, src, words)
+/// where src is misaligned (a parser handing an offset pointer to libc).
+Program buildProgram() {
+  using namespace guest;
+  ProgramBuilder B("shared-library");
+  uint32_t Src = B.dataReserve(4096 + 8, 8);
+  uint32_t Dst = B.dataReserve(4096 + 8, 8);
+  uint32_t AppBuf = B.dataReserve(4096, 8);
+
+  ProgramBuilder::Label LibMemcpy = B.newLabel();
+
+  // App main loop: 400 iterations of aligned work + one library call.
+  B.movri(6, 0); // esi: outer counter
+  ProgramBuilder::Label Outer = B.here();
+
+  // Aligned app work: sweep AppBuf with 4-byte accesses.
+  B.movri(0, static_cast<int32_t>(AppBuf));
+  B.movri(1, 0);
+  ProgramBuilder::Label AppLoop = B.here();
+  B.stl(memIdx(0, 1, 2, 0), 6);
+  B.ldl(2, memIdx(0, 1, 2, 0));
+  B.addi(1, 1);
+  B.cmpi(1, 512);
+  B.jcc(Cond::B, AppLoop);
+  B.chk(2);
+
+  // Library call: copy 128 words from Src+1 (misaligned) to Dst.
+  B.movri(0, static_cast<int32_t>(Src + 1)); // eax = src (misaligned)
+  B.movri(3, static_cast<int32_t>(Dst));     // ebx = dst
+  B.movri(2, 128);                           // edx = word count
+  B.call(LibMemcpy);
+
+  B.addi(6, 1);
+  B.cmpi(6, 400);
+  B.jcc(Cond::B, Outer);
+  B.chk(6);
+  B.halt();
+
+  // ---- "shared library" code: word-at-a-time memcpy ----------------------
+  uint32_t LibStart = B.codeAddress();
+  B.bind(LibMemcpy);
+  B.movri(1, 0); // ecx = i
+  ProgramBuilder::Label CopyLoop = B.here();
+  B.ldl(5, memIdx(0, 1, 2, 0));  // ebp = src[i]   (misaligned!)
+  B.stl(memIdx(3, 1, 2, 0), 5);  // dst[i] = ebp   (aligned)
+  B.addi(1, 1);
+  B.cmp(1, 2);
+  B.jcc(Cond::B, CopyLoop);
+  B.chk(5);
+  B.ret();
+
+  return {B.build(), LibStart};
+}
+
+} // namespace
+
+int main() {
+  Program P = buildProgram();
+
+  // ---- census: who produces the MDAs? -------------------------------------
+  guest::GuestMemory Mem;
+  Mem.loadImage(P.Image);
+  guest::GuestCPU Cpu;
+  Cpu.reset(P.Image);
+  guest::MdaCensus Census;
+  guest::Interpreter Interp(Mem);
+  Interp.setObserver(&Census);
+  Interp.run(Cpu);
+
+  uint64_t AppMdas = 0, LibMdas = 0;
+  for (const auto &KV : Census.sites()) {
+    if (KV.first >= P.LibStart)
+      LibMdas += KV.second.Mis;
+    else
+      AppMdas += KV.second.Mis;
+  }
+  std::printf("MDA census: %s total MDAs over %s references (%s)\n",
+              withCommas(Census.totalMdas()).c_str(),
+              withCommas(Census.totalRefs()).c_str(),
+              percent(Census.ratio()).c_str());
+  std::printf("  from application code: %s\n",
+              withCommas(AppMdas).c_str());
+  std::printf("  from the shared library: %s (%.1f%% of all MDAs)\n",
+              withCommas(LibMdas).c_str(),
+              100.0 * static_cast<double>(LibMdas) /
+                  static_cast<double>(Census.totalMdas()));
+
+  // ---- how the mechanisms cope ---------------------------------------------
+  std::printf("\nEven an ISV-aligned application pays for library MDAs; "
+              "the BT system must handle them:\n");
+  struct Row {
+    const char *Name;
+    std::unique_ptr<dbt::MdaPolicy> Policy;
+  };
+  Row Rows[3];
+  Rows[0] = {"Direct (QEMU-style)", std::make_unique<mda::DirectPolicy>()};
+  Rows[1] = {"DynamicProfiling@50",
+             std::make_unique<mda::DynamicProfilePolicy>(50)};
+  Rows[2] = {"DPEH", std::make_unique<mda::DpehPolicy>(50)};
+  for (Row &R : Rows) {
+    dbt::Engine Engine(P.Image, *R.Policy);
+    dbt::RunResult Result = Engine.run();
+    std::printf("  %-20s %12s cycles, %6s traps, checksum %016llx\n",
+                R.Name, withCommas(Result.Cycles).c_str(),
+                withCommas(Result.Counters.get("dbt.fault_traps")).c_str(),
+                static_cast<unsigned long long>(Result.Checksum));
+  }
+  return 0;
+}

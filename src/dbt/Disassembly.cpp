@@ -1,0 +1,45 @@
+//===- dbt/Disassembly.cpp ------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Disassembly.h"
+
+#include "host/HostEncoding.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+
+std::string mdabt::dbt::dumpTranslation(const Translation &T,
+                                        const host::CodeSpace &Code) {
+  std::string Out =
+      format("translation of guest block %06x (generation %u%s)\n",
+             T.GuestPc, T.Generation, T.Valid ? "" : ", superseded");
+  for (uint32_t W = T.EntryWord; W != T.EndWord; ++W) {
+    host::HostInst Inst;
+    bool Ok = host::decodeHost(Code.word(W), Inst);
+    Out += format("  %6u: ", W);
+    Out += Ok ? host::disassembleHost(Inst, W) : "<undecodable>";
+    auto MemIt = T.MemWordToGuestPc.find(W);
+    if (MemIt != T.MemWordToGuestPc.end())
+      Out += format("    ; may trap (guest %06x)", MemIt->second);
+    if (std::find(T.PatchedWords.begin(), T.PatchedWords.end(), W) !=
+        T.PatchedWords.end())
+      Out += "    ; patched by the exception handler";
+    for (const ExitSite &X : T.Exits) {
+      if (X.SrvWord != W)
+        continue;
+      if (!X.Direct)
+        Out += "    ; indirect exit";
+      else
+        Out += format("    ; exit to guest %06x%s", X.TargetGuestPc,
+                      X.Chained ? " (chained)" : "");
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- dbt/Disassembly.h - Translation dumps for humans --------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a translated block as annotated host assembly: trapping
+/// memory words are marked, patch sites are flagged, and exit sites are
+/// labelled with their guest targets.  Used by the census/debug tooling
+/// and handy in tests when a translation misbehaves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_DBT_DISASSEMBLY_H
+#define MDABT_DBT_DISASSEMBLY_H
+
+#include "dbt/Translation.h"
+#include "host/CodeSpace.h"
+
+#include <string>
+
+namespace mdabt {
+namespace dbt {
+
+/// Render the host code of \p T (word range [EntryWord, EndWord)) with
+/// annotations from the translation record.
+std::string dumpTranslation(const Translation &T,
+                            const host::CodeSpace &Code);
+
+} // namespace dbt
+} // namespace mdabt
+
+#endif // MDABT_DBT_DISASSEMBLY_H

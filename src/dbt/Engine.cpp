@@ -1,0 +1,411 @@
+//===- dbt/Engine.cpp -----------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Engine.h"
+
+#include "dbt/GuestBlock.h"
+#include "dbt/Translator.h"
+#include "guest/Interpreter.h"
+#include "guest/MdaCensus.h"
+#include "host/HostAssembler.h"
+#include "host/HostMachine.h"
+#include "support/CacheModel.h"
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+using namespace mdabt::host;
+
+uint64_t mdabt::dbt::fnv1a(const uint8_t *Bytes, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Bytes[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+MdaPolicy::~MdaPolicy() = default;
+
+namespace {
+
+/// All per-run state of the engine: built fresh for every run().
+class Session {
+public:
+  Session(const guest::GuestImage &Image, MdaPolicy &Policy,
+          const EngineConfig &Config)
+      : Policy(Policy), Config(Config), Cost(Config.Cost), Interp(Mem),
+        Machine(Code, Mem, Hier, Cost), Trans(Code), Profiler(*this) {
+    Mem.loadImage(Image);
+    Cpu.reset(Image);
+    Interp.setObserver(&Profiler);
+    Machine.setFaultHandler(
+        [this](const FaultInfo &F) { return onFault(F); });
+  }
+
+  RunResult run();
+
+private:
+  // -- phase 1: interpretation with profiling ---------------------------
+
+  /// Charges interpreter memory costs and feeds the policy's dynamic
+  /// profile.
+  class InterpProfiler : public guest::InterpObserver {
+  public:
+    explicit InterpProfiler(Session &S) : S(S) {}
+    void onMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                     bool IsStore) override {
+      ++S.InterpRefs;
+      S.InterpCycles += S.Cost.InterpMemExtraCycles + S.Hier.data(Addr);
+      S.Policy.onInterpMemAccess(InstPc, Addr, Size, IsStore);
+    }
+    Session &S;
+  };
+
+  // -- translation -------------------------------------------------------
+
+  Translation *installTranslation(uint32_t GuestPc, uint32_t Generation,
+                                  bool AllowFlush = false) {
+    // Capacity policy: flush before installing, and only from monitor
+    // context (translated code must not be running during a flush).
+    if (AllowFlush && Config.CodeCacheLimitWords != 0 &&
+        Code.size() > Config.CodeCacheLimitWords)
+      flushAll();
+    GuestBlock Block = discoverBlock(Mem, GuestPc);
+    Translator::PlanFn Plan = [this](uint32_t Pc,
+                                     const guest::GuestInst &I) {
+      return Policy.planMemoryOp(Pc, I);
+    };
+    Store.push_back(
+        Trans.translate(Block, Plan, Generation, Policy.translationOpts()));
+    Translation *T = &Store.back();
+    Regions[T->EntryWord] = {T->EndWord, T};
+    BlockMap[GuestPc] = T;
+    if (!Policy.translationIsOffline())
+      TranslateCycles += static_cast<uint64_t>(Block.size()) *
+                         Cost.TranslateCyclesPerInst;
+    ++Translations;
+    return T;
+  }
+
+  /// Invalidate \p Old and retranslate its guest block (rearrangement /
+  /// retranslation; the policy's plan callback decides what is inlined
+  /// in the new incarnation).
+  void supersede(Translation *Old) {
+    if (!Old->Valid)
+      return; // already superseded; the stale code may still be running
+    if (Config.FlushOnSupersede) {
+      // Dynamo-style: flush everything at the next safe point (we may
+      // be inside the fault handler with the old code still running).
+      PendingFlush = true;
+      ++Supersedes;
+      return;
+    }
+    Old->Valid = false;
+    for (uint32_t W : Old->IncomingChains)
+      Code.patch(W, encodeHost(srvInst(SrvFunc::Exit)));
+    Old->IncomingChains.clear();
+    installTranslation(Old->GuestPc, Old->Generation + 1);
+    ++Supersedes;
+  }
+
+  /// Full code-cache flush (Dynamo-style, or capacity-triggered).  Only
+  /// legal from the monitor, when no translated code is running.
+  void flushAll() {
+    Code.clear();
+    BlockMap.clear();
+    Regions.clear();
+    Store.clear();
+    PatchedOriginals.clear();
+    PendingFlush = false;
+    ++Flushes;
+    // Heat survives: hot blocks retranslate on their next dispatch,
+    // exactly like a real cache flush.
+  }
+
+  // -- fault handling ------------------------------------------------------
+
+  Translation *findOwner(uint32_t Word) {
+    auto It = Regions.upper_bound(Word);
+    if (It == Regions.begin())
+      return nullptr;
+    --It;
+    if (Word >= It->second.first)
+      return nullptr;
+    return It->second.second;
+  }
+
+  FaultAction onFault(const FaultInfo &F) {
+    Translation *T = findOwner(F.HostPc);
+    assert(T && "misalignment fault outside any translation");
+    auto It = T->MemWordToGuestPc.find(F.HostPc);
+    assert(It != T->MemWordToGuestPc.end() &&
+           "fault at an unrecorded memory word");
+    uint32_t InstPc = It->second;
+    ++T->FaultCount;
+
+    FaultDecision D = Policy.onFault(InstPc, T->GuestPc, T->FaultCount);
+    if (!D.PatchStub)
+      return FaultAction::Fixup;
+
+    // Exception-handling method (paper Fig. 5): generate the MDA code
+    // sequence in the code cache and patch the offending instruction.
+    Translator::StubInfo S;
+    if (D.AdaptiveStub) {
+      // The revertible stub of paper Fig. 8 (right): remember the
+      // original word so the monitor can patch it back when the stub
+      // reports a run of aligned executions.
+      uint32_t CounterAddr = NextCounterCell;
+      NextCounterCell += 4;
+      assert(CounterAddr + 4 <= Mem.size() && "runtime cells exhausted");
+      Mem.store(CounterAddr, 4, 0);
+      PatchedOriginals[F.HostPc] = {Code.word(F.HostPc), InstPc};
+      S = Trans.emitAdaptiveStub(F.Inst, F.HostPc, CounterAddr,
+                                 MailboxAddr, D.RevertThreshold);
+    } else {
+      S = Trans.emitStub(F.Inst, F.HostPc);
+    }
+    Trans.patchToStub(F.HostPc, S.Entry);
+    T->PatchedWords.push_back(F.HostPc);
+    T->MemWordToGuestPc.erase(F.HostPc);
+    Regions[S.Entry] = {S.End, T};
+    Machine.addCycles(Cost.PatchExtraCycles);
+    ++Patches;
+
+    if (D.Supersede)
+      supersede(T);
+    return FaultAction::Retry;
+  }
+
+  /// Apply a revert request posted by an adaptive stub: restore the
+  /// original memory instruction.  It may trap (and be re-patched)
+  /// later — that is the adaptivity loop of paper Fig. 8.
+  void pollRevertMailbox() {
+    uint32_t Posted = static_cast<uint32_t>(Mem.load(MailboxAddr, 4));
+    if (Posted == 0)
+      return;
+    Mem.store(MailboxAddr, 4, 0);
+    uint32_t FaultWord = Posted - 1;
+    auto It = PatchedOriginals.find(FaultWord);
+    if (It == PatchedOriginals.end())
+      return;
+    Code.patch(FaultWord, It->second.first);
+    if (Translation *T = findOwner(FaultWord))
+      T->MemWordToGuestPc[FaultWord] = It->second.second;
+    PatchedOriginals.erase(It);
+    MonitorCycles += Cost.ChainPatchCycles; // one store into the cache
+    ++Reverts;
+  }
+
+  // -- state sync ----------------------------------------------------------
+
+  void syncToHost() {
+    for (unsigned I = 0; I != guest::NumGPR; ++I)
+      Machine.R[hostGpr(I)] = Cpu.Gpr[I];
+    for (unsigned I = 0; I != guest::NumQReg; ++I)
+      Machine.R[hostQ(I)] = Cpu.Qreg[I];
+    Machine.R[RegChecksum] = Cpu.Checksum;
+  }
+
+  void syncToGuest() {
+    for (unsigned I = 0; I != guest::NumGPR; ++I)
+      Cpu.Gpr[I] = static_cast<uint32_t>(Machine.R[hostGpr(I)]);
+    for (unsigned I = 0; I != guest::NumQReg; ++I)
+      Cpu.Qreg[I] = Machine.R[hostQ(I)];
+    Cpu.Checksum = Machine.R[RegChecksum];
+  }
+
+  // -- chaining ------------------------------------------------------------
+
+  void maybeChain(const ExitInfo &E) {
+    if (!Config.EnableChaining)
+      return;
+    Translation *Owner = findOwner(E.SrvWord);
+    if (!Owner || !Owner->Valid)
+      return;
+    for (ExitSite &X : Owner->Exits) {
+      if (X.SrvWord != E.SrvWord)
+        continue;
+      if (!X.Direct || X.Chained)
+        return;
+      auto TIt = BlockMap.find(X.TargetGuestPc);
+      if (TIt == BlockMap.end() || !TIt->second->Valid)
+        return;
+      Translation *Target = TIt->second;
+      int64_t Disp = static_cast<int64_t>(Target->EntryWord) -
+                     (static_cast<int64_t>(X.SrvWord) + 1);
+      if (Disp < -(1 << 20) || Disp >= (1 << 20))
+        return; // out of branch range; keep going through the monitor
+      Code.patch(X.SrvWord,
+                 encodeHost(brInst(HostOp::Br, RegZero,
+                                   static_cast<int32_t>(Disp))));
+      X.Chained = true;
+      Target->IncomingChains.push_back(X.SrvWord);
+      ChainCycles += Cost.ChainPatchCycles;
+      ++Chains;
+      return;
+    }
+  }
+
+  // -- members ---------------------------------------------------------------
+
+  MdaPolicy &Policy;
+  const EngineConfig &Config;
+  const CostModel &Cost;
+
+  guest::GuestMemory Mem;
+  guest::GuestCPU Cpu;
+  guest::Interpreter Interp;
+  CodeSpace Code;
+  MemoryHierarchy Hier;
+  HostMachine Machine;
+  Translator Trans;
+  InterpProfiler Profiler;
+
+  std::unordered_map<uint32_t, Translation *> BlockMap;
+  std::unordered_map<uint32_t, uint32_t> Heat;
+  std::deque<Translation> Store;
+  /// Host-word region -> owning translation (bodies and stubs).
+  std::map<uint32_t, std::pair<uint32_t, Translation *>> Regions;
+
+  /// Adaptive-revert runtime state (paper Fig. 8, right).
+  static constexpr uint32_t MailboxAddr = guest::layout::RuntimeBase;
+  uint32_t NextCounterCell = guest::layout::RuntimeBase + 8;
+  /// Adaptively patched word -> (original word, guest inst PC).
+  std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>>
+      PatchedOriginals;
+
+  uint64_t InterpCycles = 0;
+  uint64_t TranslateCycles = 0;
+  uint64_t MonitorCycles = 0;
+  uint64_t ChainCycles = 0;
+  uint64_t InterpInsts = 0;
+  uint64_t InterpRefs = 0;
+  uint64_t InterpBlocks = 0;
+  uint64_t Translations = 0;
+  uint64_t Supersedes = 0;
+  uint64_t Patches = 0;
+  uint64_t Chains = 0;
+  uint64_t Reverts = 0;
+  uint64_t Flushes = 0;
+  uint64_t NativeEntries = 0;
+  bool PendingFlush = false;
+};
+
+RunResult Session::run() {
+  RunResult R;
+  uint64_t Steps = 0;
+  bool Guarded = false;
+
+  while (!Cpu.Halted) {
+    if (++Steps > Config.MaxMonitorSteps) {
+      Guarded = true;
+      break;
+    }
+
+    if (PendingFlush)
+      flushAll();
+
+    auto It = BlockMap.find(Cpu.Pc);
+    Translation *T =
+        (It != BlockMap.end() && It->second->Valid) ? It->second : nullptr;
+
+    if (T) {
+      syncToHost();
+      MonitorCycles += Cost.MonitorDispatchCycles;
+      ++NativeEntries;
+      ExitInfo E = Machine.run(T->EntryWord);
+      syncToGuest();
+      if (E.K == ExitInfo::Halt) {
+        Cpu.Halted = true;
+        break;
+      }
+      if (E.K == ExitInfo::Limit) {
+        Guarded = true;
+        break;
+      }
+      Cpu.Pc = E.GuestPc;
+      pollRevertMailbox();
+      maybeChain(E);
+      continue;
+    }
+
+    uint32_t H = ++Heat[Cpu.Pc];
+    if (H > Policy.hotThreshold()) {
+      installTranslation(Cpu.Pc, /*Generation=*/0, /*AllowFlush=*/true);
+      continue; // dispatch natively on the next iteration
+    }
+
+    // Phase 1: interpret one dynamic basic block, profiling as we go.
+    uint64_t N = Interp.stepBlock(Cpu);
+    InterpInsts += N;
+    ++InterpBlocks;
+    InterpCycles += N * Cost.InterpCyclesPerInst;
+  }
+
+  R.Completed = !Guarded && Cpu.Halted;
+  R.FinalCpu = Cpu;
+  R.Checksum = Cpu.Checksum;
+  // The BT-runtime scratch cells (revert counters) are not part of the
+  // guest-visible state: zero them so the memory hash is comparable
+  // with a pure-interpreter run.
+  if (NextCounterCell > guest::layout::RuntimeBase)
+    std::memset(Mem.data() + guest::layout::RuntimeBase, 0,
+                NextCounterCell - guest::layout::RuntimeBase);
+  R.MemoryHash = fnv1a(Mem.data(), Mem.size());
+  R.Cycles = Machine.Cycles + InterpCycles + TranslateCycles +
+             MonitorCycles + ChainCycles;
+
+  CounterBag &C = R.Counters;
+  C.add("cycles.total", R.Cycles);
+  C.add("cycles.native", Machine.Cycles);
+  C.add("cycles.interp", InterpCycles);
+  C.add("cycles.translate", TranslateCycles);
+  C.add("cycles.monitor", MonitorCycles);
+  C.add("cycles.chain", ChainCycles);
+  C.add("cycles.traps",
+        Machine.Faults * Cost.TrapCycles +
+            Machine.Fixups * Cost.FixupExtraCycles +
+            Patches * Cost.PatchExtraCycles);
+  C.add("interp.insts", InterpInsts);
+  C.add("interp.refs", InterpRefs);
+  C.add("interp.blocks", InterpBlocks);
+  C.add("host.insts", Machine.Instructions);
+  C.add("host.loads", Machine.Loads);
+  C.add("host.stores", Machine.Stores);
+  C.add("host.l1i_misses", Hier.L1I.misses());
+  C.add("host.l1d_misses", Hier.L1D.misses());
+  C.add("host.l2_misses", Hier.L2.misses());
+  C.add("dbt.translations", Translations);
+  C.add("dbt.supersedes", Supersedes);
+  C.add("dbt.patches", Patches);
+  C.add("dbt.chains", Chains);
+  C.add("dbt.reverts", Reverts);
+  C.add("dbt.flushes", Flushes);
+  C.add("dbt.native_entries", NativeEntries);
+  C.add("dbt.fault_traps", Machine.Faults);
+  C.add("dbt.fixups", Machine.Fixups);
+  C.add("dbt.code_words", Code.size());
+  return R;
+}
+
+} // namespace
+
+Engine::Engine(const guest::GuestImage &Image, MdaPolicy &Policy,
+               EngineConfig Config)
+    : Image(Image), Policy(Policy), Config(Config) {}
+
+RunResult Engine::run() {
+  assert(!Used && "Engine::run may be called once");
+  Used = true;
+  Session S(Image, Policy, Config);
+  return S.run();
+}

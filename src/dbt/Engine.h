@@ -1,0 +1,97 @@
+//===- dbt/Engine.h - The CrossBridge execution engine ---------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-phase DBT engine (modeled on DigitalBridge, paper Fig. 9):
+///
+///   - dynamic monitor: dispatches guest PCs to translated blocks, heats
+///     cold blocks by interpreting them (phase 1) while the active policy
+///     observes the access stream, translates hot blocks (phase 2), and
+///     chains direct block exits;
+///   - misalignment exception handling: traps raised by the host machine
+///     are routed to the active policy, which either emulates-and-resumes
+///     or patches in an MDA stub (paper Fig. 5), optionally superseding
+///     the block (code rearrangement, Fig. 6 / retranslation, Fig. 7);
+///   - full cycle accounting against the cost model.
+///
+/// One Engine instance performs one run of one guest image under one
+/// policy and returns the RunResult used by every experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_DBT_ENGINE_H
+#define MDABT_DBT_ENGINE_H
+
+#include "dbt/Policy.h"
+#include "guest/GuestCPU.h"
+#include "guest/GuestImage.h"
+#include "host/CostModel.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace dbt {
+
+/// Engine knobs shared by all experiments.
+struct EngineConfig {
+  host::CostModel Cost;
+  /// Patch direct block exits into branches once the target is
+  /// translated.
+  bool EnableChaining = true;
+  /// Code-cache capacity in host words; exceeding it triggers a full
+  /// flush at the next monitor dispatch.  0 = unlimited.
+  uint32_t CodeCacheLimitWords = 0;
+  /// Dynamo-style invalidation (paper section IV-C: "Dynamo flush the
+  /// entire code cache while our BT invalidates translated code at
+  /// block granularity"): a policy-requested supersede flushes
+  /// everything instead of retranslating one block.
+  bool FlushOnSupersede = false;
+  /// Abort guard: maximum monitor iterations.
+  uint64_t MaxMonitorSteps = 1ULL << 32;
+};
+
+/// Everything an experiment wants to know about one run.
+struct RunResult {
+  /// Total modeled cycles (native + interpreter + translator + monitor
+  /// + traps); *the* runtime metric of the paper's figures.
+  uint64_t Cycles = 0;
+  /// The guest program's observable output.
+  uint64_t Checksum = 0;
+  /// FNV-1a hash of final guest memory (differential testing).
+  uint64_t MemoryHash = 0;
+  /// Final architectural state.
+  guest::GuestCPU FinalCpu;
+  /// Event counters (translations, patches, traps, cache misses, cycle
+  /// breakdown...).
+  CounterBag Counters;
+  /// False if a guard tripped.
+  bool Completed = false;
+};
+
+/// Runs a guest image to completion under an MDA policy.
+class Engine {
+public:
+  Engine(const guest::GuestImage &Image, MdaPolicy &Policy,
+         EngineConfig Config = EngineConfig());
+
+  /// Execute the program.  May be called once per Engine.
+  RunResult run();
+
+private:
+  const guest::GuestImage &Image;
+  MdaPolicy &Policy;
+  EngineConfig Config;
+  bool Used = false;
+};
+
+/// FNV-1a over a byte range (exposed for tests).
+uint64_t fnv1a(const uint8_t *Bytes, size_t Size);
+
+} // namespace dbt
+} // namespace mdabt
+
+#endif // MDABT_DBT_ENGINE_H

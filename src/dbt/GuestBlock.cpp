@@ -1,0 +1,35 @@
+//===- dbt/GuestBlock.cpp -------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/GuestBlock.h"
+
+#include "guest/Encoding.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+
+GuestBlock mdabt::dbt::discoverBlock(const guest::GuestMemory &Mem,
+                                     uint32_t Pc, size_t MaxInsts) {
+  GuestBlock Block;
+  Block.StartPc = Pc;
+  uint32_t Cur = Pc;
+  while (Block.Insts.size() < MaxInsts) {
+    guest::GuestInst I;
+    [[maybe_unused]] bool Ok = guest::decode(Mem.data(), Mem.size(), Cur, I);
+    assert(Ok && "undecodable guest instruction during block discovery");
+    Block.Insts.push_back(I);
+    Block.InstPcs.push_back(Cur);
+    Cur += I.Length;
+    if (guest::isBlockTerminator(I.Op))
+      break;
+  }
+  assert(!Block.Insts.empty() &&
+         guest::isBlockTerminator(Block.Insts.back().Op) &&
+         "block discovery hit the instruction bound before a terminator");
+  return Block;
+}

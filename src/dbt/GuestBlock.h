@@ -1,0 +1,50 @@
+//===- dbt/GuestBlock.h - Guest basic-block discovery ----------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes a dynamic basic block of guest code starting at a given PC:
+/// the unit of translation, heating, invalidation and retranslation in
+/// the DBT (DigitalBridge translates and invalidates "at block
+/// granularity", paper section IV-C).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_DBT_GUESTBLOCK_H
+#define MDABT_DBT_GUESTBLOCK_H
+
+#include "guest/GuestInst.h"
+#include "guest/GuestMemory.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mdabt {
+namespace dbt {
+
+/// A decoded guest basic block.
+struct GuestBlock {
+  uint32_t StartPc = 0;
+  std::vector<guest::GuestInst> Insts;
+  std::vector<uint32_t> InstPcs; ///< PC of each instruction.
+
+  size_t size() const { return Insts.size(); }
+  /// PC one past the last instruction (the fall-through target).
+  uint32_t endPc() const {
+    return Insts.empty() ? StartPc
+                         : InstPcs.back() + Insts.back().Length;
+  }
+};
+
+/// Decode the block starting at \p Pc: instructions up to and including
+/// the first terminator (branch/call/ret/halt).  Asserts on undecodable
+/// bytes.  \p MaxInsts bounds pathological straight-line runs.
+GuestBlock discoverBlock(const guest::GuestMemory &Mem, uint32_t Pc,
+                         size_t MaxInsts = 4096);
+
+} // namespace dbt
+} // namespace mdabt
+
+#endif // MDABT_DBT_GUESTBLOCK_H

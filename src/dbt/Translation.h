@@ -1,0 +1,82 @@
+//===- dbt/Translation.h - Translated-block records ------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bookkeeping for one translated basic block: where its host code lives,
+/// its exit sites (for block chaining), the incoming chain links that must
+/// be undone if the block is invalidated, the mapping from trapping host
+/// memory words back to guest instruction PCs (consumed by the
+/// misalignment exception handler), and fault counters driving the
+/// retranslation policy of paper Fig. 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_DBT_TRANSLATION_H
+#define MDABT_DBT_TRANSLATION_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mdabt {
+namespace dbt {
+
+/// How the translator renders one guest memory operation (paper
+/// Table II's configuration space).
+enum class MemPlan {
+  Normal,       ///< single host memory op; traps if misaligned
+  Inline,       ///< the MDA code sequence, inline
+  MultiVersion, ///< alignment check selecting between both (Fig. 8)
+};
+
+/// Block-level translation options (beyond the per-instruction plan).
+struct TranslationOpts {
+  /// Multi-version code at basic-block granularity (paper section IV-D:
+  /// "most of MDAs occurred in hot loops and the addresses of MDAs
+  /// usually followed the same pattern ... generate multi-version code
+  /// based on basic-block granularity").  One alignment check at the
+  /// first multi-version site selects between a copy of the block tail
+  /// with plain memory ops and a copy with inline MDA sequences.  The
+  /// plain copy remains guarded by the exception handler, so a site that
+  /// defies the shared-pattern assumption is still handled correctly.
+  bool BlockMultiVersion = false;
+};
+
+/// One block-exit service call, patchable into a direct chain.
+struct ExitSite {
+  uint32_t SrvWord = 0;      ///< word index of the Srv Exit instruction
+  uint32_t TargetGuestPc = 0;
+  bool Direct = false; ///< compile-time-known target (chainable)
+  bool Chained = false;
+};
+
+/// One translated guest basic block.
+struct Translation {
+  uint32_t GuestPc = 0;
+  uint32_t EntryWord = 0;
+  uint32_t EndWord = 0; ///< one past the block body
+  std::vector<ExitSite> Exits;
+  /// Host words of *other* blocks' exit branches chained to this entry;
+  /// restored to Srv Exit when this block is invalidated.
+  std::vector<uint32_t> IncomingChains;
+  /// Host word of each trapping-capable memory op -> guest inst PC.
+  std::unordered_map<uint32_t, uint32_t> MemWordToGuestPc;
+  /// Number of guest instructions translated (for cost accounting).
+  uint32_t GuestInsts = 0;
+  /// Misalignment traps taken inside this translation.
+  uint32_t FaultCount = 0;
+  /// Patched (stub-redirected) words, to avoid double patching.
+  std::vector<uint32_t> PatchedWords;
+  /// Retranslation generation of this block (0 = first translation).
+  uint32_t Generation = 0;
+  /// False once superseded by a rearranged/retranslated version.
+  bool Valid = true;
+};
+
+} // namespace dbt
+} // namespace mdabt
+
+#endif // MDABT_DBT_TRANSLATION_H

@@ -1,0 +1,528 @@
+//===- dbt/Translator.cpp -------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/Translator.h"
+
+#include "host/HostAssembler.h"
+#include "host/MdaSequences.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+using namespace mdabt::host;
+
+namespace {
+
+/// Host memory opcode implementing a guest memory opcode.
+HostOp hostMemOp(guest::Opcode Op) {
+  switch (Op) {
+  case guest::Opcode::Ldb:
+    return HostOp::Ldbu;
+  case guest::Opcode::Ldw:
+    return HostOp::Ldwu;
+  case guest::Opcode::Ldl:
+    return HostOp::Ldl;
+  case guest::Opcode::Ldq:
+    return HostOp::Ldq;
+  case guest::Opcode::Stb:
+    return HostOp::Stb;
+  case guest::Opcode::Stw:
+    return HostOp::Stw;
+  case guest::Opcode::Stl:
+    return HostOp::Stl;
+  case guest::Opcode::Stq:
+    return HostOp::Stq;
+  default:
+    assert(false && "not a guest memory opcode");
+    return HostOp::Ldl;
+  }
+}
+
+/// Compare opcode + branch-on-nonzero flag for a guest condition.
+struct CondLowering {
+  HostOp CmpOp;
+  bool BranchIfTrue; ///< branch when the compare result is nonzero
+};
+
+CondLowering lowerCond(guest::Cond C) {
+  switch (C) {
+  case guest::Cond::Eq:
+    return {HostOp::Cmpeq, true};
+  case guest::Cond::Ne:
+    return {HostOp::Cmpeq, false};
+  case guest::Cond::Lt:
+    return {HostOp::Cmplt32, true};
+  case guest::Cond::Ge:
+    return {HostOp::Cmplt32, false};
+  case guest::Cond::Le:
+    return {HostOp::Cmple32, true};
+  case guest::Cond::Gt:
+    return {HostOp::Cmple32, false};
+  case guest::Cond::B:
+    return {HostOp::Cmpult, true};
+  case guest::Cond::Ae:
+    return {HostOp::Cmpult, false};
+  }
+  assert(false && "bad condition");
+  return {HostOp::Cmpeq, true};
+}
+
+/// Emit `Dst = Dst <op> Imm` choosing the literal form when possible.
+void emitAluImm(HostAssembler &Asm, HostOp Op, uint8_t Dst, int32_t Imm) {
+  if (Imm >= 0 && Imm <= 255) {
+    Asm.opl(Op, Dst, static_cast<uint8_t>(Imm), Dst);
+    return;
+  }
+  Asm.materialize32(RegScratch1, static_cast<uint32_t>(Imm));
+  Asm.op(Op, Dst, RegScratch1, Dst);
+}
+
+/// Largest displacement the translator leaves on a memory operand so
+/// that Disp + 7 still fits disp16 (required by the MDA sequences and
+/// by exception-handler stub generation).
+constexpr int32_t MaxMemDisp = 32767 - 8;
+
+/// Materialize the effective address so that a single (Base, Disp)
+/// memory operand expresses it.  May emit address arithmetic into the
+/// scratch registers.  Guest addresses wrap at 2^32, hence Addl.
+struct AddrOperand {
+  uint8_t Base;
+  int32_t Disp;
+};
+
+AddrOperand computeAddress(HostAssembler &Asm, const guest::GuestInst &I) {
+  uint8_t Base = hostGpr(I.Reg2);
+  int32_t Disp = I.Disp;
+  if (I.HasIndex) {
+    uint8_t Idx = hostGpr(I.IndexReg);
+    if (I.Scale != 0) {
+      Asm.opl(HostOp::Sll, Idx, I.Scale, RegScratch0);
+      Asm.op(HostOp::Addl, Base, RegScratch0, RegScratch0);
+    } else {
+      Asm.op(HostOp::Addl, Base, Idx, RegScratch0);
+    }
+    Base = RegScratch0;
+  }
+  if (Disp < -32768 || Disp > MaxMemDisp) {
+    Asm.materialize32(RegScratch1, static_cast<uint32_t>(Disp));
+    Asm.op(HostOp::Addl, Base, RegScratch1, RegScratch0);
+    Base = RegScratch0;
+    Disp = 0;
+  }
+  return {Base, Disp};
+}
+
+} // namespace
+
+Translation Translator::translate(const GuestBlock &Block,
+                                  const PlanFn &Plan, uint32_t Generation,
+                                  const TranslationOpts &Opts) {
+  HostAssembler Asm(Code);
+  Translation T;
+  T.GuestPc = Block.StartPc;
+  T.EntryWord = Asm.pos();
+  T.GuestInsts = static_cast<uint32_t>(Block.size());
+  T.Generation = Generation;
+
+  auto emitExit = [&](uint32_t TargetPc) {
+    Asm.materialize32(RegExitPc, TargetPc);
+    uint32_t W = Asm.srv(SrvFunc::Exit);
+    T.Exits.push_back({W, TargetPc, /*Direct=*/true, /*Chained=*/false});
+  };
+  auto emitIndirectExit = [&]() {
+    // RegExitPc already holds the target.
+    uint32_t W = Asm.srv(SrvFunc::Exit);
+    T.Exits.push_back({W, 0, /*Direct=*/false, /*Chained=*/false});
+  };
+
+  // How multi-version plans are rendered in the range being emitted:
+  // per-instruction (Fig. 8 left), or one of the two block-granularity
+  // copies (plain ops in the aligned copy — still exception-handler
+  // guarded — and inline sequences in the misaligned copy).
+  enum class MvMode { PerInst, Plain, Sequences };
+
+  auto planFor = [&](size_t Idx, MvMode Mode) -> MemPlan {
+    const guest::GuestInst &Inst = Block.Insts[Idx];
+    if (!guest::isMemoryOp(Inst.Op) || guest::accessSize(Inst.Op) < 2)
+      return MemPlan::Normal;
+    MemPlan P = Plan(Block.InstPcs[Idx], Inst);
+    if (P == MemPlan::MultiVersion) {
+      if (Mode == MvMode::Plain)
+        return MemPlan::Normal;
+      if (Mode == MvMode::Sequences)
+        return MemPlan::Inline;
+    }
+    return P;
+  };
+
+  auto emitRange = [&](size_t From, size_t To, MvMode Mode) {
+  for (size_t Idx = From; Idx != To; ++Idx) {
+    const guest::GuestInst &I = Block.Insts[Idx];
+    uint32_t Pc = Block.InstPcs[Idx];
+
+    switch (I.Op) {
+    case guest::Opcode::Nop:
+      break;
+
+    case guest::Opcode::Halt:
+      Asm.srv(SrvFunc::Halt);
+      break;
+
+    case guest::Opcode::Chk:
+      Asm.opl(HostOp::Mulq, RegChecksum, 31, RegChecksum);
+      Asm.op(HostOp::Addq, RegChecksum, hostGpr(I.Reg1), RegChecksum);
+      break;
+    case guest::Opcode::QChk:
+      Asm.opl(HostOp::Mulq, RegChecksum, 31, RegChecksum);
+      Asm.op(HostOp::Addq, RegChecksum, hostQ(I.Reg1), RegChecksum);
+      break;
+
+    case guest::Opcode::Ldb:
+    case guest::Opcode::Ldw:
+    case guest::Opcode::Ldl:
+    case guest::Opcode::Ldq:
+    case guest::Opcode::Stb:
+    case guest::Opcode::Stw:
+    case guest::Opcode::Stl:
+    case guest::Opcode::Stq: {
+      AddrOperand A = computeAddress(Asm, I);
+      unsigned Size = guest::accessSize(I.Op);
+      bool IsStore = guest::isStore(I.Op);
+      uint8_t Data = (I.Op == guest::Opcode::Ldq ||
+                      I.Op == guest::Opcode::Stq)
+                         ? hostQ(I.Reg1)
+                         : hostGpr(I.Reg1);
+      MemPlan P = planFor(Idx, Mode);
+      if (P == MemPlan::Normal) {
+        uint32_t W = Asm.mem(hostMemOp(I.Op), Data, A.Disp, A.Base);
+        if (Size >= 2)
+          T.MemWordToGuestPc[W] = Pc;
+      } else if (P == MemPlan::Inline) {
+        if (IsStore)
+          emitMdaStore(Asm, Size, Data, A.Base, A.Disp);
+        else
+          emitMdaLoad(Asm, Size, Data, A.Base, A.Disp);
+      } else {
+        // Multi-version code (paper Fig. 8, left): an alignment check
+        // selecting between the plain op and the MDA sequence.  When the
+        // displacement is a multiple of the access size it cannot change
+        // alignment, so the check tests the base register directly (the
+        // paper's "and Raddr, #3, Rtemp" form).
+        uint8_t CheckReg = A.Base;
+        if (A.Disp % static_cast<int32_t>(Size) != 0) {
+          Asm.lda(RegMvT0, A.Disp, A.Base);
+          CheckReg = RegMvT0;
+        }
+        Asm.opl(HostOp::And, CheckReg, static_cast<uint8_t>(Size - 1),
+                RegMvT1);
+        HostAssembler::Label Mda = Asm.newLabel();
+        HostAssembler::Label End = Asm.newLabel();
+        Asm.bne(RegMvT1, Mda);
+        Asm.mem(hostMemOp(I.Op), Data, A.Disp, A.Base); // provably aligned
+        Asm.br(End);
+        Asm.bind(Mda);
+        if (IsStore)
+          emitMdaStore(Asm, Size, Data, A.Base, A.Disp);
+        else
+          emitMdaLoad(Asm, Size, Data, A.Base, A.Disp);
+        Asm.bind(End);
+      }
+      break;
+    }
+
+    case guest::Opcode::Lea: {
+      AddrOperand A = computeAddress(Asm, I);
+      Asm.lda(hostGpr(I.Reg1), A.Disp, A.Base);
+      Asm.op(HostOp::Zextl, RegZero, hostGpr(I.Reg1), hostGpr(I.Reg1));
+      break;
+    }
+
+    case guest::Opcode::MovRR:
+      Asm.mov(hostGpr(I.Reg2), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Add:
+      Asm.op(HostOp::Addl, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Sub:
+      Asm.op(HostOp::Subl, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::And:
+      Asm.op(HostOp::And, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Or:
+      Asm.op(HostOp::Bis, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Xor:
+      Asm.op(HostOp::Xor, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Shl:
+      Asm.opl(HostOp::And, hostGpr(I.Reg2), 31, RegScratch1);
+      Asm.op(HostOp::Sll, hostGpr(I.Reg1), RegScratch1, hostGpr(I.Reg1));
+      Asm.op(HostOp::Zextl, RegZero, hostGpr(I.Reg1), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Shr:
+      Asm.opl(HostOp::And, hostGpr(I.Reg2), 31, RegScratch1);
+      Asm.op(HostOp::Srl, hostGpr(I.Reg1), RegScratch1, hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Sar:
+      Asm.op(HostOp::Sextl, RegZero, hostGpr(I.Reg1), RegScratch0);
+      Asm.opl(HostOp::And, hostGpr(I.Reg2), 31, RegScratch1);
+      Asm.op(HostOp::Sra, RegScratch0, RegScratch1, hostGpr(I.Reg1));
+      Asm.op(HostOp::Zextl, RegZero, hostGpr(I.Reg1), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Mul:
+      Asm.op(HostOp::Mull, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+
+    case guest::Opcode::MovRI:
+      Asm.materialize32(hostGpr(I.Reg1), static_cast<uint32_t>(I.Imm));
+      break;
+    case guest::Opcode::AddI:
+      emitAluImm(Asm, HostOp::Addl, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::SubI:
+      emitAluImm(Asm, HostOp::Subl, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::AndI:
+      emitAluImm(Asm, HostOp::And, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::OrI:
+      emitAluImm(Asm, HostOp::Bis, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::XorI:
+      emitAluImm(Asm, HostOp::Xor, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::ShlI:
+      Asm.opl(HostOp::Sll, hostGpr(I.Reg1),
+              static_cast<uint8_t>(I.Imm & 31), hostGpr(I.Reg1));
+      Asm.op(HostOp::Zextl, RegZero, hostGpr(I.Reg1), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::ShrI:
+      Asm.opl(HostOp::Srl, hostGpr(I.Reg1),
+              static_cast<uint8_t>(I.Imm & 31), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::SarI:
+      Asm.op(HostOp::Sextl, RegZero, hostGpr(I.Reg1), RegScratch0);
+      Asm.opl(HostOp::Sra, RegScratch0, static_cast<uint8_t>(I.Imm & 31),
+              hostGpr(I.Reg1));
+      Asm.op(HostOp::Zextl, RegZero, hostGpr(I.Reg1), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::MulI:
+      emitAluImm(Asm, HostOp::Mull, hostGpr(I.Reg1), I.Imm);
+      break;
+
+    case guest::Opcode::Cmp:
+    case guest::Opcode::CmpI: {
+      // Fused with the following Jcc; a compare not followed by Jcc is
+      // dead by the ISA's structural rule.
+      if (Idx + 1 >= Block.size() ||
+          Block.Insts[Idx + 1].Op != guest::Opcode::Jcc)
+        break;
+      const guest::GuestInst &J = Block.Insts[Idx + 1];
+      uint32_t JPc = Block.InstPcs[Idx + 1];
+      CondLowering L = lowerCond(J.CC);
+      if (I.Op == guest::Opcode::Cmp) {
+        Asm.op(L.CmpOp, hostGpr(I.Reg1), hostGpr(I.Reg2), RegScratch2);
+      } else if (I.Imm >= 0 && I.Imm <= 255) {
+        Asm.opl(L.CmpOp, hostGpr(I.Reg1), static_cast<uint8_t>(I.Imm),
+                RegScratch2);
+      } else {
+        Asm.materialize32(RegScratch1, static_cast<uint32_t>(I.Imm));
+        Asm.op(L.CmpOp, hostGpr(I.Reg1), RegScratch1, RegScratch2);
+      }
+      HostAssembler::Label Taken = Asm.newLabel();
+      if (L.BranchIfTrue)
+        Asm.bne(RegScratch2, Taken);
+      else
+        Asm.beq(RegScratch2, Taken);
+      emitExit(J.nextPc(JPc));
+      Asm.bind(Taken);
+      emitExit(J.branchTarget(JPc));
+      ++Idx; // consume the Jcc
+      break;
+    }
+
+    case guest::Opcode::Jcc:
+      assert(false && "Jcc without preceding Cmp (assembler enforces)");
+      break;
+
+    case guest::Opcode::QMovRR:
+      Asm.mov(hostQ(I.Reg2), hostQ(I.Reg1));
+      break;
+    case guest::Opcode::QMovI:
+      Asm.materializeSext32(hostQ(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::QAdd:
+      Asm.op(HostOp::Addq, hostQ(I.Reg1), hostQ(I.Reg2), hostQ(I.Reg1));
+      break;
+    case guest::Opcode::QAddI:
+      if (I.Imm >= 0 && I.Imm <= 255) {
+        Asm.opl(HostOp::Addq, hostQ(I.Reg1), static_cast<uint8_t>(I.Imm),
+                hostQ(I.Reg1));
+      } else {
+        Asm.materializeSext32(RegScratch1, I.Imm);
+        Asm.op(HostOp::Addq, hostQ(I.Reg1), RegScratch1, hostQ(I.Reg1));
+      }
+      break;
+    case guest::Opcode::QXor:
+      Asm.op(HostOp::Xor, hostQ(I.Reg1), hostQ(I.Reg2), hostQ(I.Reg1));
+      break;
+    case guest::Opcode::GToQ:
+      Asm.mov(hostGpr(I.Reg2), hostQ(I.Reg1));
+      break;
+    case guest::Opcode::QToG:
+      Asm.op(HostOp::Zextl, RegZero, hostQ(I.Reg2), hostGpr(I.Reg1));
+      break;
+
+    case guest::Opcode::Jmp:
+      emitExit(I.branchTarget(Pc));
+      break;
+
+    case guest::Opcode::Call: {
+      uint32_t RetPc = I.nextPc(Pc);
+      uint8_t Sp = hostGpr(guest::RegSP);
+      Asm.opl(HostOp::Subl, Sp, 4, Sp);
+      Asm.materialize32(RegScratch0, RetPc);
+      uint32_t W = Asm.mem(HostOp::Stl, RegScratch0, 0, Sp);
+      T.MemWordToGuestPc[W] = Pc;
+      emitExit(I.branchTarget(Pc));
+      break;
+    }
+
+    case guest::Opcode::Ret: {
+      uint8_t Sp = hostGpr(guest::RegSP);
+      uint32_t W = Asm.mem(HostOp::Ldl, RegScratch0, 0, Sp);
+      T.MemWordToGuestPc[W] = Pc;
+      Asm.opl(HostOp::Addl, Sp, 4, Sp);
+      Asm.mov(RegScratch0, RegExitPc);
+      emitIndirectExit();
+      break;
+    }
+
+    case guest::Opcode::JmpR:
+      Asm.mov(hostGpr(I.Reg1), RegExitPc);
+      emitIndirectExit();
+      break;
+    }
+  }
+  };
+
+  // Block-granularity multi-version (paper section IV-D): find the
+  // first multi-version site; one alignment check there selects between
+  // a plain-ops copy and an inline-sequences copy of the block tail.
+  // The plain copy's sites stay exception-handler guarded, so a site
+  // that defies the shared-alignment-pattern assumption still executes
+  // correctly (it traps and gets patched).
+  size_t Split = Block.size();
+  if (Opts.BlockMultiVersion) {
+    for (size_t Idx = 0; Idx != Block.size(); ++Idx) {
+      if (planFor(Idx, MvMode::PerInst) == MemPlan::MultiVersion) {
+        Split = Idx;
+        break;
+      }
+    }
+  }
+
+  if (Split != Block.size()) {
+    emitRange(0, Split, MvMode::PerInst);
+    // The version check on the split site's address.
+    const guest::GuestInst &I = Block.Insts[Split];
+    AddrOperand A = computeAddress(Asm, I);
+    unsigned Size = guest::accessSize(I.Op);
+    uint8_t CheckReg = A.Base;
+    if (A.Disp % static_cast<int32_t>(Size) != 0) {
+      Asm.lda(RegMvT0, A.Disp, A.Base);
+      CheckReg = RegMvT0;
+    }
+    Asm.opl(HostOp::And, CheckReg, static_cast<uint8_t>(Size - 1),
+            RegMvT1);
+    HostAssembler::Label MisCopy = Asm.newLabel();
+    Asm.bne(RegMvT1, MisCopy);
+    emitRange(Split, Block.size(), MvMode::Plain);
+    Asm.bind(MisCopy);
+    emitRange(Split, Block.size(), MvMode::Sequences);
+  } else {
+    emitRange(0, Block.size(), MvMode::PerInst);
+  }
+
+  Asm.finish();
+  T.EndWord = Asm.pos();
+  return T;
+}
+
+Translator::StubInfo Translator::emitStub(const HostInst &Faulting,
+                                          uint32_t FaultWord) {
+  assert(accessesMemory(Faulting.Op) && alignmentOf(Faulting.Op) > 1 &&
+         "stub requested for a non-trapping instruction");
+  HostAssembler Asm(Code);
+  StubInfo S;
+  S.Entry = Asm.pos();
+  unsigned Size = hostAccessSize(Faulting.Op);
+  if (isHostLoad(Faulting.Op))
+    emitMdaLoad(Asm, Size, Faulting.Ra, Faulting.Rb, Faulting.Disp);
+  else
+    emitMdaStore(Asm, Size, Faulting.Ra, Faulting.Rb, Faulting.Disp);
+  Asm.brTo(FaultWord + 1);
+  Asm.finish();
+  S.End = Asm.pos();
+  return S;
+}
+
+Translator::StubInfo Translator::emitAdaptiveStub(
+    const HostInst &Faulting, uint32_t FaultWord, uint32_t CounterAddr,
+    uint32_t MailboxAddr, uint32_t Threshold) {
+  assert(accessesMemory(Faulting.Op) && alignmentOf(Faulting.Op) > 1 &&
+         "stub requested for a non-trapping instruction");
+  assert(Threshold >= 1 && Threshold <= 255 &&
+         "threshold must fit an operate literal");
+  HostAssembler Asm(Code);
+  StubInfo S;
+  S.Entry = Asm.pos();
+  unsigned Size = hostAccessSize(Faulting.Op);
+
+  // Alignment check on the current address (paper Fig. 8, right side:
+  // "instructions to collect runtime information").
+  Asm.lda(RegMdaT2, Faulting.Disp, Faulting.Rb);
+  Asm.opl(HostOp::And, RegMdaT2, static_cast<uint8_t>(Size - 1),
+          RegMdaT0);
+  HostAssembler::Label RunSeq = Asm.newLabel();
+  Asm.bne(RegMdaT0, RunSeq);
+  // Aligned occurrence: bump the counter cell.
+  Asm.materialize32(RegMdaT1, CounterAddr);
+  Asm.mem(HostOp::Ldl, RegMdaT0, 0, RegMdaT1);
+  Asm.opl(HostOp::Addl, RegMdaT0, 1, RegMdaT0);
+  Asm.mem(HostOp::Stl, RegMdaT0, 0, RegMdaT1);
+  Asm.opl(HostOp::Cmpult, RegMdaT0, static_cast<uint8_t>(Threshold),
+          RegMdaT1);
+  Asm.bne(RegMdaT1, RunSeq); // still warming up
+  // Ask the monitor to revert this patch.
+  Asm.materialize32(RegMdaT1, MailboxAddr);
+  Asm.materialize32(RegMdaT0, FaultWord + 1);
+  Asm.mem(HostOp::Stl, RegMdaT0, 0, RegMdaT1);
+  Asm.bind(RunSeq);
+  if (isHostLoad(Faulting.Op))
+    emitMdaLoad(Asm, Size, Faulting.Ra, Faulting.Rb, Faulting.Disp);
+  else
+    emitMdaStore(Asm, Size, Faulting.Ra, Faulting.Rb, Faulting.Disp);
+  Asm.brTo(FaultWord + 1);
+  Asm.finish();
+  S.End = Asm.pos();
+  return S;
+}
+
+void Translator::patchToStub(uint32_t FaultWord, uint32_t StubEntry) {
+  int64_t Disp = static_cast<int64_t>(StubEntry) -
+                 (static_cast<int64_t>(FaultWord) + 1);
+  Code.patch(FaultWord, encodeHost(brInst(HostOp::Br, RegZero,
+                                          static_cast<int32_t>(Disp))));
+}

@@ -1,0 +1,192 @@
+//===- guest/Assembler.cpp ------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+ProgramBuilder::Label ProgramBuilder::newLabel() {
+  Labels.push_back(Unbound);
+  return static_cast<Label>(Labels.size() - 1);
+}
+
+void ProgramBuilder::bind(Label L) {
+  assert(L < Labels.size() && "unknown label");
+  assert(Labels[L] == Unbound && "label bound twice");
+  Labels[L] = codeSize();
+}
+
+ProgramBuilder::Label ProgramBuilder::here() {
+  Label L = newLabel();
+  bind(L);
+  return L;
+}
+
+void ProgramBuilder::emit(const GuestInst &Inst) {
+  assert(!Built && "builder already finalized");
+  LastWasCmp = Inst.Op == Opcode::Cmp || Inst.Op == Opcode::CmpI;
+  encode(Inst, Code);
+}
+
+void ProgramBuilder::nop() {
+  GuestInst I;
+  I.Op = Opcode::Nop;
+  emit(I);
+}
+
+void ProgramBuilder::halt() {
+  GuestInst I;
+  I.Op = Opcode::Halt;
+  emit(I);
+}
+
+void ProgramBuilder::chk(uint8_t Gpr) {
+  GuestInst I;
+  I.Op = Opcode::Chk;
+  I.Reg1 = Gpr;
+  emit(I);
+}
+
+void ProgramBuilder::qchk(uint8_t Q) {
+  GuestInst I;
+  I.Op = Opcode::QChk;
+  I.Reg1 = Q;
+  emit(I);
+}
+
+void ProgramBuilder::load(Opcode Op, uint8_t DataReg, const Mem &M) {
+  assert((isLoad(Op) || Op == Opcode::Lea) && "not a load");
+  GuestInst I;
+  I.Op = Op;
+  I.Reg1 = DataReg;
+  I.Reg2 = M.Base;
+  I.HasIndex = M.HasIndex;
+  I.IndexReg = M.Index;
+  I.Scale = M.Scale;
+  I.Disp = M.Disp;
+  emit(I);
+}
+
+void ProgramBuilder::store(Opcode Op, const Mem &M, uint8_t DataReg) {
+  assert(isStore(Op) && "not a store");
+  GuestInst I;
+  I.Op = Op;
+  I.Reg1 = DataReg;
+  I.Reg2 = M.Base;
+  I.HasIndex = M.HasIndex;
+  I.IndexReg = M.Index;
+  I.Scale = M.Scale;
+  I.Disp = M.Disp;
+  emit(I);
+}
+
+void ProgramBuilder::alu(Opcode Op, uint8_t Dst, uint8_t Src) {
+  GuestInst I;
+  I.Op = Op;
+  I.Reg1 = Dst;
+  I.Reg2 = Src;
+  emit(I);
+}
+
+void ProgramBuilder::aluImm(Opcode Op, uint8_t Dst, int32_t Imm) {
+  GuestInst I;
+  I.Op = Op;
+  I.Reg1 = Dst;
+  I.Imm = Imm;
+  emit(I);
+}
+
+void ProgramBuilder::emitBranch(Opcode Op, Cond C, Label L) {
+  assert(L < Labels.size() && "unknown label");
+  GuestInst I;
+  I.Op = Op;
+  I.CC = C;
+  I.Imm = 0;
+  uint32_t Start = codeSize();
+  emit(I);
+  uint32_t End = codeSize();
+  // rel32 is the last four bytes of the encoding.
+  Fixups.push_back({End - 4, End, L});
+  (void)Start;
+}
+
+void ProgramBuilder::jmp(Label L) { emitBranch(Opcode::Jmp, Cond::Eq, L); }
+
+void ProgramBuilder::jcc(Cond C, Label L) {
+  assert(LastWasCmp && "Jcc must immediately follow Cmp/CmpI");
+  emitBranch(Opcode::Jcc, C, L);
+}
+
+void ProgramBuilder::call(Label L) { emitBranch(Opcode::Call, Cond::Eq, L); }
+
+void ProgramBuilder::ret() {
+  GuestInst I;
+  I.Op = Opcode::Ret;
+  emit(I);
+}
+
+void ProgramBuilder::jmpr(uint8_t R) {
+  GuestInst I;
+  I.Op = Opcode::JmpR;
+  I.Reg1 = R;
+  emit(I);
+}
+
+uint32_t ProgramBuilder::dataReserve(uint32_t Size, uint32_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+  uint32_t Offset = dataSize();
+  uint32_t Aligned = (Offset + Align - 1) & ~(Align - 1);
+  Data.resize(Aligned + Size, 0);
+  return layout::DataBase + Aligned;
+}
+
+uint32_t ProgramBuilder::dataU32(uint32_t Value) {
+  uint32_t Addr = dataReserve(4, 4);
+  std::memcpy(Data.data() + (Addr - layout::DataBase), &Value, 4);
+  return Addr;
+}
+
+uint32_t ProgramBuilder::dataU64(uint64_t Value) {
+  uint32_t Addr = dataReserve(8, 8);
+  std::memcpy(Data.data() + (Addr - layout::DataBase), &Value, 8);
+  return Addr;
+}
+
+void ProgramBuilder::patchDataU32(uint32_t Address, uint32_t Value) {
+  assert(Address >= layout::DataBase &&
+         Address + 4 <= layout::DataBase + dataSize() &&
+         "data patch out of range");
+  std::memcpy(Data.data() + (Address - layout::DataBase), &Value, 4);
+}
+
+void ProgramBuilder::patchDataU64(uint32_t Address, uint64_t Value) {
+  assert(Address >= layout::DataBase &&
+         Address + 8 <= layout::DataBase + dataSize() &&
+         "data patch out of range");
+  std::memcpy(Data.data() + (Address - layout::DataBase), &Value, 8);
+}
+
+GuestImage ProgramBuilder::build() {
+  assert(!Built && "builder already finalized");
+  Built = true;
+  for (const Fixup &F : Fixups) {
+    uint32_t Target = Labels[F.Target];
+    assert(Target != Unbound && "branch to unbound label");
+    int32_t Rel = static_cast<int32_t>(Target) -
+                  static_cast<int32_t>(F.NextPc);
+    std::memcpy(Code.data() + F.ImmOffset, &Rel, 4);
+  }
+  GuestImage Image;
+  Image.Name = ImageName;
+  Image.Code = std::move(Code);
+  Image.Data = std::move(Data);
+  Image.Entry = Image.CodeBase;
+  return Image;
+}

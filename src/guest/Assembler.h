@@ -1,0 +1,175 @@
+//===- guest/Assembler.h - Label-based GX86 program builder ----*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for building GX86 binaries in memory: forward-label
+/// branches, a data-segment builder with alignment control, and
+/// validation of the ISA's structural rule that every Jcc is immediately
+/// preceded by a Cmp/CmpI (which is what lets the translator fuse
+/// compare-and-branch, as real DBTs do).
+///
+/// Used by the workload generator, the examples and the tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_ASSEMBLER_H
+#define MDABT_GUEST_ASSEMBLER_H
+
+#include "guest/Encoding.h"
+#include "guest/GuestImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace guest {
+
+/// A memory operand: [Base + Index*2^Scale + Disp].
+struct Mem {
+  uint8_t Base = 0;
+  bool HasIndex = false;
+  uint8_t Index = 0;
+  uint8_t Scale = 0;
+  int32_t Disp = 0;
+};
+
+/// [Base + Disp]
+inline Mem mem(uint8_t Base, int32_t Disp = 0) {
+  return Mem{Base, false, 0, 0, Disp};
+}
+
+/// [Base + Index*2^ScaleLog2 + Disp]
+inline Mem memIdx(uint8_t Base, uint8_t Index, uint8_t ScaleLog2,
+                  int32_t Disp = 0) {
+  return Mem{Base, true, Index, ScaleLog2, Disp};
+}
+
+/// Incrementally builds a GuestImage.
+class ProgramBuilder {
+public:
+  using Label = uint32_t;
+
+  explicit ProgramBuilder(std::string Name) : ImageName(std::move(Name)) {}
+
+  /// Create an unbound label.
+  Label newLabel();
+  /// Bind \p L to the current code position.  A label may be bound once.
+  void bind(Label L);
+  /// Create a label bound to the current position.
+  Label here();
+
+  /// Current code offset from the code base (useful for size accounting).
+  uint32_t codeSize() const {
+    return static_cast<uint32_t>(Code.size());
+  }
+  /// Guest address of the current code position.
+  uint32_t codeAddress() const { return layout::CodeBase + codeSize(); }
+
+  // Straight-line instructions ------------------------------------------
+  void nop();
+  void halt();
+  void chk(uint8_t Gpr);
+  void qchk(uint8_t Q);
+
+  void load(Opcode Op, uint8_t DataReg, const Mem &M);
+  void store(Opcode Op, const Mem &M, uint8_t DataReg);
+  void ldb(uint8_t R, const Mem &M) { load(Opcode::Ldb, R, M); }
+  void ldw(uint8_t R, const Mem &M) { load(Opcode::Ldw, R, M); }
+  void ldl(uint8_t R, const Mem &M) { load(Opcode::Ldl, R, M); }
+  void ldq(uint8_t Q, const Mem &M) { load(Opcode::Ldq, Q, M); }
+  void stb(const Mem &M, uint8_t R) { store(Opcode::Stb, M, R); }
+  void stw(const Mem &M, uint8_t R) { store(Opcode::Stw, M, R); }
+  void stl(const Mem &M, uint8_t R) { store(Opcode::Stl, M, R); }
+  void stq(const Mem &M, uint8_t Q) { store(Opcode::Stq, M, Q); }
+  void lea(uint8_t R, const Mem &M) { load(Opcode::Lea, R, M); }
+
+  void alu(Opcode Op, uint8_t Dst, uint8_t Src);
+  void aluImm(Opcode Op, uint8_t Dst, int32_t Imm);
+  void movrr(uint8_t Dst, uint8_t Src) { alu(Opcode::MovRR, Dst, Src); }
+  void movri(uint8_t Dst, int32_t Imm) { aluImm(Opcode::MovRI, Dst, Imm); }
+  void add(uint8_t Dst, uint8_t Src) { alu(Opcode::Add, Dst, Src); }
+  void sub(uint8_t Dst, uint8_t Src) { alu(Opcode::Sub, Dst, Src); }
+  void and_(uint8_t Dst, uint8_t Src) { alu(Opcode::And, Dst, Src); }
+  void or_(uint8_t Dst, uint8_t Src) { alu(Opcode::Or, Dst, Src); }
+  void xor_(uint8_t Dst, uint8_t Src) { alu(Opcode::Xor, Dst, Src); }
+  void shl(uint8_t Dst, uint8_t Src) { alu(Opcode::Shl, Dst, Src); }
+  void shr(uint8_t Dst, uint8_t Src) { alu(Opcode::Shr, Dst, Src); }
+  void sar(uint8_t Dst, uint8_t Src) { alu(Opcode::Sar, Dst, Src); }
+  void mul(uint8_t Dst, uint8_t Src) { alu(Opcode::Mul, Dst, Src); }
+  void addi(uint8_t Dst, int32_t Imm) { aluImm(Opcode::AddI, Dst, Imm); }
+  void subi(uint8_t Dst, int32_t Imm) { aluImm(Opcode::SubI, Dst, Imm); }
+  void andi(uint8_t Dst, int32_t Imm) { aluImm(Opcode::AndI, Dst, Imm); }
+  void ori(uint8_t Dst, int32_t Imm) { aluImm(Opcode::OrI, Dst, Imm); }
+  void xori(uint8_t Dst, int32_t Imm) { aluImm(Opcode::XorI, Dst, Imm); }
+  void shli(uint8_t Dst, int32_t Imm) { aluImm(Opcode::ShlI, Dst, Imm); }
+  void shri(uint8_t Dst, int32_t Imm) { aluImm(Opcode::ShrI, Dst, Imm); }
+  void sari(uint8_t Dst, int32_t Imm) { aluImm(Opcode::SarI, Dst, Imm); }
+  void muli(uint8_t Dst, int32_t Imm) { aluImm(Opcode::MulI, Dst, Imm); }
+
+  void cmp(uint8_t A, uint8_t B) { alu(Opcode::Cmp, A, B); }
+  void cmpi(uint8_t A, int32_t Imm) { aluImm(Opcode::CmpI, A, Imm); }
+
+  void qmov(uint8_t Dst, uint8_t Src) { alu(Opcode::QMovRR, Dst, Src); }
+  void qmovi(uint8_t Dst, int32_t Imm) { aluImm(Opcode::QMovI, Dst, Imm); }
+  void qadd(uint8_t Dst, uint8_t Src) { alu(Opcode::QAdd, Dst, Src); }
+  void qaddi(uint8_t Dst, int32_t Imm) { aluImm(Opcode::QAddI, Dst, Imm); }
+  void qxor(uint8_t Dst, uint8_t Src) { alu(Opcode::QXor, Dst, Src); }
+  void gtoq(uint8_t Q, uint8_t G) { alu(Opcode::GToQ, Q, G); }
+  void qtog(uint8_t G, uint8_t Q) { alu(Opcode::QToG, G, Q); }
+
+  // Control flow ---------------------------------------------------------
+  void jmp(Label L);
+  /// A Jcc must directly follow cmp/cmpi; asserted here.
+  void jcc(Cond C, Label L);
+  void call(Label L);
+  void ret();
+  void jmpr(uint8_t R);
+
+  // Data segment ---------------------------------------------------------
+  /// Reserve \p Size zeroed bytes aligned to \p Align; returns the guest
+  /// address of the reservation.
+  uint32_t dataReserve(uint32_t Size, uint32_t Align);
+  /// Append an initialized 32-bit word (4-byte aligned); returns address.
+  uint32_t dataU32(uint32_t Value);
+  /// Append an initialized 64-bit word (8-byte aligned); returns address.
+  uint32_t dataU64(uint64_t Value);
+  /// Overwrite a previously emitted 32-bit data word.
+  void patchDataU32(uint32_t Address, uint32_t Value);
+  /// Overwrite a previously emitted 64-bit data word.
+  void patchDataU64(uint32_t Address, uint64_t Value);
+
+  uint32_t dataSize() const {
+    return static_cast<uint32_t>(Data.size());
+  }
+
+  /// Finalize: resolve all branch fixups.  All labels used by branches
+  /// must be bound.  The entry point is the code base.
+  GuestImage build();
+
+private:
+  void emit(const GuestInst &Inst);
+  void emitBranch(Opcode Op, Cond C, Label L);
+
+  std::string ImageName;
+  std::vector<uint8_t> Code;
+  std::vector<uint8_t> Data;
+  static constexpr uint32_t Unbound = ~0u;
+  std::vector<uint32_t> Labels; ///< code offset per label, or Unbound.
+  struct Fixup {
+    uint32_t ImmOffset; ///< offset of the rel32 within Code.
+    uint32_t NextPc;    ///< code offset of the following instruction.
+    Label Target;
+  };
+  std::vector<Fixup> Fixups;
+  bool LastWasCmp = false;
+  bool Built = false;
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_ASSEMBLER_H

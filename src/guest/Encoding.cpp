@@ -1,0 +1,415 @@
+//===- guest/Encoding.cpp -------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Encoding.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+namespace {
+
+enum class Form {
+  Bare,    // [op]
+  OneReg,  // [op][reg]
+  TwoReg,  // [op][r1<<4|r2]
+  RegImm,  // [op][reg][imm32]
+  Memory,  // [op][data<<4|base][mode](disp)
+  Rel,     // [op][rel32]
+  CondRel, // [op][cond][rel32]
+  Invalid,
+};
+
+Form formOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Ret:
+    return Form::Bare;
+  case Opcode::Chk:
+  case Opcode::QChk:
+  case Opcode::JmpR:
+    return Form::OneReg;
+  case Opcode::Ldb:
+  case Opcode::Ldw:
+  case Opcode::Ldl:
+  case Opcode::Ldq:
+  case Opcode::Stb:
+  case Opcode::Stw:
+  case Opcode::Stl:
+  case Opcode::Stq:
+  case Opcode::Lea:
+    return Form::Memory;
+  case Opcode::MovRR:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Sar:
+  case Opcode::Mul:
+  case Opcode::Cmp:
+  case Opcode::QMovRR:
+  case Opcode::QAdd:
+  case Opcode::QXor:
+  case Opcode::GToQ:
+  case Opcode::QToG:
+    return Form::TwoReg;
+  case Opcode::MovRI:
+  case Opcode::AddI:
+  case Opcode::SubI:
+  case Opcode::AndI:
+  case Opcode::OrI:
+  case Opcode::XorI:
+  case Opcode::ShlI:
+  case Opcode::ShrI:
+  case Opcode::SarI:
+  case Opcode::MulI:
+  case Opcode::CmpI:
+  case Opcode::QMovI:
+  case Opcode::QAddI:
+    return Form::RegImm;
+  case Opcode::Jmp:
+  case Opcode::Call:
+    return Form::Rel;
+  case Opcode::Jcc:
+    return Form::CondRel;
+  }
+  return Form::Invalid;
+}
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+bool fitsInt8(int32_t V) { return V >= -128 && V <= 127; }
+
+} // namespace
+
+unsigned mdabt::guest::encode(const GuestInst &Inst,
+                              std::vector<uint8_t> &Out) {
+  size_t Start = Out.size();
+  Out.push_back(static_cast<uint8_t>(Inst.Op));
+  switch (formOf(Inst.Op)) {
+  case Form::Bare:
+    break;
+  case Form::OneReg:
+    assert(Inst.Reg1 < 8 && "register out of range");
+    Out.push_back(Inst.Reg1);
+    break;
+  case Form::TwoReg:
+    assert(Inst.Reg1 < 8 && Inst.Reg2 < 8 && "register out of range");
+    Out.push_back(static_cast<uint8_t>(Inst.Reg1 << 4 | Inst.Reg2));
+    break;
+  case Form::RegImm:
+    assert(Inst.Reg1 < 8 && "register out of range");
+    Out.push_back(Inst.Reg1);
+    put32(Out, static_cast<uint32_t>(Inst.Imm));
+    break;
+  case Form::Memory: {
+    assert(Inst.Reg1 < 8 && Inst.Reg2 < 8 && "register out of range");
+    assert(Inst.Scale < 4 && "scale out of range");
+    assert((!Inst.HasIndex || Inst.IndexReg < 8) && "index out of range");
+    Out.push_back(static_cast<uint8_t>(Inst.Reg1 << 4 | Inst.Reg2));
+    uint8_t DispKind = Inst.Disp == 0 ? 0 : (fitsInt8(Inst.Disp) ? 1 : 2);
+    uint8_t Mode = static_cast<uint8_t>(
+        (Inst.HasIndex ? 0x80 : 0) | (Inst.IndexReg & 7) << 4 |
+        (Inst.Scale & 3) << 2 | DispKind);
+    Out.push_back(Mode);
+    if (DispKind == 1)
+      Out.push_back(static_cast<uint8_t>(Inst.Disp));
+    else if (DispKind == 2)
+      put32(Out, static_cast<uint32_t>(Inst.Disp));
+    break;
+  }
+  case Form::Rel:
+    put32(Out, static_cast<uint32_t>(Inst.Imm));
+    break;
+  case Form::CondRel:
+    Out.push_back(static_cast<uint8_t>(Inst.CC));
+    put32(Out, static_cast<uint32_t>(Inst.Imm));
+    break;
+  case Form::Invalid:
+    assert(false && "encoding an invalid opcode");
+    break;
+  }
+  return static_cast<unsigned>(Out.size() - Start);
+}
+
+bool mdabt::guest::decode(const uint8_t *Bytes, size_t Size, size_t Offset,
+                          GuestInst &Inst) {
+  if (Offset >= Size)
+    return false;
+  Inst = GuestInst();
+  Inst.Op = static_cast<Opcode>(Bytes[Offset]);
+  Form F = formOf(Inst.Op);
+  if (F == Form::Invalid)
+    return false;
+
+  size_t P = Offset + 1;
+  auto have = [&](size_t N) { return P + N <= Size; };
+  auto get32 = [&]() {
+    uint32_t V = static_cast<uint32_t>(Bytes[P]) |
+                 static_cast<uint32_t>(Bytes[P + 1]) << 8 |
+                 static_cast<uint32_t>(Bytes[P + 2]) << 16 |
+                 static_cast<uint32_t>(Bytes[P + 3]) << 24;
+    P += 4;
+    return V;
+  };
+
+  switch (F) {
+  case Form::Bare:
+    break;
+  case Form::OneReg:
+    if (!have(1))
+      return false;
+    Inst.Reg1 = Bytes[P++] & 7;
+    break;
+  case Form::TwoReg:
+    if (!have(1))
+      return false;
+    Inst.Reg1 = Bytes[P] >> 4 & 7;
+    Inst.Reg2 = Bytes[P] & 7;
+    ++P;
+    break;
+  case Form::RegImm:
+    if (!have(5))
+      return false;
+    Inst.Reg1 = Bytes[P++] & 7;
+    Inst.Imm = static_cast<int32_t>(get32());
+    break;
+  case Form::Memory: {
+    if (!have(2))
+      return false;
+    Inst.Reg1 = Bytes[P] >> 4 & 7;
+    Inst.Reg2 = Bytes[P] & 7;
+    ++P;
+    uint8_t Mode = Bytes[P++];
+    Inst.HasIndex = (Mode & 0x80) != 0;
+    Inst.IndexReg = Mode >> 4 & 7;
+    Inst.Scale = Mode >> 2 & 3;
+    uint8_t DispKind = Mode & 3;
+    if (DispKind == 1) {
+      if (!have(1))
+        return false;
+      Inst.Disp = static_cast<int8_t>(Bytes[P++]);
+    } else if (DispKind == 2) {
+      if (!have(4))
+        return false;
+      Inst.Disp = static_cast<int32_t>(get32());
+    } else if (DispKind == 3) {
+      return false;
+    }
+    break;
+  }
+  case Form::Rel:
+    if (!have(4))
+      return false;
+    Inst.Imm = static_cast<int32_t>(get32());
+    break;
+  case Form::CondRel: {
+    if (!have(5))
+      return false;
+    uint8_t C = Bytes[P++];
+    if (C > static_cast<uint8_t>(Cond::Ae))
+      return false;
+    Inst.CC = static_cast<Cond>(C);
+    Inst.Imm = static_cast<int32_t>(get32());
+    break;
+  }
+  case Form::Invalid:
+    return false;
+  }
+  Inst.Length = static_cast<uint8_t>(P - Offset);
+  return true;
+}
+
+const char *mdabt::guest::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Chk:
+    return "chk";
+  case Opcode::QChk:
+    return "qchk";
+  case Opcode::Ldb:
+    return "ldb";
+  case Opcode::Ldw:
+    return "ldw";
+  case Opcode::Ldl:
+    return "ldl";
+  case Opcode::Ldq:
+    return "ldq";
+  case Opcode::Stb:
+    return "stb";
+  case Opcode::Stw:
+    return "stw";
+  case Opcode::Stl:
+    return "stl";
+  case Opcode::Stq:
+    return "stq";
+  case Opcode::Lea:
+    return "lea";
+  case Opcode::MovRR:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::Shr:
+    return "shr";
+  case Opcode::Sar:
+    return "sar";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::MovRI:
+    return "movi";
+  case Opcode::AddI:
+    return "addi";
+  case Opcode::SubI:
+    return "subi";
+  case Opcode::AndI:
+    return "andi";
+  case Opcode::OrI:
+    return "ori";
+  case Opcode::XorI:
+    return "xori";
+  case Opcode::ShlI:
+    return "shli";
+  case Opcode::ShrI:
+    return "shri";
+  case Opcode::SarI:
+    return "sari";
+  case Opcode::MulI:
+    return "muli";
+  case Opcode::Cmp:
+    return "cmp";
+  case Opcode::CmpI:
+    return "cmpi";
+  case Opcode::QMovRR:
+    return "qmov";
+  case Opcode::QMovI:
+    return "qmovi";
+  case Opcode::QAdd:
+    return "qadd";
+  case Opcode::QAddI:
+    return "qaddi";
+  case Opcode::QXor:
+    return "qxor";
+  case Opcode::GToQ:
+    return "gtoq";
+  case Opcode::QToG:
+    return "qtog";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Jcc:
+    return "jcc";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::JmpR:
+    return "jmpr";
+  }
+  return "<bad>";
+}
+
+const char *mdabt::guest::condName(Cond C) {
+  switch (C) {
+  case Cond::Eq:
+    return "eq";
+  case Cond::Ne:
+    return "ne";
+  case Cond::Lt:
+    return "lt";
+  case Cond::Ge:
+    return "ge";
+  case Cond::Le:
+    return "le";
+  case Cond::Gt:
+    return "gt";
+  case Cond::B:
+    return "b";
+  case Cond::Ae:
+    return "ae";
+  }
+  return "<bad>";
+}
+
+const char *mdabt::guest::gprName(unsigned Reg) {
+  static const char *Names[NumGPR] = {"eax", "ecx", "edx", "ebx",
+                                      "esp", "ebp", "esi", "edi"};
+  return Reg < NumGPR ? Names[Reg] : "<bad>";
+}
+
+std::string mdabt::guest::disassemble(const GuestInst &Inst, uint32_t Pc) {
+  const char *Name = opcodeName(Inst.Op);
+  switch (formOf(Inst.Op)) {
+  case Form::Bare:
+    return Name;
+  case Form::OneReg:
+    if (Inst.Op == Opcode::QChk)
+      return format("%s q%u", Name, Inst.Reg1);
+    return format("%s %s", Name, gprName(Inst.Reg1));
+  case Form::TwoReg: {
+    bool QDst = Inst.Op == Opcode::QMovRR || Inst.Op == Opcode::QAdd ||
+                Inst.Op == Opcode::QXor || Inst.Op == Opcode::GToQ;
+    bool QSrc = Inst.Op == Opcode::QMovRR || Inst.Op == Opcode::QAdd ||
+                Inst.Op == Opcode::QXor || Inst.Op == Opcode::QToG;
+    std::string Dst =
+        QDst ? format("q%u", Inst.Reg1) : std::string(gprName(Inst.Reg1));
+    std::string Src =
+        QSrc ? format("q%u", Inst.Reg2) : std::string(gprName(Inst.Reg2));
+    return format("%s %s, %s", Name, Dst.c_str(), Src.c_str());
+  }
+  case Form::RegImm: {
+    bool Q = Inst.Op == Opcode::QMovI || Inst.Op == Opcode::QAddI;
+    std::string Dst =
+        Q ? format("q%u", Inst.Reg1) : std::string(gprName(Inst.Reg1));
+    return format("%s %s, %d", Name, Dst.c_str(), Inst.Imm);
+  }
+  case Form::Memory: {
+    std::string Addr = format("[%s", gprName(Inst.Reg2));
+    if (Inst.HasIndex)
+      Addr += format(" + %s*%u", gprName(Inst.IndexReg), 1u << Inst.Scale);
+    if (Inst.Disp != 0)
+      Addr += format(" %c %d", Inst.Disp < 0 ? '-' : '+',
+                     Inst.Disp < 0 ? -Inst.Disp : Inst.Disp);
+    Addr += "]";
+    bool Q = Inst.Op == Opcode::Ldq || Inst.Op == Opcode::Stq;
+    std::string Data =
+        Q ? format("q%u", Inst.Reg1) : std::string(gprName(Inst.Reg1));
+    if (isStore(Inst.Op))
+      return format("%s %s, %s", Name, Addr.c_str(), Data.c_str());
+    return format("%s %s, %s", Name, Data.c_str(), Addr.c_str());
+  }
+  case Form::Rel:
+    return format("%s 0x%x", Name, Inst.branchTarget(Pc));
+  case Form::CondRel:
+    return format("j%s 0x%x", condName(Inst.CC), Inst.branchTarget(Pc));
+  case Form::Invalid:
+    break;
+  }
+  return "<bad>";
+}

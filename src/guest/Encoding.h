@@ -1,0 +1,50 @@
+//===- guest/Encoding.h - GX86 binary encoder / decoder --------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-level encoding of GX86.  Like X86, instructions are variable
+/// length: an opcode byte followed by register/addressing bytes and
+/// optional 8- or 32-bit displacements / 32-bit immediates (little
+/// endian).
+///
+/// Memory-operand layout: [op] [Reg1<<4 | Reg2] [mode] (disp8|disp32)?
+/// where mode encodes: bit7 = has index, bits6..4 = index register,
+/// bits3..2 = scale (log2), bits1..0 = displacement kind
+/// (0 none, 1 = int8, 2 = int32).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_ENCODING_H
+#define MDABT_GUEST_ENCODING_H
+
+#include "guest/GuestInst.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace guest {
+
+/// Appends the encoding of \p Inst to \p Out and returns the encoded
+/// length.  Asserts on malformed instructions (bad register numbers,
+/// scale out of range).  Inst.Length is ignored on input.
+unsigned encode(const GuestInst &Inst, std::vector<uint8_t> &Out);
+
+/// Decodes the instruction starting at \p Bytes[Offset].  Returns false
+/// if the opcode byte is not a valid GX86 opcode or the instruction is
+/// truncated; on success fills \p Inst (including Inst.Length).
+bool decode(const uint8_t *Bytes, size_t Size, size_t Offset,
+            GuestInst &Inst);
+
+/// Disassembles \p Inst (assumed to sit at \p Pc, used to render branch
+/// targets) into human-readable text.
+std::string disassemble(const GuestInst &Inst, uint32_t Pc);
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_ENCODING_H

@@ -1,0 +1,80 @@
+//===- guest/GuestCPU.h - Guest architectural state ------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GX86 architectural state: eight 32-bit GPRs, eight 64-bit Q registers,
+/// PC, the compare flags, and the run checksum accumulated by Chk/QChk
+/// (the observable output used for differential testing between the
+/// interpreter and every translation policy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_GUESTCPU_H
+#define MDABT_GUEST_GUESTCPU_H
+
+#include "guest/GuestISA.h"
+#include "guest/GuestImage.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace guest {
+
+/// Compare flags produced by Cmp/CmpI.
+struct Flags {
+  bool Eq = false;  ///< operands equal
+  bool Lt = false;  ///< signed less-than
+  bool Ltu = false; ///< unsigned less-than
+};
+
+/// Full guest architectural state.
+struct GuestCPU {
+  uint32_t Gpr[NumGPR] = {};
+  uint64_t Qreg[NumQReg] = {};
+  uint32_t Pc = 0;
+  Flags Flag;
+  /// Checksum accumulator: Checksum = Checksum * 31 + value per Chk/QChk.
+  uint64_t Checksum = 0;
+  bool Halted = false;
+
+  /// Reset to the image's entry state.
+  void reset(const GuestImage &Image) {
+    *this = GuestCPU();
+    Pc = Image.Entry;
+    Gpr[RegSP] = Image.StackTop;
+  }
+
+  /// Fold \p Value into the checksum (the Chk/QChk semantics).
+  void fold(uint64_t Value) { Checksum = Checksum * 31 + Value; }
+
+  /// Evaluate a condition code against the current flags.
+  bool evalCond(Cond C) const {
+    switch (C) {
+    case Cond::Eq:
+      return Flag.Eq;
+    case Cond::Ne:
+      return !Flag.Eq;
+    case Cond::Lt:
+      return Flag.Lt;
+    case Cond::Ge:
+      return !Flag.Lt;
+    case Cond::Le:
+      return Flag.Lt || Flag.Eq;
+    case Cond::Gt:
+      return !Flag.Lt && !Flag.Eq;
+    case Cond::B:
+      return Flag.Ltu;
+    case Cond::Ae:
+      return !Flag.Ltu;
+    }
+    return false;
+  }
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_GUESTCPU_H

@@ -1,0 +1,184 @@
+//===- guest/GuestISA.h - The GX86 guest instruction set -------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// GX86: the synthetic, X86-flavoured guest ISA.  Like X86 it is
+/// byte-encoded, has eight 32-bit general registers plus eight 64-bit
+/// "Q" registers (standing in for x87/SSE state), rich addressing modes
+/// (base + index*scale + disp), condition flags set by compare
+/// instructions, and — crucially for this paper — it permits misaligned
+/// data accesses of 2, 4 and 8 bytes.
+///
+/// The ISA is deliberately small enough to interpret and translate
+/// completely, but large enough that the workload generator can express
+/// the SPEC-like access patterns of the paper's Table I.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_GUESTISA_H
+#define MDABT_GUEST_GUESTISA_H
+
+#include <cstdint>
+
+namespace mdabt {
+namespace guest {
+
+/// Number of 32-bit general-purpose registers (EAX..EDI).
+inline constexpr unsigned NumGPR = 8;
+/// Number of 64-bit Q registers (Q0..Q7).
+inline constexpr unsigned NumQReg = 8;
+/// Index of the stack pointer within the GPR file (x86's ESP).
+inline constexpr unsigned RegSP = 4;
+
+/// GX86 opcodes.  The numeric values are the encoding's first byte.
+enum class Opcode : uint8_t {
+  Nop = 0x00,
+  Halt = 0x01,
+  /// Fold a GPR into the run checksum (used for differential testing).
+  Chk = 0x02,
+  /// Fold a Q register into the run checksum.
+  QChk = 0x03,
+
+  // Loads.  Ldb/Ldw/Ldl zero-extend into a GPR; Ldq fills a Q register.
+  Ldb = 0x10,
+  Ldw = 0x11,
+  Ldl = 0x12,
+  Ldq = 0x13,
+  // Stores.  Stb/Stw/Stl store the low bytes of a GPR; Stq a Q register.
+  Stb = 0x14,
+  Stw = 0x15,
+  Stl = 0x16,
+  Stq = 0x17,
+  /// GPR <- effective address (x86 LEA).
+  Lea = 0x18,
+
+  // GPR register-register ALU (32-bit, wrapping).
+  MovRR = 0x20,
+  Add = 0x21,
+  Sub = 0x22,
+  And = 0x23,
+  Or = 0x24,
+  Xor = 0x25,
+  Shl = 0x26,
+  Shr = 0x27,
+  Sar = 0x28,
+  Mul = 0x29,
+
+  // GPR register-immediate ALU (imm32).
+  MovRI = 0x30,
+  AddI = 0x31,
+  SubI = 0x32,
+  AndI = 0x33,
+  OrI = 0x34,
+  XorI = 0x35,
+  ShlI = 0x36,
+  ShrI = 0x37,
+  SarI = 0x38,
+  MulI = 0x39,
+
+  // Flag-setting compares (the only flag producers).
+  Cmp = 0x3a,
+  CmpI = 0x3b,
+
+  // 64-bit Q-register ALU.
+  QMovRR = 0x40,
+  /// Q <- sign-extended imm32.
+  QMovI = 0x41,
+  QAdd = 0x42,
+  QAddI = 0x43,
+  QXor = 0x44,
+  /// Q <- zero-extended GPR.
+  GToQ = 0x45,
+  /// GPR <- low 32 bits of Q.
+  QToG = 0x46,
+
+  // Control flow.
+  Jmp = 0x50,
+  Jcc = 0x51,
+  Call = 0x52,
+  Ret = 0x53,
+  /// Indirect jump through a GPR.
+  JmpR = 0x54,
+};
+
+/// Condition codes for Jcc.  A Jcc must be immediately preceded by a
+/// Cmp/CmpI in the same basic block (validated by the assembler); this
+/// mirrors the compare-and-branch idiom every real translator pattern
+/// matches.
+enum class Cond : uint8_t {
+  Eq = 0,
+  Ne = 1,
+  Lt = 2, ///< signed <
+  Ge = 3, ///< signed >=
+  Le = 4, ///< signed <=
+  Gt = 5, ///< signed >
+  B = 6,  ///< unsigned <
+  Ae = 7, ///< unsigned >=
+};
+
+/// True if \p Op is a memory load or store.
+inline bool isMemoryOp(Opcode Op) {
+  return Op >= Opcode::Ldb && Op <= Opcode::Stq;
+}
+
+/// True if \p Op is a load.
+inline bool isLoad(Opcode Op) {
+  return Op >= Opcode::Ldb && Op <= Opcode::Ldq;
+}
+
+/// True if \p Op is a store.
+inline bool isStore(Opcode Op) {
+  return Op >= Opcode::Stb && Op <= Opcode::Stq;
+}
+
+/// Access size in bytes of a memory opcode.
+inline unsigned accessSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::Ldb:
+  case Opcode::Stb:
+    return 1;
+  case Opcode::Ldw:
+  case Opcode::Stw:
+    return 2;
+  case Opcode::Ldl:
+  case Opcode::Stl:
+    return 4;
+  case Opcode::Ldq:
+  case Opcode::Stq:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+/// True if \p Op ends a basic block.
+inline bool isBlockTerminator(Opcode Op) {
+  switch (Op) {
+  case Opcode::Jmp:
+  case Opcode::Jcc:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::JmpR:
+  case Opcode::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Printable mnemonic for an opcode.
+const char *opcodeName(Opcode Op);
+
+/// Printable name for a condition code.
+const char *condName(Cond C);
+
+/// Printable GPR name (x86 register names).
+const char *gprName(unsigned Reg);
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_GUESTISA_H

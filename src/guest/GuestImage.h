@@ -1,0 +1,61 @@
+//===- guest/GuestImage.h - Guest process image ----------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A loadable GX86 program: code and initialized-data segments plus the
+/// memory layout constants shared by the interpreter, the translator and
+/// the workload generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_GUESTIMAGE_H
+#define MDABT_GUEST_GUESTIMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace guest {
+
+/// Default segment layout of a guest process.
+namespace layout {
+/// Base of the code segment.
+inline constexpr uint32_t CodeBase = 0x00001000;
+/// Base of the data segment.
+inline constexpr uint32_t DataBase = 0x00100000;
+/// Initial stack pointer (stack grows down).
+inline constexpr uint32_t StackTop = 0x00fffff0;
+/// Base of the BT-runtime scratch region (revert mailbox + per-stub
+/// counters used by the adaptive exception stubs).  Guest data segments
+/// must end below this.
+inline constexpr uint32_t RuntimeBase = 0x00f00000;
+/// Total guest address-space size backed by GuestMemory.
+inline constexpr uint32_t MemorySize = 0x01000000; // 16 MiB
+} // namespace layout
+
+/// A complete guest binary.
+struct GuestImage {
+  std::string Name;
+  uint32_t CodeBase = layout::CodeBase;
+  std::vector<uint8_t> Code;
+  uint32_t DataBase = layout::DataBase;
+  std::vector<uint8_t> Data;
+  uint32_t Entry = layout::CodeBase;
+  uint32_t StackTop = layout::StackTop;
+
+  uint32_t codeEnd() const {
+    return CodeBase + static_cast<uint32_t>(Code.size());
+  }
+  uint32_t dataEnd() const {
+    return DataBase + static_cast<uint32_t>(Data.size());
+  }
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_GUESTIMAGE_H

@@ -1,0 +1,58 @@
+//===- guest/GuestInst.h - Decoded GX86 instruction ------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoded form of a GX86 instruction, shared by the interpreter,
+/// the translator, and the disassembler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_GUESTINST_H
+#define MDABT_GUEST_GUESTINST_H
+
+#include "guest/GuestISA.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace guest {
+
+/// A decoded GX86 instruction.
+///
+/// Field usage by instruction family:
+///  - memory ops / Lea: Reg1 = data (GPR or Q), Reg2 = base GPR, plus
+///    HasIndex/IndexReg/Scale/Disp (the x86-style SIB addressing mode);
+///  - reg-reg ALU: Reg1 = destination, Reg2 = source;
+///  - reg-imm ALU: Reg1 = destination, Imm = 32-bit immediate;
+///  - Jmp/Jcc/Call: Imm = branch displacement relative to the *next*
+///    instruction (like x86 rel32);
+///  - Jcc additionally uses CC;
+///  - Chk/QChk/JmpR: Reg1.
+struct GuestInst {
+  Opcode Op = Opcode::Nop;
+  Cond CC = Cond::Eq;
+  uint8_t Reg1 = 0;
+  uint8_t Reg2 = 0;
+  bool HasIndex = false;
+  uint8_t IndexReg = 0;
+  uint8_t Scale = 0; ///< log2 of the index scale (0..3).
+  int32_t Disp = 0;
+  int32_t Imm = 0;
+  uint8_t Length = 0; ///< Encoded length in bytes.
+
+  /// Target of a direct branch when this instruction sits at \p Pc.
+  uint32_t branchTarget(uint32_t Pc) const {
+    return Pc + Length + static_cast<uint32_t>(Imm);
+  }
+
+  /// PC of the instruction following this one at \p Pc.
+  uint32_t nextPc(uint32_t Pc) const { return Pc + Length; }
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_GUESTINST_H

@@ -1,0 +1,77 @@
+//===- guest/GuestMemory.h - Flat guest address space ----------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest process's flat memory.  Both the interpreter and the host
+/// machine simulator (running translated code) operate on this object —
+/// translated code addresses the migrated process image directly, exactly
+/// as in DigitalBridge/FX!32 where guest data lives at its original
+/// addresses.
+///
+/// All accessors permit misaligned addresses; *whether* a misaligned
+/// access traps is a property of the executing machine (the host
+/// simulator), not of the memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_GUESTMEMORY_H
+#define MDABT_GUEST_GUESTMEMORY_H
+
+#include "guest/GuestImage.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace mdabt {
+namespace guest {
+
+/// Flat, byte-addressable guest memory.
+class GuestMemory {
+public:
+  explicit GuestMemory(uint32_t Size = layout::MemorySize) : Bytes(Size, 0) {}
+
+  /// Zero memory and copy the image's code and data segments in.
+  void loadImage(const GuestImage &Image) {
+    std::memset(Bytes.data(), 0, Bytes.size());
+    assert(Image.codeEnd() <= Bytes.size() && "code segment out of range");
+    assert(Image.dataEnd() <= Bytes.size() && "data segment out of range");
+    std::memcpy(Bytes.data() + Image.CodeBase, Image.Code.data(),
+                Image.Code.size());
+    std::memcpy(Bytes.data() + Image.DataBase, Image.Data.data(),
+                Image.Data.size());
+  }
+
+  /// Load \p Size (1/2/4/8) bytes at \p Addr, zero-extended.
+  uint64_t load(uint32_t Addr, unsigned Size) const {
+    assert(inRange(Addr, Size) && "guest load out of range");
+    uint64_t V = 0;
+    std::memcpy(&V, Bytes.data() + Addr, Size);
+    return V;
+  }
+
+  /// Store the low \p Size bytes of \p Value at \p Addr.
+  void store(uint32_t Addr, unsigned Size, uint64_t Value) {
+    assert(inRange(Addr, Size) && "guest store out of range");
+    std::memcpy(Bytes.data() + Addr, &Value, Size);
+  }
+
+  const uint8_t *data() const { return Bytes.data(); }
+  uint8_t *data() { return Bytes.data(); }
+  uint32_t size() const { return static_cast<uint32_t>(Bytes.size()); }
+
+  bool inRange(uint32_t Addr, unsigned Size) const {
+    return static_cast<uint64_t>(Addr) + Size <= Bytes.size();
+  }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_GUESTMEMORY_H

@@ -1,0 +1,231 @@
+//===- guest/Interpreter.cpp ----------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Interpreter.h"
+
+#include "guest/Encoding.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+InterpObserver::~InterpObserver() = default;
+
+uint32_t Interpreter::effectiveAddress(const GuestCPU &Cpu,
+                                       const GuestInst &Inst) const {
+  uint32_t Addr = Cpu.Gpr[Inst.Reg2] + static_cast<uint32_t>(Inst.Disp);
+  if (Inst.HasIndex)
+    Addr += Cpu.Gpr[Inst.IndexReg] << Inst.Scale;
+  return Addr;
+}
+
+uint64_t Interpreter::load(uint32_t InstPc, uint32_t Addr, unsigned Size) {
+  if (Observer)
+    Observer->onMemAccess(InstPc, Addr, Size, /*IsStore=*/false);
+  return Mem.load(Addr, Size);
+}
+
+void Interpreter::store(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                        uint64_t Value) {
+  if (Observer)
+    Observer->onMemAccess(InstPc, Addr, Size, /*IsStore=*/true);
+  Mem.store(Addr, Size, Value);
+}
+
+bool Interpreter::step(GuestCPU &Cpu) {
+  if (Cpu.Halted)
+    return false;
+
+  GuestInst I;
+  [[maybe_unused]] bool Ok = decode(Mem.data(), Mem.size(), Cpu.Pc, I);
+  assert(Ok && "undecodable guest instruction");
+
+  uint32_t Pc = Cpu.Pc;
+  uint32_t Next = Pc + I.Length;
+  uint32_t *G = Cpu.Gpr;
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::Halt:
+    Cpu.Halted = true;
+    Cpu.Pc = Next;
+    return false;
+  case Opcode::Chk:
+    Cpu.fold(G[I.Reg1]);
+    break;
+  case Opcode::QChk:
+    Cpu.fold(Cpu.Qreg[I.Reg1]);
+    break;
+
+  case Opcode::Ldb:
+  case Opcode::Ldw:
+  case Opcode::Ldl:
+    G[I.Reg1] = static_cast<uint32_t>(
+        load(Pc, effectiveAddress(Cpu, I), accessSize(I.Op)));
+    break;
+  case Opcode::Ldq:
+    Cpu.Qreg[I.Reg1] = load(Pc, effectiveAddress(Cpu, I), 8);
+    break;
+  case Opcode::Stb:
+  case Opcode::Stw:
+  case Opcode::Stl:
+    store(Pc, effectiveAddress(Cpu, I), accessSize(I.Op), G[I.Reg1]);
+    break;
+  case Opcode::Stq:
+    store(Pc, effectiveAddress(Cpu, I), 8, Cpu.Qreg[I.Reg1]);
+    break;
+  case Opcode::Lea:
+    G[I.Reg1] = effectiveAddress(Cpu, I);
+    break;
+
+  case Opcode::MovRR:
+    G[I.Reg1] = G[I.Reg2];
+    break;
+  case Opcode::Add:
+    G[I.Reg1] += G[I.Reg2];
+    break;
+  case Opcode::Sub:
+    G[I.Reg1] -= G[I.Reg2];
+    break;
+  case Opcode::And:
+    G[I.Reg1] &= G[I.Reg2];
+    break;
+  case Opcode::Or:
+    G[I.Reg1] |= G[I.Reg2];
+    break;
+  case Opcode::Xor:
+    G[I.Reg1] ^= G[I.Reg2];
+    break;
+  case Opcode::Shl:
+    G[I.Reg1] <<= G[I.Reg2] & 31;
+    break;
+  case Opcode::Shr:
+    G[I.Reg1] >>= G[I.Reg2] & 31;
+    break;
+  case Opcode::Sar:
+    G[I.Reg1] = static_cast<uint32_t>(static_cast<int32_t>(G[I.Reg1]) >>
+                                      (G[I.Reg2] & 31));
+    break;
+  case Opcode::Mul:
+    G[I.Reg1] *= G[I.Reg2];
+    break;
+
+  case Opcode::MovRI:
+    G[I.Reg1] = static_cast<uint32_t>(I.Imm);
+    break;
+  case Opcode::AddI:
+    G[I.Reg1] += static_cast<uint32_t>(I.Imm);
+    break;
+  case Opcode::SubI:
+    G[I.Reg1] -= static_cast<uint32_t>(I.Imm);
+    break;
+  case Opcode::AndI:
+    G[I.Reg1] &= static_cast<uint32_t>(I.Imm);
+    break;
+  case Opcode::OrI:
+    G[I.Reg1] |= static_cast<uint32_t>(I.Imm);
+    break;
+  case Opcode::XorI:
+    G[I.Reg1] ^= static_cast<uint32_t>(I.Imm);
+    break;
+  case Opcode::ShlI:
+    G[I.Reg1] <<= static_cast<uint32_t>(I.Imm) & 31;
+    break;
+  case Opcode::ShrI:
+    G[I.Reg1] >>= static_cast<uint32_t>(I.Imm) & 31;
+    break;
+  case Opcode::SarI:
+    G[I.Reg1] = static_cast<uint32_t>(static_cast<int32_t>(G[I.Reg1]) >>
+                                      (static_cast<uint32_t>(I.Imm) & 31));
+    break;
+  case Opcode::MulI:
+    G[I.Reg1] *= static_cast<uint32_t>(I.Imm);
+    break;
+
+  case Opcode::Cmp:
+  case Opcode::CmpI: {
+    uint32_t A = G[I.Reg1];
+    uint32_t B = I.Op == Opcode::Cmp ? G[I.Reg2]
+                                     : static_cast<uint32_t>(I.Imm);
+    Cpu.Flag.Eq = A == B;
+    Cpu.Flag.Lt = static_cast<int32_t>(A) < static_cast<int32_t>(B);
+    Cpu.Flag.Ltu = A < B;
+    break;
+  }
+
+  case Opcode::QMovRR:
+    Cpu.Qreg[I.Reg1] = Cpu.Qreg[I.Reg2];
+    break;
+  case Opcode::QMovI:
+    Cpu.Qreg[I.Reg1] = static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::QAdd:
+    Cpu.Qreg[I.Reg1] += Cpu.Qreg[I.Reg2];
+    break;
+  case Opcode::QAddI:
+    Cpu.Qreg[I.Reg1] += static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::QXor:
+    Cpu.Qreg[I.Reg1] ^= Cpu.Qreg[I.Reg2];
+    break;
+  case Opcode::GToQ:
+    Cpu.Qreg[I.Reg1] = G[I.Reg2];
+    break;
+  case Opcode::QToG:
+    G[I.Reg1] = static_cast<uint32_t>(Cpu.Qreg[I.Reg2]);
+    break;
+
+  case Opcode::Jmp:
+    Cpu.Pc = I.branchTarget(Pc);
+    return true;
+  case Opcode::Jcc:
+    Cpu.Pc = Cpu.evalCond(I.CC) ? I.branchTarget(Pc) : Next;
+    return true;
+  case Opcode::Call:
+    G[RegSP] -= 4;
+    store(Pc, G[RegSP], 4, Next);
+    Cpu.Pc = I.branchTarget(Pc);
+    return true;
+  case Opcode::Ret: {
+    uint32_t Target = static_cast<uint32_t>(load(Pc, G[RegSP], 4));
+    G[RegSP] += 4;
+    Cpu.Pc = Target;
+    return true;
+  }
+  case Opcode::JmpR:
+    Cpu.Pc = G[I.Reg1];
+    return true;
+  }
+
+  Cpu.Pc = Next;
+  return true;
+}
+
+uint64_t Interpreter::stepBlock(GuestCPU &Cpu) {
+  uint64_t Count = 0;
+  while (!Cpu.Halted) {
+    GuestInst I;
+    [[maybe_unused]] bool Ok = decode(Mem.data(), Mem.size(), Cpu.Pc, I);
+    assert(Ok && "undecodable guest instruction");
+    bool Terminator = isBlockTerminator(I.Op);
+    step(Cpu);
+    ++Count;
+    if (Terminator)
+      break;
+  }
+  return Count;
+}
+
+uint64_t Interpreter::run(GuestCPU &Cpu, uint64_t MaxInsts) {
+  uint64_t Count = 0;
+  while (Count < MaxInsts && !Cpu.Halted) {
+    step(Cpu);
+    ++Count;
+  }
+  return Count;
+}

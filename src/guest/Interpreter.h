@@ -1,0 +1,85 @@
+//===- guest/Interpreter.h - GX86 reference interpreter --------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference interpreter for GX86.  It serves three roles:
+///
+///  1. the semantic oracle for differential testing (every translation
+///     policy must reproduce its final state bit-for-bit);
+///  2. the first execution phase of the two-phase DBT (paper Fig. 4/9):
+///     cold blocks are interpreted while heat and MDA profiles are
+///     collected through the observer hook;
+///  3. the MDA census used to regenerate the paper's Table I.
+///
+/// The interpreter itself never traps on misaligned accesses — like any
+/// software interpreter it assembles them from byte operations — which is
+/// exactly why the profiling phase of a DBT can observe MDAs cheaply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_INTERPRETER_H
+#define MDABT_GUEST_INTERPRETER_H
+
+#include "guest/GuestCPU.h"
+#include "guest/GuestInst.h"
+#include "guest/GuestMemory.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace guest {
+
+/// Observation hook for profiling / census clients.
+class InterpObserver {
+public:
+  virtual ~InterpObserver();
+
+  /// Called for every data memory access performed by the interpreter.
+  /// \p InstPc is the PC of the accessing instruction (Call/Ret stack
+  /// traffic reports the Call/Ret PC).
+  virtual void onMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                           bool IsStore) {
+    (void)InstPc;
+    (void)Addr;
+    (void)Size;
+    (void)IsStore;
+  }
+};
+
+/// Executes GX86 code from a GuestMemory.
+class Interpreter {
+public:
+  explicit Interpreter(GuestMemory &Mem) : Mem(Mem) {}
+
+  /// Install (or clear, with nullptr) the observation hook.
+  void setObserver(InterpObserver *Obs) { Observer = Obs; }
+
+  /// Execute exactly one instruction.  Returns false once \p Cpu is
+  /// halted.  Asserts on undecodable instructions.
+  bool step(GuestCPU &Cpu);
+
+  /// Execute instructions until a basic-block terminator (branch, call,
+  /// ret, halt) has completed, i.e. interpret one dynamic basic block.
+  /// Returns the number of instructions executed.
+  uint64_t stepBlock(GuestCPU &Cpu);
+
+  /// Run until halt or until \p MaxInsts instructions have executed.
+  /// Returns the number of instructions executed.
+  uint64_t run(GuestCPU &Cpu, uint64_t MaxInsts = ~0ULL);
+
+private:
+  uint32_t effectiveAddress(const GuestCPU &Cpu, const GuestInst &Inst) const;
+  uint64_t load(uint32_t InstPc, uint32_t Addr, unsigned Size);
+  void store(uint32_t InstPc, uint32_t Addr, unsigned Size, uint64_t Value);
+
+  GuestMemory &Mem;
+  InterpObserver *Observer = nullptr;
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_INTERPRETER_H

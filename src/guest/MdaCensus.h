@@ -1,0 +1,121 @@
+//===- guest/MdaCensus.h - Per-instruction MDA statistics ------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MDA census: per-static-instruction misalignment statistics
+/// collected over an interpreted run.  This regenerates the paper's
+/// Table I (NMI = number of instructions referencing misaligned data,
+/// total MDA count, MDA/total-reference ratio) and the per-instruction
+/// misaligned-ratio classification of Figure 15.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_MDACENSUS_H
+#define MDABT_GUEST_MDACENSUS_H
+
+#include "guest/Interpreter.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace mdabt {
+namespace guest {
+
+/// True if an access of \p Size bytes at \p Addr is misaligned.
+inline bool isMisaligned(uint32_t Addr, unsigned Size) {
+  return (Addr & (Size - 1)) != 0;
+}
+
+/// Collects the Table-I / Figure-15 statistics during interpretation.
+class MdaCensus : public InterpObserver {
+public:
+  /// Statistics for one static memory instruction.
+  struct SiteStats {
+    uint64_t Refs = 0;
+    uint64_t Mis = 0;
+    unsigned Size = 0;
+    bool IsStore = false;
+  };
+
+  void onMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                   bool IsStore) override {
+    ++TotalRefs;
+    SiteStats &S = Sites[InstPc];
+    ++S.Refs;
+    S.Size = Size;
+    S.IsStore = IsStore;
+    if (isMisaligned(Addr, Size)) {
+      ++S.Mis;
+      ++TotalMis;
+    }
+  }
+
+  /// NMI: number of static instructions that performed >= 1 MDA.
+  uint32_t nmi() const {
+    uint32_t N = 0;
+    for (const auto &KV : Sites)
+      if (KV.second.Mis != 0)
+        ++N;
+    return N;
+  }
+
+  uint64_t totalMdas() const { return TotalMis; }
+  uint64_t totalRefs() const { return TotalRefs; }
+
+  /// MDAs / total memory references (paper Table I "Ratio").
+  double ratio() const {
+    return TotalRefs == 0
+               ? 0.0
+               : static_cast<double>(TotalMis) /
+                     static_cast<double>(TotalRefs);
+  }
+
+  /// Figure 15: classification of MDA instructions by their own
+  /// misaligned ratio.
+  struct BiasBreakdown {
+    uint32_t Below50 = 0; ///< 0 < ratio < 50%
+    uint32_t Equal50 = 0; ///< ratio == 50% (within tolerance)
+    uint32_t Above50 = 0; ///< 50% < ratio < 100%
+    uint32_t Always = 0;  ///< ratio == 100%
+    uint32_t total() const {
+      return Below50 + Equal50 + Above50 + Always;
+    }
+  };
+
+  /// \p Tolerance is the relative slack around 50% counted as "=50%".
+  BiasBreakdown biasBreakdown(double Tolerance = 0.02) const {
+    BiasBreakdown B;
+    for (const auto &KV : Sites) {
+      const SiteStats &S = KV.second;
+      if (S.Mis == 0)
+        continue;
+      double R = static_cast<double>(S.Mis) / static_cast<double>(S.Refs);
+      if (S.Mis == S.Refs)
+        ++B.Always;
+      else if (R > 0.5 + Tolerance)
+        ++B.Above50;
+      else if (R < 0.5 - Tolerance)
+        ++B.Below50;
+      else
+        ++B.Equal50;
+    }
+    return B;
+  }
+
+  const std::unordered_map<uint32_t, SiteStats> &sites() const {
+    return Sites;
+  }
+
+private:
+  std::unordered_map<uint32_t, SiteStats> Sites;
+  uint64_t TotalRefs = 0;
+  uint64_t TotalMis = 0;
+};
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_MDACENSUS_H

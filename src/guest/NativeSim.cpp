@@ -1,0 +1,79 @@
+//===- guest/NativeSim.cpp ------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/NativeSim.h"
+
+#include "guest/GuestCPU.h"
+#include "guest/GuestMemory.h"
+#include "guest/Interpreter.h"
+#include "guest/MdaCensus.h"
+#include "support/CacheModel.h"
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+namespace {
+
+/// Observer charging the native machine's data-side costs.
+class NativeObserver : public InterpObserver {
+public:
+  NativeObserver(const NativeCostModel &Cost, MemoryHierarchy &Mem)
+      : Cost(Cost), Mem(Mem) {}
+
+  void onMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                   bool IsStore) override {
+    (void)InstPc;
+    (void)IsStore;
+    ++Refs;
+    Cycles += Mem.data(Addr);
+    if (Size > 1 && isMisaligned(Addr, Size)) {
+      ++Mdas;
+      uint32_t First = Addr / Cost.LineBytes;
+      uint32_t Last = (Addr + Size - 1) / Cost.LineBytes;
+      if (First != Last) {
+        Cycles += Cost.LineSplitPenalty;
+        Cycles += Mem.data(Addr + Size - 1); // second line fill
+      } else if ((Addr >> 3) != ((Addr + Size - 1) >> 3)) {
+        Cycles += Cost.SplitPenalty;
+      }
+    }
+  }
+
+  const NativeCostModel &Cost;
+  MemoryHierarchy &Mem;
+  uint64_t Cycles = 0;
+  uint64_t Refs = 0;
+  uint64_t Mdas = 0;
+};
+
+} // namespace
+
+NativeRunResult guest::runNative(const GuestImage &Image,
+                                 const NativeCostModel &Cost,
+                                 uint64_t MaxInsts) {
+  GuestMemory Mem;
+  Mem.loadImage(Image);
+  GuestCPU Cpu;
+  Cpu.reset(Image);
+
+  MemoryHierarchy Hier;
+  NativeObserver Obs(Cost, Hier);
+  Interpreter Interp(Mem);
+  Interp.setObserver(&Obs);
+
+  NativeRunResult R;
+  while (!Cpu.Halted && R.Instructions < MaxInsts) {
+    uint32_t Pc = Cpu.Pc;
+    Obs.Cycles += Hier.fetch(Pc);
+    Interp.step(Cpu);
+    ++R.Instructions;
+  }
+  R.Cycles = R.Instructions * Cost.CyclesPerInst + Obs.Cycles;
+  R.MemoryRefs = Obs.Refs;
+  R.Mdas = Obs.Mdas;
+  R.Checksum = Cpu.Checksum;
+  return R;
+}

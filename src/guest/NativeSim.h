@@ -1,0 +1,58 @@
+//===- guest/NativeSim.h - Guest-native execution model --------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cost model for running GX86 programs on *native guest hardware*
+/// (an X86-class machine that services misaligned accesses in hardware).
+/// Used only for Figure 1 of the paper: the speedup (or slowdown) of
+/// binaries compiled with alignment-enforcing flags, where the cost of a
+/// hardware-handled MDA (split access) competes against the larger data
+/// working set of padded layouts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_GUEST_NATIVESIM_H
+#define MDABT_GUEST_NATIVESIM_H
+
+#include "guest/GuestImage.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace guest {
+
+/// Cycle cost parameters of the modeled native guest machine.
+struct NativeCostModel {
+  /// Base cycles per instruction.
+  uint32_t CyclesPerInst = 1;
+  /// Extra cycles when an access crosses an 8-byte boundary (the
+  /// hardware issues a split access; nearly free within a cache line on
+  /// X86-class cores).
+  uint32_t SplitPenalty = 1;
+  /// Extra cycles when an access crosses a cache-line boundary.
+  uint32_t LineSplitPenalty = 10;
+  /// Cache-line size used for the line-split test.
+  uint32_t LineBytes = 64;
+};
+
+/// Result of a native-mode run.
+struct NativeRunResult {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t MemoryRefs = 0;
+  uint64_t Mdas = 0;
+  uint64_t Checksum = 0;
+};
+
+/// Run \p Image to completion under the native guest cost model.
+NativeRunResult runNative(const GuestImage &Image,
+                          const NativeCostModel &Cost = NativeCostModel(),
+                          uint64_t MaxInsts = ~0ULL);
+
+} // namespace guest
+} // namespace mdabt
+
+#endif // MDABT_GUEST_NATIVESIM_H

@@ -1,0 +1,75 @@
+//===- host/CodeSpace.h - Host code memory (the code cache arena) -*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backing store for translated host code: a growable arena of 32-bit
+/// instruction words with a virtual byte base address (used by the I-cache
+/// model, so that the *placement* of translated code and out-of-line MDA
+/// stubs has the spatial-locality consequences the paper's code
+/// rearrangement targets).  Patching an individual word is how the
+/// misalignment exception handler redirects a faulting memory operation
+/// to its MDA code sequence (paper Fig. 5), and how block chaining links
+/// translated blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_HOST_CODESPACE_H
+#define MDABT_HOST_CODESPACE_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mdabt {
+namespace host {
+
+/// A growable arena of host instruction words.
+class CodeSpace {
+public:
+  /// \p BaseAddr is the virtual byte address of word 0 (only the I-cache
+  /// model consumes it).
+  explicit CodeSpace(uint64_t BaseAddr = 0x40000000)
+      : Base(BaseAddr) {}
+
+  /// Append one word; returns its word index.
+  uint32_t append(uint32_t Word) {
+    Words.push_back(Word);
+    return static_cast<uint32_t>(Words.size() - 1);
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Words.size()); }
+
+  uint32_t word(uint32_t Index) const {
+    assert(Index < Words.size() && "code fetch out of range");
+    return Words[Index];
+  }
+
+  /// Overwrite an existing word (exception-handler patching, chaining).
+  void patch(uint32_t Index, uint32_t Word) {
+    assert(Index < Words.size() && "code patch out of range");
+    Words[Index] = Word;
+  }
+
+  /// Virtual byte address of word \p Index.
+  uint64_t byteAddr(uint32_t Index) const {
+    return Base + static_cast<uint64_t>(Index) * 4;
+  }
+
+  /// Discard all code (a full code-cache flush, Dynamo-style).  Callers
+  /// must ensure no translated code is executing.
+  void clear() { Words.clear(); }
+
+  const uint32_t *data() const { return Words.data(); }
+
+private:
+  uint64_t Base;
+  std::vector<uint32_t> Words;
+};
+
+} // namespace host
+} // namespace mdabt
+
+#endif // MDABT_HOST_CODESPACE_H

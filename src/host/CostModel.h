@@ -1,0 +1,51 @@
+//===- host/CostModel.h - DBT cycle cost parameters ------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every cycle cost the experiments depend on, in one struct.  Defaults
+/// follow DESIGN.md section 5; the trap cost of ~1000 cycles is the
+/// paper's own figure (section II, citing the FX!32 studies [15][16]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_HOST_COSTMODEL_H
+#define MDABT_HOST_COSTMODEL_H
+
+#include <cstdint>
+
+namespace mdabt {
+namespace host {
+
+/// Cycle costs charged by the host machine and the DBT runtime.
+struct CostModel {
+  /// Kernel entry/exit + signal delivery for one misalignment trap.
+  uint32_t TrapCycles = 1000;
+  /// Extra work when the handler emulates the access and resumes
+  /// (non-patching policies: the access is re-emulated on every trap).
+  uint32_t FixupExtraCycles = 150;
+  /// Extra work when the handler generates an MDA code sequence and
+  /// patches the offending instruction (paid once per instruction).
+  uint32_t PatchExtraCycles = 320;
+  /// Interpreter cost per guest instruction (phase-1 execution; a fast
+  /// threaded interpreter runs at ~20 host cycles per guest
+  /// instruction).
+  uint32_t InterpCyclesPerInst = 20;
+  /// Additional interpreter cost per guest memory reference (software
+  /// alignment handling in the interpreter).
+  uint32_t InterpMemExtraCycles = 4;
+  /// Translation cost per guest instruction translated.  Also the price
+  /// of re-emitting a block for rearrangement or retranslation.
+  uint32_t TranslateCyclesPerInst = 160;
+  /// Monitor dispatch: map lookup + enter/leave translated code.
+  uint32_t MonitorDispatchCycles = 60;
+  /// Patching one chain link between translated blocks.
+  uint32_t ChainPatchCycles = 20;
+};
+
+} // namespace host
+} // namespace mdabt
+
+#endif // MDABT_HOST_COSTMODEL_H

@@ -1,0 +1,80 @@
+//===- host/HostAssembler.cpp ---------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/HostAssembler.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::host;
+
+HostAssembler::Label HostAssembler::newLabel() {
+  Labels.push_back(Unbound);
+  return static_cast<Label>(Labels.size() - 1);
+}
+
+void HostAssembler::bind(Label L) {
+  assert(L < Labels.size() && "unknown label");
+  assert(Labels[L] == Unbound && "label bound twice");
+  Labels[L] = pos();
+}
+
+uint32_t HostAssembler::emitBranch(HostOp Op, uint8_t Ra, Label L) {
+  assert(L < Labels.size() && "unknown label");
+  uint32_t Word = emit(brInst(Op, Ra, 0));
+  Fixups.push_back({Word, L});
+  return Word;
+}
+
+void HostAssembler::materialize32(uint8_t Reg, uint32_t Value) {
+  if (Value <= 0x7fff) {
+    lda(Reg, static_cast<int32_t>(Value), RegZero);
+    return;
+  }
+  int32_t Lo = static_cast<int16_t>(Value & 0xffff);
+  // (Value - Lo) mod 2^32 has zero low 16 bits; arithmetic shift keeps
+  // the high part inside disp16 range.
+  int32_t Hi = static_cast<int32_t>(Value - static_cast<uint32_t>(Lo)) >> 16;
+  ldah(Reg, Hi, RegZero);
+  if (Lo != 0)
+    lda(Reg, Lo, Reg);
+  // The lda/ldah pair computes sext64(Hi)*65536 + sext64(Lo); when that
+  // 64-bit value is not zext32(Value), restore the GPR zero-extension
+  // invariant.
+  int64_t Sum = static_cast<int64_t>(Hi) * 65536 + Lo;
+  if (Sum != static_cast<int64_t>(static_cast<uint64_t>(Value)))
+    op(HostOp::Zextl, RegZero, Reg, Reg);
+}
+
+void HostAssembler::materializeSext32(uint8_t Reg, int32_t Value) {
+  if (Value >= -32768 && Value <= 32767) {
+    lda(Reg, Value, RegZero);
+    return;
+  }
+  uint32_t U = static_cast<uint32_t>(Value);
+  int32_t Lo = static_cast<int16_t>(U & 0xffff);
+  int32_t Hi = static_cast<int32_t>(U - static_cast<uint32_t>(Lo)) >> 16;
+  ldah(Reg, Hi, RegZero);
+  if (Lo != 0)
+    lda(Reg, Lo, Reg);
+  int64_t Sum = static_cast<int64_t>(Hi) * 65536 + Lo;
+  if (Sum != static_cast<int64_t>(Value))
+    op(HostOp::Sextl, Reg, Reg, Reg);
+}
+
+void HostAssembler::finish() {
+  for (const Fixup &F : Fixups) {
+    uint32_t Target = Labels[F.Target];
+    assert(Target != Unbound && "branch to unbound host label");
+    HostInst I;
+    [[maybe_unused]] bool Ok = decodeHost(Code.word(F.Word), I);
+    assert(Ok && "fixup site does not decode");
+    I.Disp = static_cast<int32_t>(Target) -
+             (static_cast<int32_t>(F.Word) + 1);
+    Code.patch(F.Word, encodeHost(I));
+  }
+  Fixups.clear();
+}

@@ -1,0 +1,218 @@
+//===- host/HostISA.h - The HAlpha host instruction set --------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// HAlpha: the Alpha-flavoured host ISA.  Like the real Alpha it has
+/// 32 x 64-bit registers with R31 hardwired to zero, fixed 32-bit
+/// instruction words, *strict natural alignment* for ldw/ldl/ldq and the
+/// corresponding stores (misalignment raises a trap), and the unaligned
+/// access toolkit the paper's MDA code sequences are built from:
+/// ldq_u/stq_u plus the ext/ins/msk byte-manipulation families.
+///
+/// Deviations from real Alpha, chosen to keep the translator simple and
+/// documented in DESIGN.md: 32-bit operates (addl/subl/mull, ldl) zero-
+/// extend instead of sign-extending (matching the guest's zero-extension
+/// invariant), and opcode numbering is our own.  Neither deviation
+/// affects any mechanism the paper evaluates.
+///
+/// Register conventions used by the translator (paper: "register 21-30
+/// of Alpha are used as temporal registers in BT"):
+///   R1..R8   guest GPRs EAX..EDI
+///   R9..R16  guest Q registers
+///   R17      guest checksum accumulator
+///   R18..R20 translator scratch (address/operand computation)
+///   R21..R23, R25, R26   MDA-sequence temporaries
+///   R24      guest next-PC on block exit
+///   R27, R28 multi-version scratch
+///   R31      zero
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_HOST_HOSTISA_H
+#define MDABT_HOST_HOSTISA_H
+
+#include <cstdint>
+
+namespace mdabt {
+namespace host {
+
+/// Number of host registers.
+inline constexpr unsigned NumRegs = 32;
+/// The zero register.
+inline constexpr unsigned RegZero = 31;
+
+// Translator register conventions.
+inline constexpr unsigned RegGprBase = 1;  ///< R1..R8 = guest GPR0..7
+inline constexpr unsigned RegQBase = 9;    ///< R9..R16 = guest Q0..7
+inline constexpr unsigned RegChecksum = 17;
+inline constexpr unsigned RegScratch0 = 18;
+inline constexpr unsigned RegScratch1 = 19;
+inline constexpr unsigned RegScratch2 = 20;
+inline constexpr unsigned RegMdaT0 = 21;
+inline constexpr unsigned RegMdaT1 = 22;
+inline constexpr unsigned RegMdaT2 = 23;
+inline constexpr unsigned RegExitPc = 24;
+inline constexpr unsigned RegMdaT3 = 25;
+inline constexpr unsigned RegMdaT4 = 26;
+inline constexpr unsigned RegMvT0 = 27;
+inline constexpr unsigned RegMvT1 = 28;
+
+/// HAlpha opcodes (6-bit field).
+enum class HostOp : uint8_t {
+  // Memory format: ra, disp16(rb)
+  Lda = 0,  ///< ra = rb + sext(disp)
+  Ldah = 1, ///< ra = rb + sext(disp) * 65536
+  Ldbu = 2,
+  Ldwu = 3, ///< traps unless addr % 2 == 0
+  Ldl = 4,  ///< traps unless addr % 4 == 0; zero-extends
+  Ldq = 5,  ///< traps unless addr % 8 == 0
+  LdqU = 6, ///< loads quad at addr & ~7; never traps
+  Stb = 7,
+  Stw = 8,  ///< traps unless addr % 2 == 0
+  Stl = 9,  ///< traps unless addr % 4 == 0
+  Stq = 10, ///< traps unless addr % 8 == 0
+  StqU = 11, ///< stores quad at addr & ~7; never traps
+
+  // Operate format: ra op (rb|lit8) -> rc
+  Addq = 16,
+  Subq = 17,
+  Addl = 18, ///< 32-bit add, zero-extended result
+  Subl = 19,
+  Mull = 20,
+  Mulq = 21,
+  And = 22,
+  Bis = 23, ///< inclusive or
+  Xor = 24,
+  Sll = 25,
+  Srl = 26,
+  Sra = 27,
+  Cmpeq = 28,
+  Cmpult = 29,
+  Cmpule = 30,
+  Cmplt = 31,   ///< 64-bit signed
+  Cmple = 32,   ///< 64-bit signed
+  Cmplt32 = 33, ///< signed compare of low 32 bits
+  Cmple32 = 34,
+  Sextl = 35, ///< rc = sext32(rb operand)
+  Zextl = 36, ///< rc = zext32(rb operand)
+
+  // The unaligned-access toolkit (operate format; shift = low 3 bits of
+  // the rb operand, i.e. of the data address).
+  Extwl = 40,
+  Extwh = 41,
+  Extll = 42,
+  Extlh = 43,
+  Extql = 44,
+  Extqh = 45,
+  Inswl = 46,
+  Inswh = 47,
+  Insll = 48,
+  Inslh = 49,
+  Insql = 50,
+  Insqh = 51,
+  Mskwl = 52,
+  Mskwh = 53,
+  Mskll = 54,
+  Msklh = 55,
+  Mskql = 56,
+  Mskqh = 57,
+
+  // Branch format: test ra against zero, disp21 words relative to the
+  // next instruction.
+  Br = 58, ///< unconditional (ra ignored)
+  Beq = 59,
+  Bne = 60,
+  Blt = 61,
+  Bge = 62,
+
+  // Service format: call out of translated code into the BT runtime.
+  Srv = 63,
+};
+
+/// Srv function codes (carried in the disp16 field).
+enum class SrvFunc : uint16_t {
+  /// Return to the dynamic monitor; the next guest PC is in R24.
+  Exit = 0,
+  /// The guest executed Halt.
+  Halt = 1,
+};
+
+/// True for memory-format opcodes (including lda/ldah).
+inline bool isMemFormat(HostOp Op) {
+  return static_cast<uint8_t>(Op) <= static_cast<uint8_t>(HostOp::StqU);
+}
+
+/// True for opcodes that access data memory.
+inline bool accessesMemory(HostOp Op) {
+  return Op >= HostOp::Ldbu && Op <= HostOp::StqU;
+}
+
+/// True for branch-format opcodes.
+inline bool isBranchFormat(HostOp Op) {
+  return Op >= HostOp::Br && Op <= HostOp::Bge;
+}
+
+/// True for operate-format opcodes.
+inline bool isOperateFormat(HostOp Op) {
+  return Op >= HostOp::Addq && Op <= HostOp::Mskqh;
+}
+
+/// True for host loads (memory reads).
+inline bool isHostLoad(HostOp Op) {
+  return Op >= HostOp::Ldbu && Op <= HostOp::LdqU;
+}
+
+/// True for host stores.
+inline bool isHostStore(HostOp Op) {
+  return Op >= HostOp::Stb && Op <= HostOp::StqU;
+}
+
+/// Natural alignment requirement of a memory opcode (1 = none).
+inline unsigned alignmentOf(HostOp Op) {
+  switch (Op) {
+  case HostOp::Ldwu:
+  case HostOp::Stw:
+    return 2;
+  case HostOp::Ldl:
+  case HostOp::Stl:
+    return 4;
+  case HostOp::Ldq:
+  case HostOp::Stq:
+    return 8;
+  default:
+    return 1;
+  }
+}
+
+/// Access size in bytes of a memory opcode (0 for lda/ldah).
+inline unsigned hostAccessSize(HostOp Op) {
+  switch (Op) {
+  case HostOp::Ldbu:
+  case HostOp::Stb:
+    return 1;
+  case HostOp::Ldwu:
+  case HostOp::Stw:
+    return 2;
+  case HostOp::Ldl:
+  case HostOp::Stl:
+    return 4;
+  case HostOp::Ldq:
+  case HostOp::Stq:
+  case HostOp::LdqU:
+  case HostOp::StqU:
+    return 8;
+  default:
+    return 0;
+  }
+}
+
+/// Printable mnemonic.
+const char *hostOpName(HostOp Op);
+
+} // namespace host
+} // namespace mdabt
+
+#endif // MDABT_HOST_HOSTISA_H

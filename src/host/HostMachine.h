@@ -1,0 +1,122 @@
+//===- host/HostMachine.h - HAlpha machine simulator -----------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes translated host code out of a CodeSpace against the guest's
+/// memory image, with cycle accounting (1 cycle/instruction + cache
+/// penalties) and — the crux of the paper — *misalignment traps*: a
+/// naturally-aligned memory opcode applied to a misaligned address
+/// suspends execution, charges the trap cost, and calls the registered
+/// fault handler, which stands in for the OS delivering the misalignment
+/// exception to the BT runtime (paper Fig. 4, right side).
+///
+/// The handler chooses one of three outcomes:
+///  - Retry: it patched the code cache (exception-handling method); the
+///    machine re-executes at the same PC, now hitting the patched branch;
+///  - Fixup: emulate-and-continue (what profiling-based methods do for
+///    every residual MDA): the machine performs the access in software
+///    and resumes after the instruction;
+///  - Halt: abandon execution (tests only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_HOST_HOSTMACHINE_H
+#define MDABT_HOST_HOSTMACHINE_H
+
+#include "guest/GuestMemory.h"
+#include "host/CodeSpace.h"
+#include "host/CostModel.h"
+#include "host/HostEncoding.h"
+#include "support/CacheModel.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace mdabt {
+namespace host {
+
+/// What the fault handler decided.
+enum class FaultAction {
+  Retry, ///< code was patched; re-execute the same word
+  Fixup, ///< emulate the access in the handler and continue
+  Halt,  ///< abandon the run
+};
+
+/// Delivered to the fault handler on a misalignment trap.
+struct FaultInfo {
+  uint32_t HostPc = 0; ///< word index of the faulting instruction
+  uint64_t Addr = 0;   ///< the misaligned data address
+  HostInst Inst;       ///< the decoded faulting instruction
+};
+
+/// Why run() returned.
+struct ExitInfo {
+  enum Kind {
+    Exit,  ///< Srv Exit: back to the monitor, next guest PC captured
+    Halt,  ///< Srv Halt or handler said Halt
+    Limit, ///< instruction budget exhausted (runaway guard)
+  };
+  Kind K = Halt;
+  uint32_t GuestPc = 0; ///< valid for Kind::Exit
+  /// Word index of the Srv instruction that ended the run (valid for
+  /// Exit); the monitor uses it to chain the exit site to its target.
+  uint32_t SrvWord = 0;
+};
+
+/// The host machine.
+class HostMachine {
+public:
+  using FaultHandler = std::function<FaultAction(const FaultInfo &)>;
+
+  HostMachine(CodeSpace &Code, guest::GuestMemory &Mem,
+              MemoryHierarchy &Hier, const CostModel &Cost)
+      : Code(Code), Mem(Mem), Hier(Hier), Cost(Cost) {}
+
+  void setFaultHandler(FaultHandler H) { Handler = std::move(H); }
+
+  /// Execute starting at word index \p EntryWord until a service exit.
+  ExitInfo run(uint32_t EntryWord);
+
+  /// Register file (R31 reads as zero regardless of content).
+  uint64_t R[NumRegs] = {};
+
+  uint64_t reg(unsigned Idx) const {
+    return Idx == RegZero ? 0 : R[Idx];
+  }
+  void setReg(unsigned Idx, uint64_t V) {
+    if (Idx != RegZero)
+      R[Idx] = V;
+  }
+
+  /// Charge extra cycles (used by fault handlers for codegen work).
+  void addCycles(uint64_t N) { Cycles += N; }
+
+  // Accounting.
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Faults = 0;
+  uint64_t Fixups = 0;
+  /// Runaway guard: one run() may not exceed this many instructions.
+  uint64_t MaxInstsPerRun = 1ULL << 33;
+
+private:
+  uint64_t operandB(const HostInst &I) const {
+    return I.IsLit ? I.Lit : reg(I.Rb);
+  }
+
+  CodeSpace &Code;
+  guest::GuestMemory &Mem;
+  MemoryHierarchy &Hier;
+  const CostModel &Cost;
+  FaultHandler Handler;
+};
+
+} // namespace host
+} // namespace mdabt
+
+#endif // MDABT_HOST_HOSTMACHINE_H

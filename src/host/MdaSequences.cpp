@@ -1,0 +1,133 @@
+//===- host/MdaSequences.cpp ----------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/MdaSequences.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::host;
+
+HostOp mdabt::host::extLowOp(unsigned Size) {
+  switch (Size) {
+  case 2:
+    return HostOp::Extwl;
+  case 4:
+    return HostOp::Extll;
+  case 8:
+    return HostOp::Extql;
+  }
+  assert(false && "bad MDA size");
+  return HostOp::Extll;
+}
+
+HostOp mdabt::host::extHighOp(unsigned Size) {
+  switch (Size) {
+  case 2:
+    return HostOp::Extwh;
+  case 4:
+    return HostOp::Extlh;
+  case 8:
+    return HostOp::Extqh;
+  }
+  assert(false && "bad MDA size");
+  return HostOp::Extlh;
+}
+
+HostOp mdabt::host::insLowOp(unsigned Size) {
+  switch (Size) {
+  case 2:
+    return HostOp::Inswl;
+  case 4:
+    return HostOp::Insll;
+  case 8:
+    return HostOp::Insql;
+  }
+  assert(false && "bad MDA size");
+  return HostOp::Insll;
+}
+
+HostOp mdabt::host::insHighOp(unsigned Size) {
+  switch (Size) {
+  case 2:
+    return HostOp::Inswh;
+  case 4:
+    return HostOp::Inslh;
+  case 8:
+    return HostOp::Insqh;
+  }
+  assert(false && "bad MDA size");
+  return HostOp::Inslh;
+}
+
+HostOp mdabt::host::mskLowOp(unsigned Size) {
+  switch (Size) {
+  case 2:
+    return HostOp::Mskwl;
+  case 4:
+    return HostOp::Mskll;
+  case 8:
+    return HostOp::Mskql;
+  }
+  assert(false && "bad MDA size");
+  return HostOp::Mskll;
+}
+
+HostOp mdabt::host::mskHighOp(unsigned Size) {
+  switch (Size) {
+  case 2:
+    return HostOp::Mskwh;
+  case 4:
+    return HostOp::Msklh;
+  case 8:
+    return HostOp::Mskqh;
+  }
+  assert(false && "bad MDA size");
+  return HostOp::Msklh;
+}
+
+void mdabt::host::emitMdaLoad(HostAssembler &Asm, unsigned Size, uint8_t Ra,
+                              uint8_t Rb, int32_t Disp) {
+  assert((Size == 2 || Size == 4 || Size == 8) && "bad MDA size");
+  assert(Disp >= -32768 && Disp + static_cast<int32_t>(Size) - 1 <= 32767 &&
+         "displacement must be pre-folded into the base register");
+  int32_t High = Disp + static_cast<int32_t>(Size) - 1;
+  // As in paper Fig. 2, with the destination written last so that
+  // Ra == Rb is safe.
+  Asm.lda(RegMdaT2, Disp, Rb);                // address (shift operand)
+  Asm.mem(HostOp::LdqU, RegMdaT0, Disp, Rb);  // low quadword
+  Asm.mem(HostOp::LdqU, RegMdaT1, High, Rb);  // high quadword
+  Asm.op(extLowOp(Size), RegMdaT0, RegMdaT2, RegMdaT0);
+  Asm.op(extHighOp(Size), RegMdaT1, RegMdaT2, RegMdaT1);
+  Asm.op(HostOp::Bis, RegMdaT0, RegMdaT1, Ra);
+}
+
+void mdabt::host::emitMdaStore(HostAssembler &Asm, unsigned Size, uint8_t Rv,
+                               uint8_t Rb, int32_t Disp) {
+  assert((Size == 2 || Size == 4 || Size == 8) && "bad MDA size");
+  assert(Disp >= -32768 && Disp + static_cast<int32_t>(Size) - 1 <= 32767 &&
+         "displacement must be pre-folded into the base register");
+  int32_t High = Disp + static_cast<int32_t>(Size) - 1;
+  // Alpha Architecture Handbook unaligned-store idiom: merge the value
+  // into both covering quadwords, store high first so that the
+  // non-crossing case (both quadwords identical) resolves to the merged
+  // low quadword.
+  Asm.lda(RegMdaT2, Disp, Rb);                // address (shift operand)
+  Asm.mem(HostOp::LdqU, RegMdaT1, High, Rb);  // high quadword
+  Asm.mem(HostOp::LdqU, RegMdaT0, Disp, Rb);  // low quadword
+  Asm.op(insHighOp(Size), Rv, RegMdaT2, RegMdaT3);
+  Asm.op(insLowOp(Size), Rv, RegMdaT2, RegMdaT4);
+  Asm.op(mskHighOp(Size), RegMdaT1, RegMdaT2, RegMdaT1);
+  Asm.op(mskLowOp(Size), RegMdaT0, RegMdaT2, RegMdaT0);
+  Asm.op(HostOp::Bis, RegMdaT1, RegMdaT3, RegMdaT1);
+  Asm.op(HostOp::Bis, RegMdaT0, RegMdaT4, RegMdaT0);
+  Asm.mem(HostOp::StqU, RegMdaT1, High, Rb);
+  Asm.mem(HostOp::StqU, RegMdaT0, Disp, Rb);
+}
+
+unsigned mdabt::host::mdaLoadLength() { return 6; }
+
+unsigned mdabt::host::mdaStoreLength() { return 11; }

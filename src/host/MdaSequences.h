@@ -1,0 +1,61 @@
+//===- host/MdaSequences.h - The paper's MDA code sequences ----*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emitters for the "MDA code sequence" (paper section III-A, Fig. 2):
+/// the ldq_u / ext / ins / msk / stq_u idioms that perform a possibly
+/// misaligned 2/4/8-byte access without ever issuing a trapping memory
+/// operation.  These sequences are used by:
+///   - the Direct method (every non-byte memory op becomes one),
+///   - profile-guided translation (selected ops become one),
+///   - the misalignment exception handler (generated into the code cache
+///     and patched in, paper Fig. 5),
+///   - multi-version code (the misaligned arm, paper Fig. 8).
+///
+/// Sequences clobber only the MDA temporaries (RegMdaT0..T4) and write
+/// the load destination last, so the destination may alias the base
+/// register, and a base register living in translator scratch survives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_HOST_MDASEQUENCES_H
+#define MDABT_HOST_MDASEQUENCES_H
+
+#include "host/HostAssembler.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace host {
+
+/// Emit the unaligned-load sequence: Ra = zext(load Size bytes at
+/// Rb + Disp).  Size must be 2, 4 or 8.  Requires Disp + Size - 1 to fit
+/// in disp16 (the caller folds large displacements into the base first).
+void emitMdaLoad(HostAssembler &Asm, unsigned Size, uint8_t Ra, uint8_t Rb,
+                 int32_t Disp);
+
+/// Emit the unaligned-store sequence: store low Size bytes of Rv at
+/// Rb + Disp.  Size must be 2, 4 or 8.
+void emitMdaStore(HostAssembler &Asm, unsigned Size, uint8_t Rv, uint8_t Rb,
+                  int32_t Disp);
+
+/// Number of host instructions emitMdaLoad will emit.
+unsigned mdaLoadLength();
+/// Number of host instructions emitMdaStore will emit.
+unsigned mdaStoreLength();
+
+/// Opcode selectors for a given access size.
+HostOp extLowOp(unsigned Size);
+HostOp extHighOp(unsigned Size);
+HostOp insLowOp(unsigned Size);
+HostOp insHighOp(unsigned Size);
+HostOp mskLowOp(unsigned Size);
+HostOp mskHighOp(unsigned Size);
+
+} // namespace host
+} // namespace mdabt
+
+#endif // MDABT_HOST_MDASEQUENCES_H

@@ -1,0 +1,32 @@
+//===- mda/Policies.cpp ---------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "mda/Policies.h"
+
+#include "guest/GuestCPU.h"
+#include "guest/GuestMemory.h"
+#include "guest/Interpreter.h"
+
+using namespace mdabt;
+using namespace mdabt::mda;
+
+std::unordered_set<uint32_t>
+StaticProfilePolicy::collectProfile(const guest::GuestImage &TrainImage) {
+  guest::GuestMemory Mem;
+  Mem.loadImage(TrainImage);
+  guest::GuestCPU Cpu;
+  Cpu.reset(TrainImage);
+  guest::MdaCensus Census;
+  guest::Interpreter Interp(Mem);
+  Interp.setObserver(&Census);
+  Interp.run(Cpu);
+
+  std::unordered_set<uint32_t> Sites;
+  for (const auto &KV : Census.sites())
+    if (KV.second.Mis != 0)
+      Sites.insert(KV.first);
+  return Sites;
+}

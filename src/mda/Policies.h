@@ -1,0 +1,241 @@
+//===- mda/Policies.h - The paper's MDA handling mechanisms ----*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementations of every MDA handling mechanism the paper evaluates
+/// (sections III and IV; configuration space in Table II):
+///
+///   DirectPolicy            QEMU-style: every non-byte memory op becomes
+///                           the MDA code sequence.
+///   StaticProfilePolicy     FX!32-style: a train-input profiling run
+///                           marks MDA instructions; residual MDAs take a
+///                           full trap on every occurrence.
+///   DynamicProfilePolicy    IA-32 EL-style: phase-1 interpretation
+///                           records MDAs; hot translation expands them;
+///                           residual MDAs trap every time.
+///   ExceptionHandlingPolicy The paper's proposal: translate everything
+///                           aligned; on the first trap per instruction,
+///                           patch in an MDA stub.  Optional code
+///                           rearrangement re-emits the block inline.
+///   DpehPolicy              Dynamic profiling + exception handling, with
+///                           optional retranslation (>=N traps per block)
+///                           and optional multi-version code for sites
+///                           with mixed alignment behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_MDA_POLICIES_H
+#define MDABT_MDA_POLICIES_H
+
+#include "dbt/Policy.h"
+#include "guest/GuestImage.h"
+#include "guest/MdaCensus.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mdabt {
+namespace mda {
+
+/// QEMU's direct method (paper section III-A): translate-at-first-use,
+/// every 2/4/8-byte memory operation becomes the MDA code sequence.
+class DirectPolicy : public dbt::MdaPolicy {
+public:
+  const char *name() const override { return "Direct Method"; }
+  uint32_t hotThreshold() const override { return 0; }
+  dbt::MemPlan planMemoryOp(uint32_t, const guest::GuestInst &) override {
+    return dbt::MemPlan::Inline;
+  }
+  dbt::FaultDecision onFault(uint32_t, uint32_t, uint32_t) override {
+    // Unreachable in practice: nothing is translated as a trapping op.
+    return {false, false};
+  }
+};
+
+/// FX!32-style static profiling (paper section III-B).
+class StaticProfilePolicy : public dbt::MdaPolicy {
+public:
+  /// \p TrainMdaSites: guest PCs that misaligned during the train run.
+  explicit StaticProfilePolicy(std::unordered_set<uint32_t> TrainMdaSites)
+      : Sites(std::move(TrainMdaSites)) {}
+
+  /// Interpret the \p TrainImage to completion and return the set of
+  /// instructions that performed at least one MDA (the "profiling run
+  /// with training input", Fig. 3).
+  static std::unordered_set<uint32_t>
+  collectProfile(const guest::GuestImage &TrainImage);
+
+  const char *name() const override { return "Static Profiling"; }
+  uint32_t hotThreshold() const override { return 0; }
+  bool translationIsOffline() const override { return true; }
+  dbt::MemPlan planMemoryOp(uint32_t InstPc,
+                            const guest::GuestInst &) override {
+    return Sites.count(InstPc) ? dbt::MemPlan::Inline
+                               : dbt::MemPlan::Normal;
+  }
+  dbt::FaultDecision onFault(uint32_t, uint32_t, uint32_t) override {
+    return {false, false}; // every residual MDA pays a full trap
+  }
+
+private:
+  std::unordered_set<uint32_t> Sites;
+};
+
+/// IA-32 EL-style dynamic profiling (paper section III-C).  "We generate
+/// MDA code sequence for a memory access instruction if the instruction
+/// has performed MDA once during the profiling stage."
+class DynamicProfilePolicy : public dbt::MdaPolicy {
+public:
+  explicit DynamicProfilePolicy(uint32_t Threshold) : Threshold(Threshold) {}
+
+  const char *name() const override { return "Dynamic Profiling"; }
+  uint32_t hotThreshold() const override { return Threshold; }
+  void onInterpMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                         bool) override {
+    if (Size >= 2 && guest::isMisaligned(Addr, Size))
+      Sites.insert(InstPc);
+  }
+  dbt::MemPlan planMemoryOp(uint32_t InstPc,
+                            const guest::GuestInst &) override {
+    return Sites.count(InstPc) ? dbt::MemPlan::Inline
+                               : dbt::MemPlan::Normal;
+  }
+  dbt::FaultDecision onFault(uint32_t, uint32_t, uint32_t) override {
+    return {false, false};
+  }
+
+  /// Number of distinct MDA instructions the profiling phase caught.
+  size_t detectedSites() const { return Sites.size(); }
+
+private:
+  uint32_t Threshold;
+  std::unordered_set<uint32_t> Sites;
+};
+
+/// The paper's exception-handling method (section IV), optionally with
+/// code rearrangement (section IV-A): every patch is followed by
+/// re-emitting the block with the sequence inline to restore locality.
+class ExceptionHandlingPolicy : public dbt::MdaPolicy {
+public:
+  explicit ExceptionHandlingPolicy(uint32_t Threshold = 50,
+                                   bool Rearrange = false)
+      : Threshold(Threshold), Rearrange(Rearrange) {}
+
+  const char *name() const override {
+    return Rearrange ? "Exception Handling + Rearrangement"
+                     : "Exception Handling";
+  }
+  uint32_t hotThreshold() const override { return Threshold; }
+  dbt::MemPlan planMemoryOp(uint32_t InstPc,
+                            const guest::GuestInst &) override {
+    // Initial translation assumes every reference is aligned; after a
+    // supersede (rearrangement) the faulted sites are inlined.
+    return Faulted.count(InstPc) ? dbt::MemPlan::Inline
+                                 : dbt::MemPlan::Normal;
+  }
+  dbt::FaultDecision onFault(uint32_t InstPc, uint32_t, uint32_t) override {
+    Faulted.insert(InstPc);
+    return {true, Rearrange};
+  }
+
+private:
+  uint32_t Threshold;
+  bool Rearrange;
+  std::unordered_set<uint32_t> Faulted;
+};
+
+/// Options for DpehPolicy (paper Table II, bottom row, plus the two
+/// section-IV-D extensions the paper discusses but does not evaluate).
+struct DpehOptions {
+  /// Invalidate + retranslate a block once it has taken this many traps
+  /// (paper Fig. 7 uses 4).  0 disables retranslation.
+  uint32_t RetranslateThreshold = 0;
+  /// Generate multi-version code for sites whose profile shows both
+  /// aligned and misaligned accesses (paper section IV-D).
+  bool MultiVersion = false;
+  /// Multi-version at basic-block granularity: one check selects between
+  /// two block-tail copies (section IV-D's overhead-reduction idea).
+  bool MvBlockGranularity = false;
+  /// Use instrumented, revertible exception stubs (paper Fig. 8, right:
+  /// the "truly adaptive" method): after RevertThreshold consecutive
+  /// aligned executions the original memory instruction is patched back.
+  bool AdaptiveRevert = false;
+  uint32_t RevertThreshold = 64;
+};
+
+/// Dynamic profiling combined with exception handling (section IV-B).
+class DpehPolicy : public dbt::MdaPolicy {
+public:
+  explicit DpehPolicy(uint32_t Threshold = 50, DpehOptions Opts = {})
+      : Threshold(Threshold), Opts(Opts) {}
+
+  const char *name() const override { return "DPEH"; }
+  uint32_t hotThreshold() const override { return Threshold; }
+
+  void onInterpMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
+                         bool) override {
+    if (Size < 2)
+      return;
+    SiteProfile &P = Profile[InstPc];
+    if (guest::isMisaligned(Addr, Size))
+      ++P.Mis;
+    else
+      ++P.Aligned;
+  }
+
+  dbt::MemPlan planMemoryOp(uint32_t InstPc,
+                            const guest::GuestInst &) override {
+    auto It = Profile.find(InstPc);
+    bool ProfiledMis = It != Profile.end() && It->second.Mis != 0;
+    bool Known = ProfiledMis || Faulted.count(InstPc) != 0;
+    if (!Known)
+      return dbt::MemPlan::Normal;
+    // Multi-version pays only when aligned accesses dominate (paper
+    // section IV-D: most MDA instructions are biased, so blanket
+    // multi-versioning just burns check cycles).
+    if (Opts.MultiVersion && It != Profile.end() &&
+        It->second.Aligned != 0 && It->second.Aligned >= It->second.Mis)
+      return dbt::MemPlan::MultiVersion;
+    return dbt::MemPlan::Inline;
+  }
+
+  dbt::FaultDecision onFault(uint32_t InstPc, uint32_t,
+                             uint32_t BlockFaultCount) override {
+    Faulted.insert(InstPc);
+    // Trigger exactly at the threshold: the superseding translation
+    // starts with a fresh trap count (paper Fig. 7).
+    bool Retranslate = Opts.RetranslateThreshold != 0 &&
+                       BlockFaultCount == Opts.RetranslateThreshold;
+    dbt::FaultDecision D;
+    D.PatchStub = true;
+    D.Supersede = Retranslate;
+    D.AdaptiveStub = Opts.AdaptiveRevert;
+    D.RevertThreshold = Opts.RevertThreshold;
+    return D;
+  }
+
+  dbt::TranslationOpts translationOpts() const override {
+    dbt::TranslationOpts TO;
+    TO.BlockMultiVersion = Opts.MultiVersion && Opts.MvBlockGranularity;
+    return TO;
+  }
+
+private:
+  struct SiteProfile {
+    uint64_t Aligned = 0;
+    uint64_t Mis = 0;
+  };
+  uint32_t Threshold;
+  DpehOptions Opts;
+  std::unordered_map<uint32_t, SiteProfile> Profile;
+  std::unordered_set<uint32_t> Faulted;
+};
+
+} // namespace mda
+} // namespace mdabt
+
+#endif // MDABT_MDA_POLICIES_H

@@ -1,0 +1,70 @@
+//===- mda/PolicyFactory.h - Named policy construction ---------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small registry that builds any of the paper's mechanisms from a
+/// specification — the programmatic form of the paper's Table II.  Used
+/// by the benches, the examples and the integration tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_MDA_POLICYFACTORY_H
+#define MDABT_MDA_POLICYFACTORY_H
+
+#include "mda/Policies.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace mda {
+
+/// The mechanisms of paper Table II.
+enum class MechanismKind {
+  Direct,
+  StaticProfiling,
+  DynamicProfiling,
+  ExceptionHandling,
+  Dpeh,
+};
+
+/// Full configuration of one mechanism instance.
+struct PolicySpec {
+  MechanismKind Kind = MechanismKind::ExceptionHandling;
+  /// Heating threshold for two-phase mechanisms (paper section VI-A;
+  /// 50 is the sweet spot).  Ignored by Direct / StaticProfiling.
+  uint32_t Threshold = 50;
+  /// ExceptionHandling: re-emit blocks inline after patches (Fig. 6).
+  bool Rearrange = false;
+  /// Dpeh: block-retranslation trap threshold, 0 = off (Fig. 7 uses 4).
+  uint32_t RetranslateThreshold = 0;
+  /// Dpeh: multi-version code for mixed-alignment sites (Fig. 8).
+  bool MultiVersion = false;
+};
+
+/// Builds a policy.  StaticProfiling requires \p TrainImage (the paper
+/// profiles with the train input set); other mechanisms ignore it.
+std::unique_ptr<dbt::MdaPolicy>
+makePolicy(const PolicySpec &Spec,
+           const guest::GuestImage *TrainImage = nullptr);
+
+/// A short stable identifier, e.g. "dpeh", "eh+rearrange", "dyn@50".
+std::string policySpecName(const PolicySpec &Spec);
+
+/// The paper's Table II rows: mechanism name, configuration choice and
+/// description, for the table2 bench.
+struct MechanismRow {
+  const char *Mechanism;
+  const char *Configuration;
+  const char *Description;
+};
+std::vector<MechanismRow> mechanismTable();
+
+} // namespace mda
+} // namespace mdabt
+
+#endif // MDABT_MDA_POLICYFACTORY_H

@@ -1,0 +1,65 @@
+//===- reporting/Experiment.cpp -------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Experiment.h"
+
+#include "guest/GuestCPU.h"
+#include "guest/GuestMemory.h"
+#include "guest/Interpreter.h"
+#include "support/Stats.h"
+
+using namespace mdabt;
+using namespace mdabt::reporting;
+
+dbt::RunResult mdabt::reporting::runPolicy(
+    const workloads::BenchmarkInfo &Info, const mda::PolicySpec &Spec,
+    const workloads::ScaleConfig &Scale, const dbt::EngineConfig &Config) {
+  guest::GuestImage Ref =
+      workloads::buildBenchmark(Info, workloads::InputKind::Ref, Scale);
+
+  std::unique_ptr<dbt::MdaPolicy> Policy;
+  if (Spec.Kind == mda::MechanismKind::StaticProfiling) {
+    guest::GuestImage Train =
+        workloads::buildBenchmark(Info, workloads::InputKind::Train, Scale);
+    Policy = mda::makePolicy(Spec, &Train);
+  } else {
+    Policy = mda::makePolicy(Spec);
+  }
+
+  dbt::Engine Engine(Ref, *Policy, Config);
+  return Engine.run();
+}
+
+CensusResult mdabt::reporting::runCensus(const guest::GuestImage &Image) {
+  guest::GuestMemory Mem;
+  Mem.loadImage(Image);
+  guest::GuestCPU Cpu;
+  Cpu.reset(Image);
+  guest::MdaCensus Census;
+  guest::Interpreter Interp(Mem);
+  Interp.setObserver(&Census);
+  Interp.run(Cpu);
+
+  CensusResult R;
+  R.Nmi = Census.nmi();
+  R.Mdas = Census.totalMdas();
+  R.Refs = Census.totalRefs();
+  R.Ratio = Census.ratio();
+  R.Bias = Census.biasBreakdown();
+  R.Checksum = Cpu.Checksum;
+  return R;
+}
+
+double NormalizedSeries::geomean() const { return geometricMean(Values); }
+
+double mdabt::reporting::gainOver(uint64_t BaselineCycles,
+                                  uint64_t ImprovedCycles) {
+  if (BaselineCycles == 0)
+    return 0.0;
+  return (static_cast<double>(BaselineCycles) -
+          static_cast<double>(ImprovedCycles)) /
+         static_cast<double>(BaselineCycles);
+}

@@ -1,0 +1,64 @@
+//===- reporting/Experiment.h - Experiment harness -------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The harness every bench binary is built on: run one benchmark under
+/// one policy configuration (building the train image when static
+/// profiling needs it), run the MDA census, and render the paper's
+/// normalized-runtime series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_REPORTING_EXPERIMENT_H
+#define MDABT_REPORTING_EXPERIMENT_H
+
+#include "dbt/Engine.h"
+#include "guest/MdaCensus.h"
+#include "mda/PolicyFactory.h"
+#include "workloads/SpecPrograms.h"
+
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace reporting {
+
+/// Run \p Info's REF binary under \p Spec.  Builds and profiles the
+/// TRAIN binary when the mechanism is static profiling.
+dbt::RunResult runPolicy(const workloads::BenchmarkInfo &Info,
+                         const mda::PolicySpec &Spec,
+                         const workloads::ScaleConfig &Scale =
+                             workloads::ScaleConfig(),
+                         const dbt::EngineConfig &Config =
+                             dbt::EngineConfig());
+
+/// Census of one image (interpreted to completion).
+struct CensusResult {
+  uint32_t Nmi = 0;
+  uint64_t Mdas = 0;
+  uint64_t Refs = 0;
+  double Ratio = 0.0;
+  guest::MdaCensus::BiasBreakdown Bias;
+  uint64_t Checksum = 0;
+};
+CensusResult runCensus(const guest::GuestImage &Image);
+
+/// Paper-style normalized series: Cycles(spec) / Cycles(baseline) per
+/// benchmark, with a geometric-mean row (paper Fig. 10/16 format).
+struct NormalizedSeries {
+  std::string Label;
+  std::vector<double> Values; ///< one per benchmark, baseline = 1.0
+  double geomean() const;
+};
+
+/// Percent gain of B over A: (A - B) / A (positive = B faster), the
+/// format of the paper's gain/loss figures (Fig. 11-14).
+double gainOver(uint64_t BaselineCycles, uint64_t ImprovedCycles);
+
+} // namespace reporting
+} // namespace mdabt
+
+#endif // MDABT_REPORTING_EXPERIMENT_H

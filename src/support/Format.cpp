@@ -1,0 +1,57 @@
+//===- support/Format.cpp -------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace mdabt;
+
+std::string mdabt::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Needed > 0) {
+    Out.resize(static_cast<size_t>(Needed));
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  }
+  va_end(Args);
+  return Out;
+}
+
+std::string mdabt::withCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Out;
+  Out.reserve(Digits.size() + Digits.size() / 3);
+  size_t Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (size_t I = 0; I != Digits.size(); ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Out.push_back(',');
+    Out.push_back(Digits[I]);
+  }
+  return Out;
+}
+
+std::string mdabt::paperCount(uint64_t Value) {
+  if (Value < 1000000)
+    return std::to_string(Value);
+  return format("%.2E", static_cast<double>(Value));
+}
+
+std::string mdabt::percent(double Ratio) {
+  return format("%.2f%%", Ratio * 100.0);
+}
+
+std::string mdabt::signedPercent(double Ratio) {
+  return format("%+.1f%%", Ratio * 100.0);
+}

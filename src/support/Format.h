@@ -1,0 +1,42 @@
+//===- support/Format.h - printf-style std::string formatting --*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string, plus human-readable number
+/// rendering used by the paper-table printers.  Library code never touches
+/// <iostream>; all printing happens in tools via these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_SUPPORT_FORMAT_H
+#define MDABT_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace mdabt {
+
+/// printf into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Render a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string withCommas(uint64_t Value);
+
+/// Render a count in scientific-ish paper style when large,
+/// e.g. 8.32E+09 (matches the paper's Table III/IV formatting), plain
+/// digits when small.
+std::string paperCount(uint64_t Value);
+
+/// Render a ratio as a percentage with two decimals, e.g. "12.67%".
+std::string percent(double Ratio);
+
+/// Render a signed gain/loss percentage with sign, e.g. "+4.5%".
+std::string signedPercent(double Ratio);
+
+} // namespace mdabt
+
+#endif // MDABT_SUPPORT_FORMAT_H

@@ -1,0 +1,100 @@
+//===- support/RNG.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the MDABT project: reproduction of "An Evaluation of Misaligned
+// Data Access Handling Mechanisms in Dynamic Binary Translation Systems"
+// (CGO 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64-seeded xoshiro256**) used by the
+/// workload generators.  Determinism matters: every synthetic benchmark must
+/// produce the same guest binary and the same access stream on every run so
+/// that experiments are exactly repeatable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_SUPPORT_RNG_H
+#define MDABT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace mdabt {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into a full
+/// xoshiro256** state.
+inline uint64_t splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Deterministic xoshiro256** generator.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) {
+    uint64_t SM = Seed;
+    for (uint64_t &Word : S)
+      Word = splitMix64(SM);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [0, Bound).  \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    // Multiply-shift range reduction (Lemire); bias is negligible for the
+    // bounds used by the generators and keeps the sequence deterministic
+    // across platforms.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli trial with probability \p P (clamped to [0,1]).
+  bool chance(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return toUnit(next()) < P;
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return toUnit(next()); }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  static double toUnit(uint64_t X) {
+    return static_cast<double>(X >> 11) * 0x1.0p-53;
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace mdabt
+
+#endif // MDABT_SUPPORT_RNG_H

@@ -1,0 +1,54 @@
+//===- support/Stats.h - Aggregate statistics helpers ----------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics used by the benchmark harness: geometric mean (the
+/// paper normalizes runtimes and reports geomeans over the 21 selected
+/// benchmarks), arithmetic mean, and a small named-counter bag that the
+/// engine uses to expose per-run event counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_SUPPORT_STATS_H
+#define MDABT_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+
+/// Geometric mean of positive values.  Returns 0 for an empty input.
+double geometricMean(const std::vector<double> &Values);
+
+/// Arithmetic mean.  Returns 0 for an empty input.
+double arithmeticMean(const std::vector<double> &Values);
+
+/// A named event counter bag.  Deterministic iteration order (insertion
+/// order) so that reports are stable.
+class CounterBag {
+public:
+  /// Add \p Delta to counter \p Name, creating it at zero if absent.
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Value of counter \p Name; 0 if it was never touched.
+  uint64_t get(const std::string &Name) const;
+
+  /// Merge all counters of \p Other into this bag.
+  void merge(const CounterBag &Other);
+
+  /// All (name, value) pairs in insertion order.
+  const std::vector<std::pair<std::string, uint64_t>> &entries() const {
+    return Entries;
+  }
+
+private:
+  std::vector<std::pair<std::string, uint64_t>> Entries;
+};
+
+} // namespace mdabt
+
+#endif // MDABT_SUPPORT_STATS_H

@@ -1,0 +1,75 @@
+//===- support/TablePrinter.cpp -------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+
+using namespace mdabt;
+
+TablePrinter::TablePrinter(std::vector<std::string> HeaderIn)
+    : Header(std::move(HeaderIn)) {
+  assert(!Header.empty() && "table needs at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Header.size() && "row wider than header");
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::toText() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t C = 0; C != Header.size(); ++C)
+    Widths[C] = Header[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto emitRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        Out += "  ";
+      Out += Row[C];
+      Out.append(Widths[C] - Row[C].size(), ' ');
+    }
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  emitRow(Out, Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total >= 2 ? Total - 2 : Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    emitRow(Out, Row);
+  return Out;
+}
+
+std::string TablePrinter::toCsv() const {
+  std::string Out;
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C != 0)
+        Out += ',';
+      // Thousands separators in number cells would corrupt the format;
+      // strip them (benchmark names never contain commas).
+      for (char Ch : Row[C])
+        if (Ch != ',')
+          Out += Ch;
+    }
+    Out += '\n';
+  };
+  emitRow(Header);
+  for (const auto &Row : Rows)
+    emitRow(Row);
+  return Out;
+}

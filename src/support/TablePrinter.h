@@ -1,0 +1,48 @@
+//===- support/TablePrinter.h - Aligned text tables ------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders column-aligned text tables (and CSV) for the benchmark harness.
+/// Every bench binary regenerating one of the paper's tables or figures
+/// prints through this class so that output formatting is uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_SUPPORT_TABLEPRINTER_H
+#define MDABT_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace mdabt {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Append one row.  Rows shorter than the header are padded with empty
+  /// cells; longer rows assert.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Render as an aligned text table with a header separator.
+  std::string toText() const;
+
+  /// Render as CSV.  Commas inside cells (thousands separators in
+  /// number cells) are stripped rather than quoted — the harness only
+  /// emits numbers and benchmark names.
+  std::string toCsv() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace mdabt
+
+#endif // MDABT_SUPPORT_TABLEPRINTER_H

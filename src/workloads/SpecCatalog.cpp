@@ -1,0 +1,441 @@
+//===- workloads/SpecCatalog.cpp ------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SpecCatalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace mdabt;
+using namespace mdabt::workloads;
+
+double BenchmarkInfo::dynEscapeFrac() const {
+  if (PaperMdas <= 0)
+    return 0.0;
+  return std::min(0.95, PaperDynUndetected / PaperMdas);
+}
+
+double BenchmarkInfo::trainEscapeFrac() const {
+  if (PaperMdas <= 0)
+    return 0.0;
+  return std::min(0.95, PaperTrainResidual / PaperMdas);
+}
+
+namespace {
+
+// Shorthands for the table below.
+constexpr double KDefA = 0.04, KDefE = 0.03, KDefB = 0.03; // bias defaults
+
+std::vector<BenchmarkInfo> buildCatalog() {
+  // Columns: name, suite, NMI, MDAs, ratio, selected, TableIII, TableIV,
+  //          earlyOnset, fracAbove50, fracEqual50, fracBelow50, size,
+  //          fillerSections.
+  return {
+      // ---- SPEC CPU2000 integer ----
+      {"164.gzip", "CINT2000", 80, 406431686., .0052, true, 1.56e8, 46.,
+       .05, KDefA, KDefE, KDefB, 4, 10},
+      {"175.vpr", "CINT2000", 134, 2762730., .0001, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"176.gcc", "CINT2000", 154, 37894632., .0006, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"181.mcf", "CINT2000", 16, 1649912., .0002, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"186.crafty", "CINT2000", 20, 4950., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 8, 2},
+      {"197.parser", "CINT2000", 16, 291054., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"252.eon", "CINT2000", 3096, 8523707162., .0963, true, 24630.,
+       3.22e9, .05, KDefA, KDefE, KDefB, 8, 10},
+      {"253.perlbmk", "CINT2000", 270, 148689820., .0023, false, 0., 0.,
+       .02, KDefA, KDefE, KDefB, 4, 2},
+      {"254.gap", "CINT2000", 14, 1128048., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 4, 2},
+      {"255.vortex", "CINT2000", 90, 12361950., .0003, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"256.bzip2", "CINT2000", 44, 25233188., .0004, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"300.twolf", "CINT2000", 98, 441176894., .0092, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      // ---- SPEC CPU2000 floating point ----
+      {"168.wupwise", "CFP2000", 132, 9682., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 8, 2},
+      {"171.swim", "CFP2000", 284, 49605944., .0003, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"172.mgrid", "CFP2000", 78, 1772430., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 8, 2},
+      {"173.applu", "CFP2000", 306, 2243041896., .016, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"177.mesa", "CFP2000", 54, 9370., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 4, 2},
+      {"178.galgel", "CFP2000", 5282, 492949052., .0027, true, 3436.,
+       4930086., .05, KDefA, KDefE, KDefB, 8, 12},
+      {"179.art", "CFP2000", 1024, 21244446764., .3833, true, 3.12e8,
+       3.6e9, .05, KDefA, KDefE, KDefB, 8, 2},
+      {"183.equake", "CFP2000", 30, 524., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 8, 2},
+      {"187.facerec", "CFP2000", 112, 6240872., .0001, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"188.ammp", "CFP2000", 1134, 73194953020., .4312, true, 0., 0., .05,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"189.lucas", "CFP2000", 64, 17383280., .0002, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"191.fma3d", "CFP2000", 398, 5383029436., .0336, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"200.sixtrack", "CFP2000", 1324, 8673947498., .0421, true, 235950.,
+       0., .05, KDefA, KDefE, KDefB, 8, 10},
+      {"301.apsi", "CFP2000", 356, 1568299486., .0086, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      // ---- SPEC CPU2006 integer ----
+      {"400.perlbench", "CINT2006", 77, 1469188415., .0026, true,
+       57874640., 1244769., .50, KDefA, KDefE, KDefB, 4, 4},
+      {"401.bzip2", "CINT2006", 45, 82641256., .0001, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"403.gcc", "CINT2006", 53, 32624., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 4, 2},
+      {"429.mcf", "CINT2006", 10, 883518., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 4, 2},
+      {"445.gobmk", "CINT2006", 76, 1741956., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"456.hmmer", "CINT2006", 127, 13757509., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"458.sjeng", "CINT2006", 9, 1303., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 4, 2},
+      {"462.libquantum", "CINT2006", 9, 435., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 4, 2},
+      {"464.h264ref", "CINT2006", 96, 138883221., .0001, true, 9347.,
+       1020., .05, KDefA, KDefE, KDefB, 2, 2},
+      {"471.omnetpp", "CINT2006", 394, 6303605195., .0337, true, 38979.,
+       48638638., .05, .10, .06, .10, 4, 2},
+      {"473.astar", "CINT2006", 32, 758., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 4, 2},
+      {"483.xalancbmk", "CINT2006", 53, 5749815279., .016, true, 8.32e9,
+       12761., .05, KDefA, KDefE, KDefB, 4, 2},
+      // ---- SPEC CPU2006 floating point ----
+      {"410.bwaves", "CFP2006", 602, 99916961773., .1267, true, 4.15e10,
+       0., .05, KDefA, KDefE, KDefB, 8, 2},
+      {"416.gamess", "CFP2006", 424, 13073700., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"433.milc", "CFP2006", 3825, 67272361837., .1209, true, 1.34e8, 6.,
+       .05, KDefA, KDefE, KDefB, 8, 2},
+      {"434.zeusmp", "CFP2006", 3484, 87873451026., .0414, true, 1716.,
+       644100., .05, KDefA, KDefE, KDefB, 8, 2},
+      {"435.gromacs", "CFP2006", 197, 123577765., .0001, true, 1820., 0.,
+       .05, KDefA, KDefE, KDefB, 8, 2},
+      {"436.cactusADM", "CFP2006", 48, 1745161., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"437.leslie3d", "CFP2006", 205, 23645192624., .0254, true, 1716.,
+       21168., .05, KDefA, KDefE, KDefB, 8, 2},
+      {"444.namd", "CFP2006", 103, 10516106., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"450.soplex", "CFP2006", 538, 13446836143., .0571, true, 9.33e8,
+       4.03e9, .05, .08, .05, .08, 8, 2},
+      {"453.povray", "CFP2006", 918, 36294822277., .083, true, 2.41e8, 0.,
+       .05, .06, .04, .08, 8, 2},
+      {"454.calculix", "CFP2006", 139, 478592675., .0002, true, 2609.,
+       1.83e8, .05, .05, .04, .06, 8, 2},
+      {"459.GemsFDTD", "CFP2006", 3304, 31740862., .0, false, 0., 0., .02,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"465.tonto", "CFP2006", 1748, 38717125228., .038, true, 116450.,
+       262., .05, KDefA, KDefE, KDefB, 8, 10},
+      {"470.lbm", "CFP2006", 8, 7124766678., .0114, true, 0., 0., .05,
+       KDefA, KDefE, KDefB, 8, 2},
+      {"481.wrf", "CFP2006", 92, 49694156., .0, false, 0., 0., .02, KDefA,
+       KDefE, KDefB, 8, 2},
+      {"482.sphinx3", "CFP2006", 115, 3118790131., .0031, true, 1., 0.,
+       .05, KDefA, KDefE, KDefB, 4, 2},
+  };
+}
+
+uint64_t hashName(const char *Name) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (const char *P = Name; *P; ++P) {
+    H ^= static_cast<uint8_t>(*P);
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+} // namespace
+
+namespace {
+
+/// Post-construction tuning: the benchmarks whose multi-version gains
+/// the paper highlights carry a population of high-traffic, rarely
+/// misaligned sites.
+std::vector<BenchmarkInfo> buildTunedCatalog() {
+  std::vector<BenchmarkInfo> Catalog = buildCatalog();
+  auto SetRare = [&](const char *Name, double Frac) {
+    for (BenchmarkInfo &B : Catalog)
+      if (std::string_view(Name) == B.Name)
+        B.FracRareRefs = Frac;
+  };
+  SetRare("453.povray", 0.20);
+  SetRare("188.ammp", 0.10);
+  SetRare("179.art", 0.10);
+  SetRare("433.milc", 0.08);
+  SetRare("471.omnetpp", 0.06);
+  SetRare("450.soplex", 0.06);
+  SetRare("434.zeusmp", 0.05);
+  SetRare("410.bwaves", 0.04);
+  return Catalog;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &mdabt::workloads::specCatalog() {
+  static const std::vector<BenchmarkInfo> Catalog = buildTunedCatalog();
+  return Catalog;
+}
+
+const BenchmarkInfo *mdabt::workloads::findBenchmark(std::string_view Name) {
+  for (const BenchmarkInfo &B : specCatalog())
+    if (Name == B.Name)
+      return &B;
+  return nullptr;
+}
+
+std::vector<const BenchmarkInfo *> mdabt::workloads::selectedBenchmarks() {
+  std::vector<const BenchmarkInfo *> Out;
+  for (const BenchmarkInfo &B : specCatalog())
+    if (B.Selected)
+      Out.push_back(&B);
+  return Out;
+}
+
+ProgramPlan mdabt::workloads::makePlan(const BenchmarkInfo &Info,
+                                       const ScaleConfig &Scale) {
+  const uint32_t R = Scale.Rounds;
+  ProgramPlan Plan;
+  Plan.Name = Info.Name;
+  Plan.Rounds = R;
+  Plan.Seed = hashName(Info.Name);
+
+  // ---- scaled targets -------------------------------------------------------
+  double Ratio = Info.PaperRatio;
+  double MisTargetD =
+      std::max({Ratio * static_cast<double>(Scale.TotalRefs),
+                static_cast<double>(Info.PaperNmi), 32.0});
+  MisTargetD = std::min(MisTargetD,
+                        Scale.MaxMisFraction *
+                            static_cast<double>(Scale.TotalRefs));
+  uint64_t MisTarget = static_cast<uint64_t>(MisTargetD);
+  uint32_t NmiEff = static_cast<uint32_t>(
+      std::min<uint64_t>(Info.PaperNmi, MisTarget));
+
+  uint64_t MisBudget = MisTarget;
+  uint32_t SitesUsed = 0;
+
+  // ---- late-onset group: escapes dynamic profiling (Table III) -------------
+  double DynMis = Info.dynEscapeFrac() * MisTargetD;
+  if (DynMis >= 16.0) {
+    SiteGroup G;
+    G.Size = Info.Size;
+    G.Bias = BiasKind::Always;
+    uint32_t MaxSites = std::max(1u, NmiEff / 8);
+    if (DynMis >= 2500.0) {
+      // Heavy escaper (bwaves/xalancbmk class): onset so deep that even
+      // TH=5000 profiling cannot see it (paper: bwaves would need a
+      // threshold of 266K).
+      G.OnsetRound = R - 2;
+      const uint32_t MinIpr = 1250; // onset execution > 5000
+      G.Sites = static_cast<uint32_t>(std::clamp<uint64_t>(
+          static_cast<uint64_t>(DynMis / (2.0 * MinIpr)), 1, MaxSites));
+      G.ItersPerRound = std::max(
+          MinIpr, static_cast<uint32_t>(DynMis / (G.Sites * 2.0)));
+    } else {
+      // Light escaper: onset past the standard TH=50 window is enough
+      // to keep the count faithful without inflating it.
+      G.OnsetRound = R - 1;
+      G.Sites = static_cast<uint32_t>(std::clamp<uint64_t>(
+          static_cast<uint64_t>(DynMis / 32.0), 1, MaxSites));
+      G.ItersPerRound = std::max(
+          32u, static_cast<uint32_t>(DynMis / G.Sites));
+    }
+    Plan.Groups.push_back(G);
+    SitesUsed += G.Sites;
+    MisBudget -= std::min<uint64_t>(MisBudget, G.expectedMdas(R));
+  }
+
+  // ---- ref-only group: escapes the train profile (Table IV) ----------------
+  double TrainMis = Info.trainEscapeFrac() * MisTargetD;
+  if (TrainMis >= 16.0) {
+    SiteGroup G;
+    G.Size = Info.Size;
+    G.Bias = BiasKind::Always;
+    G.OnsetRound = 0;
+    G.RefOnly = true;
+    uint32_t MaxSites = std::max(1u, NmiEff / 4);
+    G.Sites = static_cast<uint32_t>(std::clamp<uint64_t>(
+        static_cast<uint64_t>(TrainMis / (8.0 * 32)), 1, MaxSites));
+    G.ItersPerRound =
+        std::max(8u, static_cast<uint32_t>(TrainMis / (G.Sites * 8.0)));
+    Plan.Groups.push_back(G);
+    SitesUsed += G.Sites;
+    MisBudget -= std::min<uint64_t>(MisBudget, G.expectedMdas(R));
+  }
+
+  // ---- early-onset group: needs TH > 10 to be profiled (Fig. 10) -----------
+  // Capped in absolute terms: early-onset behaviour is a property of a
+  // few warm-up-phase instructions, not of the whole MDA population.
+  double EarlyMis = std::min(Info.EarlyOnsetFrac * MisTargetD,
+                             0.002 * static_cast<double>(Scale.TotalRefs));
+  if (EarlyMis >= 16.0) {
+    SiteGroup G;
+    G.Size = Info.Size;
+    G.Bias = BiasKind::Always;
+    G.OnsetRound = 1;
+    G.ItersPerRound = 24; // onset at execution 24: TH=10 misses, TH=50 sees
+    uint32_t MaxSites = std::max(1u, NmiEff / 8);
+    G.Sites = static_cast<uint32_t>(std::clamp<uint64_t>(
+        static_cast<uint64_t>(EarlyMis / (24.0 * (R - 1))), 1, MaxSites));
+    Plan.Groups.push_back(G);
+    SitesUsed += G.Sites;
+    MisBudget -= std::min<uint64_t>(MisBudget, G.expectedMdas(R));
+  }
+
+  // ---- rare-misalignment group: high-traffic sites that are almost
+  // always aligned (1/16 misaligned) — the multi-version target
+  // population (Fig. 14).  Their misaligned accesses come out of the
+  // global budget, which caps how much traffic low-ratio benchmarks can
+  // route through them.
+  if (Info.FracRareRefs > 0.0) {
+    uint64_t RareRefs = static_cast<uint64_t>(
+        Info.FracRareRefs * static_cast<double>(Scale.TotalRefs));
+    uint64_t RareMis = std::min<uint64_t>(RareRefs / 16, MisBudget / 4);
+    if (RareMis >= 16) {
+      SiteGroup G;
+      G.Size = Info.Size;
+      G.Bias = BiasKind::Rare;
+      G.OnsetRound = 0;
+      G.Sites = static_cast<uint32_t>(
+          std::clamp<uint64_t>(NmiEff / 16, 2, 8));
+      uint64_t Ipr = RareMis * 16 / (static_cast<uint64_t>(G.Sites) * R);
+      G.ItersPerRound =
+          static_cast<uint32_t>(std::max<uint64_t>(16, Ipr & ~15ULL));
+      Plan.Groups.push_back(G);
+      SitesUsed += G.Sites;
+      MisBudget -= std::min<uint64_t>(MisBudget, G.expectedMdas(R));
+    }
+  }
+
+  // ---- showcase group: preserves the census NMI.  Gated sections whose
+  // sites only execute while misaligned (per-instruction ratio 100%,
+  // matching Fig. 15's dominant class) and whose blocks are too cold to
+  // ever become hot (policy-neutral beyond the census).
+  //
+  // Budget split: each hot site wants ~64 MDAs (iteration floor 8 x 8
+  // rounds); whatever the hot population cannot absorb funds showcase
+  // sites at 1-4 MDAs each.
+  uint32_t SitesAvail = NmiEff > SitesUsed ? NmiEff - SitesUsed : 1;
+  uint32_t HotTarget = static_cast<uint32_t>(std::clamp<uint64_t>(
+      MisBudget / 64, 1, std::min(SitesAvail, 24u)));
+  // NMI fidelity first: shrink the hot population until the showcase
+  // allowance (budget - 64*hot) can fund one MDA per remaining site.
+  uint64_t NmiCap = MisBudget > SitesAvail
+                        ? (MisBudget - SitesAvail) / 63
+                        : 0;
+  HotTarget = static_cast<uint32_t>(
+      std::min<uint64_t>(HotTarget, NmiCap));
+  if (MisBudget < 128)
+    HotTarget = 0; // too poor for a hot loop: census sites only
+  uint32_t ShowSites = SitesAvail > HotTarget ? SitesAvail - HotTarget : 0;
+  uint64_t ShowAllowance =
+      MisBudget > static_cast<uint64_t>(HotTarget) * 64
+          ? MisBudget - static_cast<uint64_t>(HotTarget) * 64
+          : 0;
+  ShowSites = static_cast<uint32_t>(
+      std::min<uint64_t>(ShowSites, ShowAllowance));
+  if (ShowSites > 0) {
+    SiteGroup G;
+    G.Size = Info.Size;
+    G.Bias = BiasKind::Always;
+    G.GatedIters = true;
+    G.ItersPerRound = 1;
+    uint32_t Active = static_cast<uint32_t>(std::clamp<uint64_t>(
+        ShowAllowance / (2 * ShowSites), 1, 4));
+    G.Sites = ShowSites;
+    G.OnsetRound = R - Active;
+    Plan.Groups.push_back(G);
+    SitesUsed += G.Sites;
+    MisBudget -= std::min<uint64_t>(MisBudget, G.expectedMdas(R));
+  }
+
+  // ---- stable hot groups with the Fig. 15 bias mix --------------------------
+  if (MisBudget > 0 && HotTarget > 0) {
+    uint32_t HotSites = HotTarget;
+    uint32_t AvailHot = SitesAvail > ShowSites ? SitesAvail - ShowSites : 1;
+    HotSites = std::min(HotSites, std::max(1u, AvailHot));
+
+    struct BiasShare {
+      BiasKind Bias;
+      double Frac;
+    };
+    const BiasShare Shares[] = {
+        {BiasKind::Above50, Info.FracAbove50},
+        {BiasKind::Equal50, Info.FracEqual50},
+        {BiasKind::Below50, Info.FracBelow50},
+        {BiasKind::Always,
+         std::max(0.0, 1.0 - Info.FracAbove50 - Info.FracEqual50 -
+                           Info.FracBelow50)},
+    };
+    // One site minimum per nonzero class when the population is big
+    // enough; tiny populations collapse to Always-only.
+    uint32_t SiteCounts[4] = {};
+    if (HotSites >= 8) {
+      uint32_t Assigned = 0;
+      for (int I = 0; I != 3; ++I) {
+        SiteCounts[I] = static_cast<uint32_t>(
+            std::round(Shares[I].Frac * HotSites));
+        if (Shares[I].Frac > 0 && SiteCounts[I] == 0)
+          SiteCounts[I] = 1;
+        Assigned += SiteCounts[I];
+      }
+      SiteCounts[3] = HotSites > Assigned ? HotSites - Assigned : 1;
+    } else {
+      SiteCounts[3] = HotSites;
+    }
+
+    double Weighted = 0;
+    for (int I = 0; I != 4; ++I)
+      Weighted += SiteCounts[I] * biasFraction(Shares[I].Bias);
+    uint32_t Ipr = static_cast<uint32_t>(std::clamp<double>(
+        static_cast<double>(MisBudget) / (R * std::max(1.0, Weighted)), 8,
+        1000000));
+    for (int I = 0; I != 4; ++I) {
+      if (SiteCounts[I] == 0)
+        continue;
+      SiteGroup G;
+      G.Size = Info.Size;
+      G.Bias = Shares[I].Bias;
+      G.OnsetRound = 0;
+      G.Sites = SiteCounts[I];
+      G.ItersPerRound = Ipr;
+      Plan.Groups.push_back(G);
+    }
+  }
+
+  // ---- aligned filler: total-reference budget + Fig. 10 heat ---------------
+  uint64_t RefsSoFar = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    RefsSoFar += G.expectedRefs(R);
+  if (RefsSoFar < Scale.TotalRefs) {
+    uint64_t Needed = Scale.TotalRefs - RefsSoFar;
+    SiteGroup G;
+    G.Size = 4;
+    G.Bias = BiasKind::Aligned;
+    G.OnsetRound = R; // never misaligned
+    uint32_t Sections = std::max(1u, Info.FillerSections);
+    G.Sites = Sections * 4;
+    G.ItersPerRound = std::max(
+        8u, static_cast<uint32_t>(Needed / (static_cast<uint64_t>(G.Sites) * R)));
+    G.StoreEvery = 4;
+    G.SitesPerSection = 4; // few, very hot blocks
+    Plan.Groups.push_back(G);
+  }
+
+  return Plan;
+}

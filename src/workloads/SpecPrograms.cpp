@@ -1,0 +1,27 @@
+//===- workloads/SpecPrograms.cpp -----------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SpecPrograms.h"
+
+using namespace mdabt;
+using namespace mdabt::workloads;
+
+guest::GuestImage mdabt::workloads::buildBenchmark(const BenchmarkInfo &Info,
+                                                   InputKind Input,
+                                                   const ScaleConfig &Scale) {
+  return buildProgram(makePlan(Info, Scale), Input);
+}
+
+Fig1Pair mdabt::workloads::buildFig1Pair(const BenchmarkInfo &Info,
+                                         double PaddingFactor,
+                                         const ScaleConfig &Scale) {
+  ProgramPlan Plan = makePlan(Info, Scale);
+  Fig1Pair Pair;
+  Pair.Default = buildProgram(Plan, InputKind::Ref, LayoutKind::Default);
+  Pair.Aligned = buildProgram(Plan, InputKind::Ref,
+                              LayoutKind::AlignedPadded, PaddingFactor);
+  return Pair;
+}

@@ -1,0 +1,40 @@
+//===- workloads/SpecPrograms.h - Benchmark image construction -*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience layer over the catalog + kernel generator: build the REF
+/// and TRAIN guest binaries for any Table-I benchmark, and the
+/// default-vs-alignment-enforced pair used by the Figure 1 experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_WORKLOADS_SPECPROGRAMS_H
+#define MDABT_WORKLOADS_SPECPROGRAMS_H
+
+#include "workloads/SpecCatalog.h"
+
+namespace mdabt {
+namespace workloads {
+
+/// Build one benchmark's guest binary for the given input set.
+guest::GuestImage buildBenchmark(const BenchmarkInfo &Info, InputKind Input,
+                                 const ScaleConfig &Scale = ScaleConfig());
+
+/// The Figure 1 experiment: the same program as released (misaligned
+/// data) and as compiled with alignment-enforcing flags (aligned but
+/// padded data).  \p PaddingFactor models how aggressively the compiler
+/// pads (the paper compares pathscale vs icc).
+struct Fig1Pair {
+  guest::GuestImage Default;
+  guest::GuestImage Aligned;
+};
+Fig1Pair buildFig1Pair(const BenchmarkInfo &Info, double PaddingFactor,
+                       const ScaleConfig &Scale = ScaleConfig());
+
+} // namespace workloads
+} // namespace mdabt
+
+#endif // MDABT_WORKLOADS_SPECPROGRAMS_H

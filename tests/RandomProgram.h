@@ -1,0 +1,250 @@
+//===- tests/RandomProgram.h - Random guest program generator --*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic random-program generator shared by the fuzz-style
+/// differential tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_TESTS_RANDOMPROGRAM_H
+#define MDABT_TESTS_RANDOMPROGRAM_H
+
+#include "guest/Assembler.h"
+#include "support/RNG.h"
+
+#include <vector>
+
+namespace mdabt {
+namespace testutil {
+
+/// Generates a random but well-formed guest program.
+///
+/// Register discipline: edi (7) permanently holds the data-buffer base;
+/// esi (6) is the loop counter register; esp (4) is never a destination.
+/// Scratch registers are eax..ebp minus esp.
+class RandomProgram {
+public:
+  explicit RandomProgram(uint64_t Seed) : R(Seed), B("fuzz") {}
+
+  guest::GuestImage build() {
+    using namespace guest;
+    Buffer = B.dataReserve(128 * 1024, 8);
+    // Give the data segment deterministic non-zero contents.
+    for (int I = 0; I != 64; ++I)
+      B.dataU64(R.next());
+
+    B.movri(7, static_cast<int32_t>(Buffer));
+
+    // Pre-declare leaf functions.
+    unsigned NumFuncs = 1 + static_cast<unsigned>(R.below(2));
+    for (unsigned F = 0; F != NumFuncs; ++F)
+      Funcs.push_back(B.newLabel());
+
+    unsigned Segments = 3 + static_cast<unsigned>(R.below(5));
+    for (unsigned S = 0; S != Segments; ++S) {
+      switch (R.below(4)) {
+      case 0:
+        emitStraightLine(4 + R.below(10));
+        break;
+      case 1:
+        emitLoop();
+        break;
+      case 2:
+        emitDiamond();
+        break;
+      case 3:
+        B.call(Funcs[R.below(Funcs.size())]);
+        break;
+      }
+    }
+    // Make every register observable.
+    for (uint8_t G = 0; G != guest::NumGPR; ++G)
+      B.chk(G);
+    for (uint8_t Q = 0; Q != guest::NumQReg; ++Q)
+      B.qchk(Q);
+    B.halt();
+
+    // Leaf function bodies.
+    for (guest::ProgramBuilder::Label F : Funcs) {
+      B.bind(F);
+      emitStraightLine(3 + R.below(6));
+      B.ret();
+    }
+    return B.build();
+  }
+
+private:
+  /// A scratch GPR that is safe to clobber (not esp/esi/edi).
+  uint8_t scratchReg() {
+    static const uint8_t Regs[] = {0, 1, 2, 3, 5};
+    return Regs[R.below(5)];
+  }
+
+  /// Any GPR as a source.
+  uint8_t sourceReg() { return static_cast<uint8_t>(R.below(8)); }
+
+  void emitMemoryOp() {
+    using namespace guest;
+    unsigned SizeIdx = R.below(4);
+    int32_t Disp = static_cast<int32_t>(R.below(60000));
+    Mem M = mem(7, Disp);
+    if (R.chance(0.5)) {
+      uint8_t Idx = scratchReg();
+      B.andi(Idx, 0x3ff); // bound the index
+      M = memIdx(7, Idx, static_cast<uint8_t>(R.below(4)), Disp);
+    }
+    uint8_t Data = scratchReg();
+    uint8_t QData = static_cast<uint8_t>(R.below(guest::NumQReg));
+    switch (SizeIdx) {
+    case 0:
+      R.chance(0.5) ? B.ldb(Data, M) : B.stb(M, Data);
+      break;
+    case 1:
+      R.chance(0.5) ? B.ldw(Data, M) : B.stw(M, Data);
+      break;
+    case 2:
+      R.chance(0.5) ? B.ldl(Data, M) : B.stl(M, Data);
+      break;
+    case 3:
+      R.chance(0.5) ? B.ldq(QData, M) : B.stq(M, QData);
+      break;
+    }
+  }
+
+  void emitAluOp() {
+    using namespace guest;
+    uint8_t Dst = scratchReg();
+    uint8_t Src = sourceReg();
+    int32_t Imm = static_cast<int32_t>(R.next());
+    switch (R.below(12)) {
+    case 0:
+      B.movri(Dst, Imm);
+      break;
+    case 1:
+      B.add(Dst, Src);
+      break;
+    case 2:
+      B.sub(Dst, Src);
+      break;
+    case 3:
+      B.mul(Dst, Src);
+      break;
+    case 4:
+      B.and_(Dst, Src);
+      break;
+    case 5:
+      B.or_(Dst, Src);
+      break;
+    case 6:
+      B.xor_(Dst, Src);
+      break;
+    case 7:
+      B.shli(Dst, static_cast<int32_t>(R.below(32)));
+      break;
+    case 8:
+      B.shri(Dst, static_cast<int32_t>(R.below(32)));
+      break;
+    case 9:
+      B.sari(Dst, static_cast<int32_t>(R.below(32)));
+      break;
+    case 10:
+      B.addi(Dst, Imm);
+      break;
+    case 11:
+      B.xori(Dst, Imm);
+      break;
+    }
+  }
+
+  void emitQOp() {
+    using namespace guest;
+    uint8_t Dst = static_cast<uint8_t>(R.below(guest::NumQReg));
+    uint8_t Src = static_cast<uint8_t>(R.below(guest::NumQReg));
+    switch (R.below(6)) {
+    case 0:
+      B.qmovi(Dst, static_cast<int32_t>(R.next()));
+      break;
+    case 1:
+      B.qadd(Dst, Src);
+      break;
+    case 2:
+      B.qaddi(Dst, static_cast<int32_t>(R.next()));
+      break;
+    case 3:
+      B.qxor(Dst, Src);
+      break;
+    case 4:
+      B.gtoq(Dst, sourceReg());
+      break;
+    case 5:
+      B.qtog(scratchReg(), Src);
+      break;
+    }
+  }
+
+  void emitStraightLine(uint64_t Ops) {
+    for (uint64_t I = 0; I != Ops; ++I) {
+      switch (R.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        emitMemoryOp();
+        break;
+      case 4:
+      case 5:
+      case 6:
+      case 7:
+        emitAluOp();
+        break;
+      case 8:
+        emitQOp();
+        break;
+      case 9:
+        B.chk(sourceReg());
+        break;
+      }
+    }
+  }
+
+  void emitLoop() {
+    using namespace guest;
+    uint32_t Iters = 5 + static_cast<uint32_t>(R.below(60));
+    B.movri(6, static_cast<int32_t>(Iters));
+    ProgramBuilder::Label Top = B.here();
+    emitStraightLine(3 + R.below(8));
+    B.subi(6, 1);
+    B.cmpi(6, 0);
+    B.jcc(Cond::Ne, Top);
+  }
+
+  void emitDiamond() {
+    using namespace guest;
+    static const Cond Conds[] = {Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge,
+                                 Cond::Le, Cond::Gt, Cond::B,  Cond::Ae};
+    ProgramBuilder::Label Else = B.newLabel();
+    ProgramBuilder::Label End = B.newLabel();
+    B.cmpi(sourceReg(), static_cast<int32_t>(R.next()));
+    B.jcc(Conds[R.below(8)], Else);
+    emitStraightLine(2 + R.below(5));
+    B.jmp(End);
+    B.bind(Else);
+    emitStraightLine(2 + R.below(5));
+    B.bind(End);
+  }
+
+  RNG R;
+  guest::ProgramBuilder B;
+  uint32_t Buffer = 0;
+  std::vector<guest::ProgramBuilder::Label> Funcs;
+};
+
+
+} // namespace testutil
+} // namespace mdabt
+
+#endif // MDABT_TESTS_RANDOMPROGRAM_H

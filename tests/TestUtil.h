@@ -1,0 +1,128 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the integration tests: the interpreter oracle (run
+/// an image to completion and capture the observable final state) and
+/// tiny guest programs with interesting MDA behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_TESTS_TESTUTIL_H
+#define MDABT_TESTS_TESTUTIL_H
+
+#include "dbt/Engine.h"
+#include "guest/Assembler.h"
+#include "guest/GuestCPU.h"
+#include "guest/GuestMemory.h"
+#include "guest/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+namespace mdabt {
+namespace testutil {
+
+/// Observable final state of a run (flags excluded: translated code
+/// legitimately does not maintain guest flags across blocks).
+struct Oracle {
+  uint32_t Gpr[guest::NumGPR];
+  uint64_t Qreg[guest::NumQReg];
+  uint64_t Checksum;
+  uint64_t MemoryHash;
+};
+
+/// Run \p Image under the pure interpreter.
+inline Oracle interpretOracle(const guest::GuestImage &Image,
+                              uint64_t MaxInsts = 500'000'000ULL) {
+  guest::GuestMemory Mem;
+  Mem.loadImage(Image);
+  guest::GuestCPU Cpu;
+  Cpu.reset(Image);
+  guest::Interpreter Interp(Mem);
+  Interp.run(Cpu, MaxInsts);
+  EXPECT_TRUE(Cpu.Halted) << "oracle run did not halt";
+  Oracle O;
+  for (unsigned I = 0; I != guest::NumGPR; ++I)
+    O.Gpr[I] = Cpu.Gpr[I];
+  for (unsigned I = 0; I != guest::NumQReg; ++I)
+    O.Qreg[I] = Cpu.Qreg[I];
+  O.Checksum = Cpu.Checksum;
+  O.MemoryHash = dbt::fnv1a(Mem.data(), Mem.size());
+  return O;
+}
+
+/// Assert that an engine run reproduced the oracle exactly.
+inline void expectMatchesOracle(const dbt::RunResult &R, const Oracle &O,
+                                const char *What) {
+  EXPECT_TRUE(R.Completed) << What << ": engine run did not complete";
+  EXPECT_EQ(R.Checksum, O.Checksum) << What << ": checksum diverged";
+  EXPECT_EQ(R.MemoryHash, O.MemoryHash) << What << ": memory diverged";
+  for (unsigned I = 0; I != guest::NumGPR; ++I)
+    EXPECT_EQ(R.FinalCpu.Gpr[I], O.Gpr[I])
+        << What << ": GPR " << I << " diverged";
+  for (unsigned I = 0; I != guest::NumQReg; ++I)
+    EXPECT_EQ(R.FinalCpu.Qreg[I], O.Qreg[I])
+        << What << ": Q" << I << " diverged";
+}
+
+/// A program with a hot loop whose 4-byte accesses are all misaligned:
+/// the canonical MDA-heavy kernel.
+inline guest::GuestImage misalignedSumProgram(uint32_t Iters) {
+  using namespace guest;
+  ProgramBuilder B("misaligned-sum");
+  uint32_t Buf = B.dataReserve(Iters * 4 + 16, 8);
+  B.movri(0, static_cast<int32_t>(Buf + 1)); // misaligned base
+  B.movri(1, 0);                             // i
+  B.movri(2, 0x01020304);                    // store value
+  ProgramBuilder::Label Loop = B.here();
+  B.stl(memIdx(0, 1, 2, 0), 2);
+  B.ldl(3, memIdx(0, 1, 2, 0));
+  B.add(2, 3);
+  B.addi(1, 1);
+  B.cmpi(1, static_cast<int32_t>(Iters));
+  B.jcc(Cond::B, Loop);
+  B.chk(2);
+  B.chk(3);
+  B.halt();
+  return B.build();
+}
+
+/// A program whose loop switches from aligned to misaligned accesses at
+/// iteration \p Onset (late-onset behaviour: the dynamic-profiling
+/// escape of paper Table III).
+inline guest::GuestImage lateOnsetProgram(uint32_t Iters, uint32_t Onset) {
+  using namespace guest;
+  ProgramBuilder B("late-onset");
+  uint32_t Buf = B.dataReserve(64, 8);
+  uint32_t Slot = B.dataU32(Buf); // base pointer, aligned initially
+  B.movri(1, 0);                  // i
+  ProgramBuilder::Label Loop = B.here();
+  // if (i == Onset) *slot += 1;
+  ProgramBuilder::Label Skip = B.newLabel();
+  B.cmpi(1, static_cast<int32_t>(Onset));
+  B.jcc(Cond::Ne, Skip);
+  B.movri(3, static_cast<int32_t>(Slot));
+  B.ldl(0, mem(3, 0));
+  B.addi(0, 1);
+  B.stl(mem(3, 0), 0);
+  B.bind(Skip);
+  B.movri(3, static_cast<int32_t>(Slot));
+  B.ldl(0, mem(3, 0)); // base
+  B.movri(2, 0x1234);
+  B.stl(mem(0, 0), 2);
+  B.ldl(2, mem(0, 0));
+  B.chk(2);
+  B.addi(1, 1);
+  B.cmpi(1, static_cast<int32_t>(Iters));
+  B.jcc(Cond::B, Loop);
+  B.halt();
+  return B.build();
+}
+
+} // namespace testutil
+} // namespace mdabt
+
+#endif // MDABT_TESTS_TESTUTIL_H

@@ -1,0 +1,175 @@
+//===- tests/catalog_property_test.cpp - Planner invariants ---------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests over all 54 catalog entries: the synthesis plan must
+/// satisfy its structural invariants (pattern minimums, gating rules,
+/// site budgets) and its analytical census must track the paper's
+/// Table I within tolerance — for every benchmark, not just the ones the
+/// experiments highlight.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SpecCatalog.h"
+#include "workloads/SpecPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::workloads;
+
+namespace {
+
+class CatalogPropertyTest
+    : public ::testing::TestWithParam<const BenchmarkInfo *> {};
+
+std::vector<const BenchmarkInfo *> allBenchmarks() {
+  std::vector<const BenchmarkInfo *> Out;
+  for (const BenchmarkInfo &B : specCatalog())
+    Out.push_back(&B);
+  return Out;
+}
+
+uint64_t planMdas(const ProgramPlan &Plan) {
+  uint64_t Total = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    Total += G.expectedMdas(Plan.Rounds);
+  return Total;
+}
+
+uint64_t planRefs(const ProgramPlan &Plan) {
+  uint64_t Total = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    Total += G.expectedRefs(Plan.Rounds);
+  return Total;
+}
+
+uint32_t planMdaSites(const ProgramPlan &Plan) {
+  uint32_t Total = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    if (G.expectedMdas(Plan.Rounds) != 0)
+      Total += G.Sites;
+  return Total;
+}
+
+} // namespace
+
+TEST_P(CatalogPropertyTest, PlanStructuralInvariants) {
+  const BenchmarkInfo &Info = *GetParam();
+  ScaleConfig Scale;
+  ProgramPlan Plan = makePlan(Info, Scale);
+  ASSERT_FALSE(Plan.Groups.empty());
+  for (const SiteGroup &G : Plan.Groups) {
+    EXPECT_GT(G.Sites, 0u) << Info.Name;
+    EXPECT_GT(G.ItersPerRound, 0u) << Info.Name;
+    EXPECT_TRUE(G.Size == 2 || G.Size == 4 || G.Size == 8) << Info.Name;
+    // Pattern minimums.
+    switch (G.Bias) {
+    case BiasKind::Rare:
+      EXPECT_GE(G.ItersPerRound, 16u) << Info.Name;
+      break;
+    case BiasKind::Equal50:
+    case BiasKind::Above50:
+    case BiasKind::Below50:
+      EXPECT_GE(G.ItersPerRound, 8u) << Info.Name;
+      break;
+    default:
+      break;
+    }
+    // Gated groups: Always bias only (they share RTmp with the bias
+    // computation otherwise).
+    if (G.GatedIters) {
+      EXPECT_EQ(G.Bias, BiasKind::Always) << Info.Name;
+    }
+    // Ref-only groups must misalign from round zero under REF.
+    if (G.RefOnly) {
+      EXPECT_EQ(G.OnsetRound, 0u) << Info.Name;
+    }
+  }
+}
+
+TEST_P(CatalogPropertyTest, PlanTracksPaperRatio) {
+  const BenchmarkInfo &Info = *GetParam();
+  ScaleConfig Scale;
+  ProgramPlan Plan = makePlan(Info, Scale);
+  double Ratio = static_cast<double>(planMdas(Plan)) /
+                 static_cast<double>(std::max<uint64_t>(
+                     planRefs(Plan), Scale.TotalRefs));
+  double Target = std::min(Info.PaperRatio, Scale.MaxMisFraction);
+  // The plan floors tiny ratios at a few MDAs per site, so the check is
+  // one-sided for near-zero rows and two-sided elsewhere.
+  if (Target >= 0.001) {
+    EXPECT_NEAR(Ratio, Target, std::max(0.45 * Target, 0.001))
+        << Info.Name;
+  } else {
+    EXPECT_LT(Ratio, 0.01) << Info.Name;
+  }
+}
+
+TEST_P(CatalogPropertyTest, PlanPreservesNmiWithinBudget) {
+  const BenchmarkInfo &Info = *GetParam();
+  ScaleConfig Scale;
+  ProgramPlan Plan = makePlan(Info, Scale);
+  uint32_t Sites = planMdaSites(Plan);
+  EXPECT_GT(Sites, 0u) << Info.Name;
+  // Never more MDA sites than the paper's NMI (plus the handful of rare
+  // sites that model mixed-traffic populations).
+  EXPECT_LE(Sites, Info.PaperNmi + 8) << Info.Name;
+  // When the MDA budget covers the paper's NMI, the plan must use most
+  // of it.
+  uint64_t Budget = planMdas(Plan);
+  if (Budget >= 2ULL * Info.PaperNmi) {
+    EXPECT_GE(Sites, Info.PaperNmi * 9 / 10) << Info.Name;
+  }
+}
+
+TEST_P(CatalogPropertyTest, DataFitsBelowRuntimeRegion) {
+  const BenchmarkInfo &Info = *GetParam();
+  ScaleConfig Scale;
+  guest::GuestImage Image = buildBenchmark(Info, InputKind::Ref, Scale);
+  EXPECT_LT(Image.dataEnd(), guest::layout::RuntimeBase) << Info.Name;
+  EXPECT_LT(Image.codeEnd(), guest::layout::DataBase) << Info.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All54, CatalogPropertyTest, ::testing::ValuesIn(allBenchmarks()),
+    [](const ::testing::TestParamInfo<const BenchmarkInfo *> &I) {
+      std::string Name = I.param->Name;
+      for (char &C : Name)
+        if (C == '.' || C == '-')
+          C = '_';
+      return Name;
+    });
+
+TEST(CatalogScaleTest, PlansScaleWithRefBudget) {
+  const BenchmarkInfo *Info = findBenchmark("453.povray");
+  ASSERT_NE(Info, nullptr);
+  ScaleConfig Small;
+  Small.TotalRefs = 100000;
+  ScaleConfig Large;
+  Large.TotalRefs = 1000000;
+  uint64_t SmallMdas = planMdas(makePlan(*Info, Small));
+  uint64_t LargeMdas = planMdas(makePlan(*Info, Large));
+  // MDAs scale roughly linearly with the reference budget.
+  EXPECT_GT(LargeMdas, SmallMdas * 7);
+  EXPECT_LT(LargeMdas, SmallMdas * 14);
+}
+
+TEST(CatalogScaleTest, RefOnlyGroupsOnlyForTrainEscapers) {
+  ScaleConfig Scale;
+  for (const BenchmarkInfo &Info : specCatalog()) {
+    ProgramPlan Plan = makePlan(Info, Scale);
+    bool HasRefOnly = false;
+    for (const SiteGroup &G : Plan.Groups)
+      HasRefOnly |= G.RefOnly;
+    if (Info.trainEscapeFrac() * Info.PaperRatio * Scale.TotalRefs < 16) {
+      EXPECT_FALSE(HasRefOnly) << Info.Name;
+    }
+    if (Info.trainEscapeFrac() > 0.05 && Info.PaperRatio > 0.01) {
+      EXPECT_TRUE(HasRefOnly) << Info.Name;
+    }
+  }
+}

@@ -1,0 +1,179 @@
+//===- tests/codecache_test.cpp - Code-cache management tests -------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for code-cache capacity flushes and Dynamo-style
+/// flush-on-supersede (paper section IV-C contrasts DigitalBridge's
+/// block-granularity invalidation with Dynamo's whole-cache flush).
+/// Every configuration must preserve differential correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "RandomProgram.h"
+#include "TestUtil.h"
+
+#include "host/CodeSpace.h"
+#include "mda/Policies.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::testutil;
+
+namespace {
+
+/// A program with many independently hot leaf functions plus one
+/// late-onset MDA block — warm code a full flush must re-pay for.
+guest::GuestImage manyWarmBlocksProgram(uint32_t Outer, uint32_t Onset,
+                                        unsigned NumFuncs) {
+  using namespace guest;
+  ProgramBuilder B("many-warm");
+  uint32_t Buf = B.dataReserve(4096, 8);
+  uint32_t Slot = B.dataU32(Buf);
+  std::vector<ProgramBuilder::Label> Funcs;
+  for (unsigned F = 0; F != NumFuncs; ++F)
+    Funcs.push_back(B.newLabel());
+
+  B.movri(6, 0);
+  ProgramBuilder::Label Loop = B.here();
+  ProgramBuilder::Label Skip = B.newLabel();
+  B.cmpi(6, static_cast<int32_t>(Onset));
+  B.jcc(Cond::Ne, Skip);
+  B.movri(3, static_cast<int32_t>(Slot));
+  B.ldl(0, mem(3, 0));
+  B.addi(0, 1);
+  B.stl(mem(3, 0), 0);
+  B.bind(Skip);
+  B.movri(3, static_cast<int32_t>(Slot));
+  B.ldl(0, mem(3, 0));
+  B.movri(2, 0x42);
+  B.stl(mem(0, 0), 2);
+  B.stl(mem(0, 8), 2);
+  B.ldl(2, mem(0, 0));
+  B.chk(2);
+  for (ProgramBuilder::Label F : Funcs)
+    B.call(F);
+  B.addi(6, 1);
+  B.cmpi(6, static_cast<int32_t>(Outer));
+  B.jcc(Cond::B, Loop);
+  B.halt();
+
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    B.bind(Funcs[F]);
+    uint32_t FBuf = B.dataReserve(256, 8);
+    B.movri(0, static_cast<int32_t>(FBuf));
+    B.movri(1, 0);
+    ProgramBuilder::Label Inner = B.here();
+    B.stl(memIdx(0, 1, 2, 0), 6);
+    B.ldl(2, memIdx(0, 1, 2, 0));
+    B.addi(1, 1);
+    B.cmpi(1, 8);
+    B.jcc(Cond::B, Inner);
+    B.chk(2);
+    B.ret();
+  }
+  return B.build();
+}
+
+} // namespace
+
+TEST(CodeCacheTest, CapacityFlushPreservesCorrectness) {
+  // Small cache + several hot blocks: every new install evicts the
+  // world.  (A single-block program can never flush: capacity is
+  // checked when a new block is installed.)
+  guest::GuestImage Image = manyWarmBlocksProgram(300, 1000, 4);
+  Oracle O = interpretOracle(Image);
+  dbt::EngineConfig Config;
+  Config.CodeCacheLimitWords = 64;
+  mda::DpehPolicy Policy(10);
+  dbt::Engine Engine(Image, Policy, Config);
+  dbt::RunResult R = Engine.run();
+  expectMatchesOracle(R, O, "tiny code cache");
+  EXPECT_GE(R.Counters.get("dbt.flushes"), 1u);
+}
+
+TEST(CodeCacheTest, CapacityFlushRetranslatesWarmBlocks) {
+  guest::GuestImage Image = manyWarmBlocksProgram(600, 1000, 6);
+  Oracle O = interpretOracle(Image);
+  dbt::EngineConfig Config;
+  Config.CodeCacheLimitWords = 200;
+  mda::DpehPolicy Policy(10);
+  dbt::Engine Engine(Image, Policy, Config);
+  dbt::RunResult R = Engine.run();
+  expectMatchesOracle(R, O, "capacity flush, warm blocks");
+  EXPECT_GE(R.Counters.get("dbt.flushes"), 1u);
+  // More translations than distinct blocks: flush victims came back.
+  mda::DpehPolicy Unlimited(10);
+  dbt::Engine E2(Image, Unlimited);
+  dbt::RunResult RU = E2.run();
+  EXPECT_GT(R.Counters.get("dbt.translations"),
+            RU.Counters.get("dbt.translations"));
+}
+
+TEST(CodeCacheTest, NoFlushWhenUnlimited) {
+  guest::GuestImage Image = misalignedSumProgram(500);
+  mda::DpehPolicy Policy(10);
+  dbt::Engine Engine(Image, Policy);
+  dbt::RunResult R = Engine.run();
+  EXPECT_EQ(R.Counters.get("dbt.flushes"), 0u);
+}
+
+TEST(CodeCacheTest, FlushOnSupersedeIsDynamoStyle) {
+  // Retranslation-triggering workload with many warm leaf functions:
+  // with FlushOnSupersede the supersede becomes a whole-cache flush,
+  // which must re-pay translation for the untouched warm blocks
+  // (the paper's section IV-C contrast).
+  guest::GuestImage Image = manyWarmBlocksProgram(1200, 400, 8);
+  Oracle O = interpretOracle(Image);
+
+  mda::DpehOptions Opts;
+  Opts.RetranslateThreshold = 2;
+  dbt::EngineConfig Dynamo;
+  Dynamo.FlushOnSupersede = true;
+
+  mda::DpehPolicy PolicyA(50, Opts);
+  dbt::Engine EngineA(Image, PolicyA, Dynamo);
+  dbt::RunResult Flushed = EngineA.run();
+  expectMatchesOracle(Flushed, O, "dynamo-style flush");
+  EXPECT_GE(Flushed.Counters.get("dbt.flushes"), 1u);
+
+  mda::DpehPolicy PolicyB(50, Opts);
+  dbt::Engine EngineB(Image, PolicyB);
+  dbt::RunResult BlockGranular = EngineB.run();
+  expectMatchesOracle(BlockGranular, O, "block-granularity invalidation");
+  EXPECT_EQ(BlockGranular.Counters.get("dbt.flushes"), 0u);
+
+  // Flushing everything re-pays translation for untouched blocks.
+  EXPECT_GT(Flushed.Counters.get("dbt.translations"),
+            BlockGranular.Counters.get("dbt.translations"));
+}
+
+TEST(CodeCacheTest, FlushedFuzzProgramsStayCorrect) {
+  for (uint64_t Seed = 200; Seed != 212; ++Seed) {
+    RandomProgram Gen(Seed);
+    guest::GuestImage Image = Gen.build();
+    Oracle O = interpretOracle(Image);
+    dbt::EngineConfig Config;
+    Config.CodeCacheLimitWords = 256;
+    mda::DpehOptions Opts;
+    Opts.RetranslateThreshold = 2;
+    mda::DpehPolicy Policy(10, Opts);
+    dbt::Engine Engine(Image, Policy, Config);
+    dbt::RunResult R = Engine.run();
+    expectMatchesOracle(
+        R, O, ("flush fuzz seed " + std::to_string(Seed)).c_str());
+  }
+}
+
+TEST(CodeCacheTest, ClearEmptiesArena) {
+  host::CodeSpace Code;
+  Code.append(1);
+  Code.append(2);
+  EXPECT_EQ(Code.size(), 2u);
+  Code.clear();
+  EXPECT_EQ(Code.size(), 0u);
+  EXPECT_EQ(Code.append(3), 0u);
+}

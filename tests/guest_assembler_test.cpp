@@ -1,0 +1,121 @@
+//===- tests/guest_assembler_test.cpp - ProgramBuilder unit tests ---------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+#include "guest/Encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+TEST(AssemblerTest, ForwardAndBackwardLabels) {
+  ProgramBuilder B("t");
+  auto Fwd = B.newLabel();
+  auto Back = B.here();
+  B.nop();
+  B.jmp(Fwd);
+  B.bind(Fwd);
+  B.jmp(Back);
+  GuestImage Image = B.build();
+
+  // nop @0, jmp @1 (len 5) -> target 6, jmp @6 -> target 0.
+  GuestInst I;
+  ASSERT_TRUE(decode(Image.Code.data(), Image.Code.size(), 1, I));
+  EXPECT_EQ(I.branchTarget(Image.CodeBase + 1), Image.CodeBase + 6);
+  ASSERT_TRUE(decode(Image.Code.data(), Image.Code.size(), 6, I));
+  EXPECT_EQ(I.branchTarget(Image.CodeBase + 6), Image.CodeBase + 0);
+}
+
+TEST(AssemblerTest, DataSegmentAlignmentAndInit) {
+  ProgramBuilder B("t");
+  uint32_t A = B.dataReserve(3, 1);
+  uint32_t C = B.dataU32(0xaabbccdd);
+  uint32_t D = B.dataU64(0x1122334455667788ULL);
+  uint32_t E = B.dataReserve(1, 16);
+  EXPECT_EQ(A, layout::DataBase);
+  EXPECT_EQ(C % 4, 0u);
+  EXPECT_EQ(D % 8, 0u);
+  EXPECT_EQ(E % 16, 0u);
+  B.halt();
+  GuestImage Image = B.build();
+  uint32_t V32 = 0;
+  std::memcpy(&V32, Image.Data.data() + (C - layout::DataBase), 4);
+  EXPECT_EQ(V32, 0xaabbccddu);
+  uint64_t V64 = 0;
+  std::memcpy(&V64, Image.Data.data() + (D - layout::DataBase), 8);
+  EXPECT_EQ(V64, 0x1122334455667788ULL);
+}
+
+TEST(AssemblerTest, PatchData) {
+  ProgramBuilder B("t");
+  uint32_t Slot = B.dataU32(0);
+  uint32_t Slot64 = B.dataU64(0);
+  B.patchDataU32(Slot, 777);
+  B.patchDataU64(Slot64, 0xdeadULL << 32);
+  B.halt();
+  GuestImage Image = B.build();
+  uint32_t V = 0;
+  std::memcpy(&V, Image.Data.data() + (Slot - layout::DataBase), 4);
+  EXPECT_EQ(V, 777u);
+  uint64_t V64 = 0;
+  std::memcpy(&V64, Image.Data.data() + (Slot64 - layout::DataBase), 8);
+  EXPECT_EQ(V64, 0xdeadULL << 32);
+}
+
+TEST(AssemblerTest, CodeAddressTracksEmission) {
+  ProgramBuilder B("t");
+  EXPECT_EQ(B.codeAddress(), layout::CodeBase);
+  B.nop();
+  EXPECT_EQ(B.codeAddress(), layout::CodeBase + 1);
+  B.movri(0, 5);
+  EXPECT_EQ(B.codeAddress(), layout::CodeBase + 1 + 6);
+}
+
+TEST(AssemblerTest, JccRequiresPrecedingCmp) {
+  ProgramBuilder B("t");
+  auto L = B.newLabel();
+  B.cmpi(0, 1);
+  B.jcc(Cond::Eq, L); // fine
+  B.bind(L);
+  B.halt();
+  B.build();
+
+#ifndef NDEBUG
+  ProgramBuilder Bad("t");
+  auto L2 = Bad.newLabel();
+  Bad.movri(0, 1);
+  EXPECT_DEATH(Bad.jcc(Cond::Eq, L2), "Jcc must immediately follow");
+#endif
+}
+
+#ifndef NDEBUG
+TEST(AssemblerTest, UnboundLabelDies) {
+  ProgramBuilder B("t");
+  auto L = B.newLabel();
+  B.jmp(L);
+  EXPECT_DEATH(B.build(), "unbound label");
+}
+
+TEST(AssemblerTest, DoubleBindDies) {
+  ProgramBuilder B("t");
+  auto L = B.here();
+  EXPECT_DEATH(B.bind(L), "bound twice");
+}
+#endif
+
+TEST(AssemblerTest, ImageLayoutDefaults) {
+  ProgramBuilder B("t");
+  B.halt();
+  GuestImage Image = B.build();
+  EXPECT_EQ(Image.Entry, layout::CodeBase);
+  EXPECT_EQ(Image.CodeBase, layout::CodeBase);
+  EXPECT_EQ(Image.DataBase, layout::DataBase);
+  EXPECT_EQ(Image.StackTop, layout::StackTop);
+  EXPECT_EQ(Image.Code.size(), 1u);
+}

@@ -1,0 +1,239 @@
+//===- tests/guest_encoding_test.cpp - GX86 encode/decode round trips -----==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Encoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+namespace {
+
+GuestInst roundTrip(const GuestInst &In) {
+  std::vector<uint8_t> Bytes;
+  unsigned Len = encode(In, Bytes);
+  EXPECT_EQ(Len, Bytes.size());
+  GuestInst Out;
+  EXPECT_TRUE(decode(Bytes.data(), Bytes.size(), 0, Out));
+  EXPECT_EQ(Out.Length, Bytes.size());
+  return Out;
+}
+
+} // namespace
+
+TEST(GuestEncodingTest, BareForms) {
+  for (Opcode Op : {Opcode::Nop, Opcode::Halt, Opcode::Ret}) {
+    GuestInst I;
+    I.Op = Op;
+    GuestInst O = roundTrip(I);
+    EXPECT_EQ(O.Op, Op);
+    EXPECT_EQ(O.Length, 1u);
+  }
+}
+
+TEST(GuestEncodingTest, OneRegForms) {
+  for (Opcode Op : {Opcode::Chk, Opcode::QChk, Opcode::JmpR}) {
+    for (uint8_t R = 0; R != 8; ++R) {
+      GuestInst I;
+      I.Op = Op;
+      I.Reg1 = R;
+      GuestInst O = roundTrip(I);
+      EXPECT_EQ(O.Op, Op);
+      EXPECT_EQ(O.Reg1, R);
+    }
+  }
+}
+
+TEST(GuestEncodingTest, TwoRegSweep) {
+  for (Opcode Op :
+       {Opcode::MovRR, Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or,
+        Opcode::Xor, Opcode::Shl, Opcode::Shr, Opcode::Sar, Opcode::Mul,
+        Opcode::Cmp, Opcode::QMovRR, Opcode::QAdd, Opcode::QXor,
+        Opcode::GToQ, Opcode::QToG}) {
+    for (uint8_t A = 0; A != 8; ++A) {
+      for (uint8_t B = 0; B != 8; ++B) {
+        GuestInst I;
+        I.Op = Op;
+        I.Reg1 = A;
+        I.Reg2 = B;
+        GuestInst O = roundTrip(I);
+        EXPECT_EQ(O.Op, Op);
+        EXPECT_EQ(O.Reg1, A);
+        EXPECT_EQ(O.Reg2, B);
+      }
+    }
+  }
+}
+
+TEST(GuestEncodingTest, RegImmSweep) {
+  const int32_t Imms[] = {0,       1,          -1,         127,
+                          -128,    32767,      -32768,     1000000,
+                          INT32_MAX, INT32_MIN, 0x12345678};
+  for (Opcode Op : {Opcode::MovRI, Opcode::AddI, Opcode::SubI, Opcode::AndI,
+                    Opcode::OrI, Opcode::XorI, Opcode::ShlI, Opcode::ShrI,
+                    Opcode::SarI, Opcode::MulI, Opcode::CmpI, Opcode::QMovI,
+                    Opcode::QAddI}) {
+    for (int32_t Imm : Imms) {
+      GuestInst I;
+      I.Op = Op;
+      I.Reg1 = 3;
+      I.Imm = Imm;
+      GuestInst O = roundTrip(I);
+      EXPECT_EQ(O.Op, Op);
+      EXPECT_EQ(O.Reg1, 3);
+      EXPECT_EQ(O.Imm, Imm);
+    }
+  }
+}
+
+TEST(GuestEncodingTest, MemorySweep) {
+  const int32_t Disps[] = {0, 1, -1, 127, -128, 128, -129, 32767, -100000,
+                           INT32_MAX};
+  for (Opcode Op : {Opcode::Ldb, Opcode::Ldw, Opcode::Ldl, Opcode::Ldq,
+                    Opcode::Stb, Opcode::Stw, Opcode::Stl, Opcode::Stq,
+                    Opcode::Lea}) {
+    for (int HasIdx = 0; HasIdx != 2; ++HasIdx) {
+      for (uint8_t Scale = 0; Scale != 4; ++Scale) {
+        for (int32_t Disp : Disps) {
+          GuestInst I;
+          I.Op = Op;
+          I.Reg1 = 5;
+          I.Reg2 = 2;
+          I.HasIndex = HasIdx != 0;
+          I.IndexReg = 6;
+          I.Scale = Scale;
+          I.Disp = Disp;
+          GuestInst O = roundTrip(I);
+          EXPECT_EQ(O.Op, Op);
+          EXPECT_EQ(O.Reg1, 5);
+          EXPECT_EQ(O.Reg2, 2);
+          EXPECT_EQ(O.HasIndex, I.HasIndex);
+          if (I.HasIndex) {
+            EXPECT_EQ(O.IndexReg, 6);
+          }
+          EXPECT_EQ(O.Scale, Scale);
+          EXPECT_EQ(O.Disp, Disp);
+        }
+      }
+    }
+  }
+}
+
+TEST(GuestEncodingTest, DispEncodingIsCompact) {
+  GuestInst I;
+  I.Op = Opcode::Ldl;
+  I.Disp = 0;
+  std::vector<uint8_t> B0;
+  encode(I, B0);
+  I.Disp = 100;
+  std::vector<uint8_t> B8;
+  encode(I, B8);
+  I.Disp = 100000;
+  std::vector<uint8_t> B32;
+  encode(I, B32);
+  EXPECT_EQ(B0.size(), 3u);
+  EXPECT_EQ(B8.size(), 4u);
+  EXPECT_EQ(B32.size(), 7u);
+}
+
+TEST(GuestEncodingTest, BranchForms) {
+  for (int32_t Rel : {0, 5, -10, 100000, -100000}) {
+    GuestInst I;
+    I.Op = Opcode::Jmp;
+    I.Imm = Rel;
+    GuestInst O = roundTrip(I);
+    EXPECT_EQ(O.Imm, Rel);
+
+    I.Op = Opcode::Call;
+    O = roundTrip(I);
+    EXPECT_EQ(O.Imm, Rel);
+  }
+  for (uint8_t C = 0; C <= static_cast<uint8_t>(Cond::Ae); ++C) {
+    GuestInst I;
+    I.Op = Opcode::Jcc;
+    I.CC = static_cast<Cond>(C);
+    I.Imm = -42;
+    GuestInst O = roundTrip(I);
+    EXPECT_EQ(O.CC, static_cast<Cond>(C));
+    EXPECT_EQ(O.Imm, -42);
+  }
+}
+
+TEST(GuestEncodingTest, BranchTargetArithmetic) {
+  GuestInst I;
+  I.Op = Opcode::Jmp;
+  I.Imm = -6;
+  std::vector<uint8_t> Bytes;
+  encode(I, Bytes);
+  GuestInst O;
+  ASSERT_TRUE(decode(Bytes.data(), Bytes.size(), 0, O));
+  // At PC=100, length 5, rel -6 -> target 99.
+  EXPECT_EQ(O.branchTarget(100), 99u);
+  EXPECT_EQ(O.nextPc(100), 105u);
+}
+
+TEST(GuestEncodingTest, RejectsBadOpcode) {
+  uint8_t Bytes[] = {0xff, 0x00, 0x00};
+  GuestInst I;
+  EXPECT_FALSE(decode(Bytes, sizeof(Bytes), 0, I));
+}
+
+TEST(GuestEncodingTest, RejectsTruncated) {
+  GuestInst I;
+  I.Op = Opcode::MovRI;
+  I.Imm = 123456;
+  std::vector<uint8_t> Bytes;
+  encode(I, Bytes);
+  GuestInst O;
+  for (size_t Len = 0; Len != Bytes.size(); ++Len)
+    EXPECT_FALSE(decode(Bytes.data(), Len, 0, O)) << "len=" << Len;
+}
+
+TEST(GuestEncodingTest, RejectsBadCondition) {
+  uint8_t Bytes[] = {static_cast<uint8_t>(Opcode::Jcc), 0x09, 0, 0, 0, 0};
+  GuestInst I;
+  EXPECT_FALSE(decode(Bytes, sizeof(Bytes), 0, I));
+}
+
+TEST(GuestEncodingTest, DecodeAtOffset) {
+  std::vector<uint8_t> Bytes = {0x00 /*nop pad*/};
+  GuestInst I;
+  I.Op = Opcode::AddI;
+  I.Reg1 = 2;
+  I.Imm = 77;
+  encode(I, Bytes);
+  GuestInst O;
+  ASSERT_TRUE(decode(Bytes.data(), Bytes.size(), 1, O));
+  EXPECT_EQ(O.Op, Opcode::AddI);
+  EXPECT_EQ(O.Imm, 77);
+}
+
+TEST(GuestDisasmTest, RendersKeyForms) {
+  GuestInst I;
+  I.Op = Opcode::Ldl;
+  I.Reg1 = 0;
+  I.Reg2 = 3;
+  I.HasIndex = true;
+  I.IndexReg = 6;
+  I.Scale = 2;
+  I.Disp = 8;
+  EXPECT_EQ(disassemble(I, 0), "ldl eax, [ebx + esi*4 + 8]");
+
+  GuestInst S;
+  S.Op = Opcode::Stq;
+  S.Reg1 = 1;
+  S.Reg2 = 5;
+  S.Disp = -4;
+  EXPECT_EQ(disassemble(S, 0), "stq [ebp - 4], q1");
+
+  GuestInst J;
+  J.Op = Opcode::Jcc;
+  J.CC = Cond::Ne;
+  J.Imm = 10;
+  J.Length = 6;
+  EXPECT_EQ(disassemble(J, 0x1000), "jne 0x1010");
+}

@@ -1,0 +1,351 @@
+//===- tests/guest_interp_test.cpp - GX86 interpreter semantics -----------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+#include "guest/GuestCPU.h"
+#include "guest/GuestMemory.h"
+#include "guest/Interpreter.h"
+#include "guest/MdaCensus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+namespace {
+
+/// Run an image to completion; returns the final CPU state.
+GuestCPU runImage(const GuestImage &Image, GuestMemory &Mem) {
+  Mem.loadImage(Image);
+  GuestCPU Cpu;
+  Cpu.reset(Image);
+  Interpreter Interp(Mem);
+  uint64_t N = Interp.run(Cpu, 10'000'000);
+  EXPECT_TRUE(Cpu.Halted) << "program did not halt after " << N
+                          << " instructions";
+  return Cpu;
+}
+
+GuestCPU runImage(const GuestImage &Image) {
+  GuestMemory Mem;
+  return runImage(Image, Mem);
+}
+
+} // namespace
+
+TEST(InterpTest, MoviAndChecksum) {
+  ProgramBuilder B("t");
+  B.movri(0, 42);
+  B.chk(0);
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[0], 42u);
+  EXPECT_EQ(Cpu.Checksum, 42u);
+}
+
+TEST(InterpTest, AluOps) {
+  ProgramBuilder B("t");
+  B.movri(0, 7);
+  B.movri(1, 3);
+  B.add(0, 1);  // 10
+  B.muli(0, 5); // 50
+  B.subi(0, 8); // 42
+  B.movri(2, 0xff);
+  B.and_(2, 0); // 42
+  B.ori(2, 0x100);
+  B.xori(2, 0x1);
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[0], 42u);
+  EXPECT_EQ(Cpu.Gpr[2], (42u | 0x100u) ^ 1u);
+}
+
+TEST(InterpTest, AluWrapsAt32Bits) {
+  ProgramBuilder B("t");
+  B.movri(0, INT32_MAX);
+  B.addi(0, 1); // wraps to 0x80000000
+  B.movri(1, -1);
+  B.addi(1, 2); // 1
+  B.movri(2, 0x10000);
+  B.mul(2, 2); // 2^32 -> 0
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[0], 0x80000000u);
+  EXPECT_EQ(Cpu.Gpr[1], 1u);
+  EXPECT_EQ(Cpu.Gpr[2], 0u);
+}
+
+TEST(InterpTest, Shifts) {
+  ProgramBuilder B("t");
+  B.movri(0, 1);
+  B.shli(0, 31); // 0x80000000
+  B.movri(1, 0x80000000);
+  B.shri(1, 4); // 0x08000000
+  B.movri(2, -16);
+  B.sari(2, 2); // -4
+  B.movri(3, 1);
+  B.movri(5, 33); // shift amounts mask to 5 bits: 33 & 31 == 1
+  B.shl(3, 5);    // 2
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[0], 0x80000000u);
+  EXPECT_EQ(Cpu.Gpr[1], 0x08000000u);
+  EXPECT_EQ(Cpu.Gpr[2], static_cast<uint32_t>(-4));
+  EXPECT_EQ(Cpu.Gpr[3], 2u);
+}
+
+TEST(InterpTest, LoadStoreAllSizes) {
+  ProgramBuilder B("t");
+  uint32_t Buf = B.dataReserve(64, 8);
+  B.movri(0, static_cast<int32_t>(Buf));
+  B.movri(1, 0x11223344);
+  B.stl(mem(0, 0), 1);
+  B.stb(mem(0, 8), 1);  // 0x44
+  B.stw(mem(0, 10), 1); // 0x3344
+  B.qmovi(0x0 /*q0*/, -2);
+  B.stq(mem(0, 16), 0);
+  B.ldl(2, mem(0, 0));
+  B.ldb(3, mem(0, 8));
+  B.ldw(4 + 1, mem(0, 10)); // use ebp=5
+  B.ldq(1 /*q1*/, mem(0, 16));
+  B.qchk(1);
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[2], 0x11223344u);
+  EXPECT_EQ(Cpu.Gpr[3], 0x44u);
+  EXPECT_EQ(Cpu.Gpr[5], 0x3344u);
+  EXPECT_EQ(Cpu.Qreg[1], ~1ULL);
+}
+
+TEST(InterpTest, MisalignedAccessesWork) {
+  // The guest ISA allows MDAs; the interpreter must assemble them.
+  ProgramBuilder B("t");
+  uint32_t Buf = B.dataReserve(64, 8);
+  B.movri(0, static_cast<int32_t>(Buf));
+  B.movri(1, 0xdeadbeef);
+  B.stl(mem(0, 1), 1); // misaligned store
+  B.ldl(2, mem(0, 1)); // misaligned load
+  B.ldw(3, mem(0, 3)); // misaligned halfword inside the stored word
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[2], 0xdeadbeefu);
+  EXPECT_EQ(Cpu.Gpr[3], 0xdeadu);
+}
+
+TEST(InterpTest, AddressingModes) {
+  ProgramBuilder B("t");
+  uint32_t Buf = B.dataReserve(256, 8);
+  B.movri(0, static_cast<int32_t>(Buf));
+  B.movri(1, 3); // index
+  B.movri(2, 0x55);
+  B.stl(memIdx(0, 1, 2, 4), 2); // Buf + 3*4 + 4 = Buf+16
+  B.ldl(3, mem(0, 16));
+  B.lea(4 + 3, memIdx(0, 1, 3, -8)); // edi = Buf + 24 - 8
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[3], 0x55u);
+  EXPECT_EQ(Cpu.Gpr[7], Buf + 16);
+}
+
+TEST(InterpTest, ConditionalBranches) {
+  // Compute sum 1..10 with a loop.
+  ProgramBuilder B("t");
+  B.movri(0, 0);  // sum
+  B.movri(1, 1);  // i
+  auto Loop = B.here();
+  B.add(0, 1);
+  B.addi(1, 1);
+  B.cmpi(1, 10);
+  B.jcc(Cond::Le, Loop);
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[0], 55u);
+}
+
+TEST(InterpTest, AllConditionCodes) {
+  struct Case {
+    Cond C;
+    int32_t A, B;
+    bool Taken;
+  };
+  const Case Cases[] = {
+      {Cond::Eq, 5, 5, true},    {Cond::Eq, 5, 6, false},
+      {Cond::Ne, 5, 6, true},    {Cond::Ne, 5, 5, false},
+      {Cond::Lt, -1, 0, true},   {Cond::Lt, 0, -1, false},
+      {Cond::Ge, 0, -1, true},   {Cond::Ge, -1, 0, false},
+      {Cond::Le, 3, 3, true},    {Cond::Le, 4, 3, false},
+      {Cond::Gt, 4, 3, true},    {Cond::Gt, 3, 3, false},
+      {Cond::B, 1, 2, true},     {Cond::B, -1, 2, false}, // unsigned
+      {Cond::Ae, -1, 2, true},   {Cond::Ae, 1, 2, false},
+  };
+  for (const Case &C : Cases) {
+    ProgramBuilder B("t");
+    B.movri(0, C.A);
+    B.movri(1, C.B);
+    B.movri(2, 0);
+    auto L = B.newLabel();
+    B.cmp(0, 1);
+    B.jcc(C.C, L);
+    B.movri(2, 1); // fall-through marker
+    B.bind(L);
+    B.halt();
+    GuestCPU Cpu = runImage(B.build());
+    EXPECT_EQ(Cpu.Gpr[2], C.Taken ? 0u : 1u)
+        << "cond " << condName(C.C) << " a=" << C.A << " b=" << C.B;
+  }
+}
+
+TEST(InterpTest, CallRet) {
+  ProgramBuilder B("t");
+  auto Fn = B.newLabel();
+  B.movri(0, 1);
+  B.call(Fn);
+  B.chk(0);
+  B.halt();
+  B.bind(Fn);
+  B.addi(0, 41);
+  B.ret();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Gpr[0], 42u);
+  EXPECT_EQ(Cpu.Checksum, 42u);
+  // Stack pointer restored.
+  EXPECT_EQ(Cpu.Gpr[RegSP], layout::StackTop);
+}
+
+TEST(InterpTest, IndirectJump) {
+  ProgramBuilder B("t");
+  auto Target = B.newLabel();
+  auto GetPc = B.newLabel();
+  B.jmp(GetPc);
+  B.bind(Target);
+  B.movri(0, 99);
+  B.halt();
+  B.bind(GetPc);
+  // Materialize Target's address through a data slot patched below.
+  uint32_t Slot = B.dataU32(0);
+  B.movri(1, static_cast<int32_t>(Slot));
+  B.ldl(2, mem(1, 0));
+  B.jmpr(2);
+  GuestImage Image = B.build();
+  // Find Target's address: it is CodeBase + the Jmp length (5).
+  uint32_t TargetAddr = Image.CodeBase + 5;
+  std::memcpy(Image.Data.data() + (Slot - layout::DataBase), &TargetAddr, 4);
+  GuestCPU Cpu = runImage(Image);
+  EXPECT_EQ(Cpu.Gpr[0], 99u);
+}
+
+TEST(InterpTest, QRegisterOps) {
+  ProgramBuilder B("t");
+  B.qmovi(0, -1);
+  B.qaddi(0, 1); // 0
+  B.qmovi(1, 1000);
+  B.qadd(0, 1); // 1000
+  B.movri(0 /*eax*/, 7);
+  B.gtoq(2, 0); // q2 = 7
+  B.qxor(1, 2); // q1 = 1000 ^ 7
+  B.qtog(3, 1); // ebx = low32
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Qreg[0], 1000u);
+  EXPECT_EQ(Cpu.Qreg[1], 1000ULL ^ 7ULL);
+  EXPECT_EQ(Cpu.Gpr[3], 1000u ^ 7u);
+}
+
+TEST(InterpTest, QMovISignExtends) {
+  ProgramBuilder B("t");
+  B.qmovi(0, -5);
+  B.halt();
+  GuestCPU Cpu = runImage(B.build());
+  EXPECT_EQ(Cpu.Qreg[0], static_cast<uint64_t>(-5LL));
+}
+
+TEST(InterpTest, StepBlockStopsAtTerminator) {
+  ProgramBuilder B("t");
+  B.movri(0, 1);
+  B.movri(1, 2);
+  auto L = B.newLabel();
+  B.jmp(L);
+  B.bind(L);
+  B.halt();
+  GuestImage Image = B.build();
+  GuestMemory Mem;
+  Mem.loadImage(Image);
+  GuestCPU Cpu;
+  Cpu.reset(Image);
+  Interpreter Interp(Mem);
+  EXPECT_EQ(Interp.stepBlock(Cpu), 3u); // movi, movi, jmp
+  EXPECT_FALSE(Cpu.Halted);
+  EXPECT_EQ(Interp.stepBlock(Cpu), 1u); // halt
+  EXPECT_TRUE(Cpu.Halted);
+}
+
+TEST(InterpTest, ObserverSeesAccesses) {
+  ProgramBuilder B("t");
+  uint32_t Buf = B.dataReserve(32, 8);
+  B.movri(0, static_cast<int32_t>(Buf));
+  B.movri(1, 5);
+  B.stl(mem(0, 2), 1); // misaligned store
+  B.ldl(2, mem(0, 4)); // aligned load
+  B.halt();
+  GuestImage Image = B.build();
+  GuestMemory Mem;
+  Mem.loadImage(Image);
+  GuestCPU Cpu;
+  Cpu.reset(Image);
+  MdaCensus Census;
+  Interpreter Interp(Mem);
+  Interp.setObserver(&Census);
+  Interp.run(Cpu, 1000);
+  EXPECT_EQ(Census.totalRefs(), 2u);
+  EXPECT_EQ(Census.totalMdas(), 1u);
+  EXPECT_EQ(Census.nmi(), 1u);
+}
+
+TEST(MdaCensusTest, BiasClassification) {
+  MdaCensus C;
+  // Site A: always misaligned (4 of 4).
+  for (int I = 0; I != 4; ++I)
+    C.onMemAccess(0x100, 1, 4, false);
+  // Site B: half misaligned.
+  C.onMemAccess(0x200, 1, 4, false);
+  C.onMemAccess(0x200, 4, 4, false);
+  // Site C: mostly aligned (1 of 4).
+  C.onMemAccess(0x300, 2, 4, false);
+  for (int I = 0; I != 3; ++I)
+    C.onMemAccess(0x300, 8, 4, false);
+  // Site D: mostly misaligned (3 of 4).
+  for (int I = 0; I != 3; ++I)
+    C.onMemAccess(0x400, 2, 4, false);
+  C.onMemAccess(0x400, 8, 4, false);
+  // Site E: never misaligned -> not an MDA instruction.
+  C.onMemAccess(0x500, 8, 4, false);
+
+  MdaCensus::BiasBreakdown B = C.biasBreakdown();
+  EXPECT_EQ(B.Always, 1u);
+  EXPECT_EQ(B.Equal50, 1u);
+  EXPECT_EQ(B.Below50, 1u);
+  EXPECT_EQ(B.Above50, 1u);
+  EXPECT_EQ(B.total(), 4u);
+  EXPECT_EQ(C.nmi(), 4u);
+}
+
+TEST(InterpTest, ChecksumOrderSensitive) {
+  ProgramBuilder B1("a");
+  B1.movri(0, 1);
+  B1.movri(1, 2);
+  B1.chk(0);
+  B1.chk(1);
+  B1.halt();
+  ProgramBuilder B2("b");
+  B2.movri(0, 1);
+  B2.movri(1, 2);
+  B2.chk(1);
+  B2.chk(0);
+  B2.halt();
+  EXPECT_NE(runImage(B1.build()).Checksum, runImage(B2.build()).Checksum);
+}

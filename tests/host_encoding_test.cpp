@@ -1,0 +1,149 @@
+//===- tests/host_encoding_test.cpp - HAlpha encode/decode round trips ----==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/HostEncoding.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::host;
+
+namespace {
+
+HostInst roundTrip(const HostInst &In) {
+  uint32_t Word = encodeHost(In);
+  HostInst Out;
+  EXPECT_TRUE(decodeHost(Word, Out));
+  return Out;
+}
+
+const HostOp AllMemOps[] = {HostOp::Lda, HostOp::Ldah, HostOp::Ldbu,
+                            HostOp::Ldwu, HostOp::Ldl, HostOp::Ldq,
+                            HostOp::LdqU, HostOp::Stb, HostOp::Stw,
+                            HostOp::Stl, HostOp::Stq, HostOp::StqU};
+
+const HostOp AllOperateOps[] = {
+    HostOp::Addq,   HostOp::Subq,   HostOp::Addl,  HostOp::Subl,
+    HostOp::Mull,   HostOp::Mulq,   HostOp::And,   HostOp::Bis,
+    HostOp::Xor,    HostOp::Sll,    HostOp::Srl,   HostOp::Sra,
+    HostOp::Cmpeq,  HostOp::Cmpult, HostOp::Cmpule, HostOp::Cmplt,
+    HostOp::Cmple,  HostOp::Cmplt32, HostOp::Cmple32, HostOp::Sextl,
+    HostOp::Zextl,  HostOp::Extwl,  HostOp::Extwh, HostOp::Extll,
+    HostOp::Extlh,  HostOp::Extql,  HostOp::Extqh, HostOp::Inswl,
+    HostOp::Inswh,  HostOp::Insll,  HostOp::Inslh, HostOp::Insql,
+    HostOp::Insqh,  HostOp::Mskwl,  HostOp::Mskwh, HostOp::Mskll,
+    HostOp::Msklh,  HostOp::Mskql,  HostOp::Mskqh};
+
+const HostOp AllBranchOps[] = {HostOp::Br, HostOp::Beq, HostOp::Bne,
+                               HostOp::Blt, HostOp::Bge};
+
+} // namespace
+
+TEST(HostEncodingTest, MemoryRoundTrip) {
+  const int32_t Disps[] = {0, 1, -1, 255, -256, 32767, -32768};
+  for (HostOp Op : AllMemOps) {
+    for (uint8_t Ra : {0u, 1u, 17u, 31u}) {
+      for (uint8_t Rb : {0u, 8u, 30u, 31u}) {
+        for (int32_t D : Disps) {
+          HostInst O = roundTrip(memInst(Op, Ra, D, Rb));
+          EXPECT_EQ(O.Op, Op);
+          EXPECT_EQ(O.Ra, Ra);
+          EXPECT_EQ(O.Rb, Rb);
+          EXPECT_EQ(O.Disp, D);
+        }
+      }
+    }
+  }
+}
+
+TEST(HostEncodingTest, OperateRegisterRoundTrip) {
+  for (HostOp Op : AllOperateOps) {
+    for (uint8_t Ra : {0u, 5u, 31u}) {
+      for (uint8_t Rb : {0u, 21u, 31u}) {
+        for (uint8_t Rc : {0u, 24u, 31u}) {
+          HostInst O = roundTrip(opInst(Op, Ra, Rb, Rc));
+          EXPECT_EQ(O.Op, Op);
+          EXPECT_EQ(O.Ra, Ra);
+          EXPECT_FALSE(O.IsLit);
+          EXPECT_EQ(O.Rb, Rb);
+          EXPECT_EQ(O.Rc, Rc);
+        }
+      }
+    }
+  }
+}
+
+TEST(HostEncodingTest, OperateLiteralRoundTrip) {
+  for (HostOp Op : AllOperateOps) {
+    for (uint8_t Lit : {0u, 1u, 31u, 63u, 255u}) {
+      HostInst O = roundTrip(opInstLit(Op, 3, Lit, 7));
+      EXPECT_EQ(O.Op, Op);
+      EXPECT_TRUE(O.IsLit);
+      EXPECT_EQ(O.Lit, Lit);
+      EXPECT_EQ(O.Rc, 7);
+    }
+  }
+}
+
+TEST(HostEncodingTest, BranchRoundTrip) {
+  const int32_t Disps[] = {0, 1, -1, 100, -100, (1 << 20) - 1, -(1 << 20)};
+  for (HostOp Op : AllBranchOps) {
+    for (int32_t D : Disps) {
+      HostInst O = roundTrip(brInst(Op, 9, D));
+      EXPECT_EQ(O.Op, Op);
+      EXPECT_EQ(O.Ra, 9);
+      EXPECT_EQ(O.Disp, D);
+    }
+  }
+}
+
+TEST(HostEncodingTest, ServiceRoundTrip) {
+  for (SrvFunc F : {SrvFunc::Exit, SrvFunc::Halt}) {
+    HostInst O = roundTrip(srvInst(F));
+    EXPECT_EQ(O.Op, HostOp::Srv);
+    EXPECT_EQ(O.Disp, static_cast<int32_t>(F));
+  }
+}
+
+TEST(HostEncodingTest, RejectsInvalidOpcode) {
+  // Opcode 15 is unassigned (between StqU=11 and Addq=16).
+  HostInst I;
+  EXPECT_FALSE(decodeHost(15u << 26, I));
+}
+
+TEST(HostEncodingTest, OpcodePredicatesArePartition) {
+  for (unsigned Raw = 0; Raw != 64; ++Raw) {
+    HostOp Op = static_cast<HostOp>(Raw);
+    int Classes = static_cast<int>(isMemFormat(Op)) +
+                  static_cast<int>(isOperateFormat(Op)) +
+                  static_cast<int>(isBranchFormat(Op)) +
+                  static_cast<int>(Op == HostOp::Srv);
+    EXPECT_LE(Classes, 1) << "opcode " << Raw << " in multiple classes";
+  }
+}
+
+TEST(HostEncodingTest, AlignmentTable) {
+  EXPECT_EQ(alignmentOf(HostOp::Ldbu), 1u);
+  EXPECT_EQ(alignmentOf(HostOp::Ldwu), 2u);
+  EXPECT_EQ(alignmentOf(HostOp::Ldl), 4u);
+  EXPECT_EQ(alignmentOf(HostOp::Ldq), 8u);
+  EXPECT_EQ(alignmentOf(HostOp::LdqU), 1u); // never traps
+  EXPECT_EQ(alignmentOf(HostOp::StqU), 1u);
+  EXPECT_EQ(alignmentOf(HostOp::Stw), 2u);
+  EXPECT_EQ(alignmentOf(HostOp::Stl), 4u);
+  EXPECT_EQ(alignmentOf(HostOp::Stq), 8u);
+}
+
+TEST(HostDisasmTest, RendersForms) {
+  EXPECT_EQ(disassembleHost(memInst(HostOp::Ldl, 1, 2, 2), 0),
+            "ldl r1, 2(r2)");
+  EXPECT_EQ(disassembleHost(opInst(HostOp::Extll, 1, 22, 1), 0),
+            "extll r1, r22, r1");
+  EXPECT_EQ(disassembleHost(opInstLit(HostOp::And, 18, 3, 19), 0),
+            "and r18, #3, r19");
+  EXPECT_EQ(disassembleHost(brInst(HostOp::Br, 31, 5), 10), "br @16");
+  EXPECT_EQ(disassembleHost(srvInst(SrvFunc::Exit), 0), "srv #0");
+}

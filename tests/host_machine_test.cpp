@@ -1,0 +1,356 @@
+//===- tests/host_machine_test.cpp - HAlpha simulator semantics -----------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "host/CodeSpace.h"
+#include "host/HostAssembler.h"
+#include "host/HostMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::host;
+
+namespace {
+
+/// Harness: a code space, guest memory, hierarchy and machine.
+struct MachineFixture {
+  CodeSpace Code;
+  guest::GuestMemory Mem;
+  MemoryHierarchy Hier;
+  CostModel Cost;
+  HostMachine Machine{Code, Mem, Hier, Cost};
+
+  /// Run from word 0; expects a clean Halt exit.
+  void runToHalt() {
+    ExitInfo E = Machine.run(0);
+    ASSERT_EQ(E.K, ExitInfo::Halt);
+  }
+};
+
+} // namespace
+
+TEST(HostMachineTest, OperateBasics) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 7;
+  F.Machine.R[2] = 3;
+  Asm.op(HostOp::Addq, 1, 2, 3);   // r3 = 10
+  Asm.opl(HostOp::Mulq, 3, 6, 4);  // r4 = 60
+  Asm.op(HostOp::Subq, 4, 1, 5);   // r5 = 53
+  Asm.opl(HostOp::Xor, 5, 0xff, 6);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[3], 10u);
+  EXPECT_EQ(F.Machine.R[4], 60u);
+  EXPECT_EQ(F.Machine.R[5], 53u);
+  EXPECT_EQ(F.Machine.R[6], 53ULL ^ 0xff);
+}
+
+TEST(HostMachineTest, ZeroRegisterSemantics) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  Asm.opl(HostOp::Addq, 31, 5, 31); // write to r31 discarded
+  Asm.op(HostOp::Addq, 31, 31, 1); // r1 = 0 + 0
+  Asm.lda(2, 42, 31);              // r2 = 42
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.Machine.R[31] = 99; // must be ignored by reads
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.reg(31), 0u);
+  EXPECT_EQ(F.Machine.R[1], 0u);
+  EXPECT_EQ(F.Machine.R[2], 42u);
+}
+
+TEST(HostMachineTest, ThirtyTwoBitOpsZeroExtend) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0xffffffff;
+  Asm.opl(HostOp::Addl, 1, 1, 2); // r2 = zext32(0x100000000) = 0
+  Asm.opl(HostOp::Subl, 31, 1, 3); // r3 = zext32(0 - 1) = 0xffffffff
+  F.Machine.R[4] = 0x10000;
+  Asm.op(HostOp::Mull, 4, 4, 5); // r5 = zext32(2^32) = 0
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[2], 0u);
+  EXPECT_EQ(F.Machine.R[3], 0xffffffffu);
+  EXPECT_EQ(F.Machine.R[5], 0u);
+}
+
+TEST(HostMachineTest, CompareFamily) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0xffffffff; // as signed32: -1; as u64: big
+  F.Machine.R[2] = 1;
+  Asm.op(HostOp::Cmplt32, 1, 2, 3);  // -1 < 1 -> 1
+  Asm.op(HostOp::Cmpult, 1, 2, 4);   // big < 1 -> 0
+  Asm.op(HostOp::Cmpeq, 1, 1, 5);    // 1
+  Asm.op(HostOp::Cmple32, 2, 2, 6);  // 1
+  Asm.op(HostOp::Cmplt, 1, 2, 7);    // u64 0xffffffff as s64 positive -> 0
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[3], 1u);
+  EXPECT_EQ(F.Machine.R[4], 0u);
+  EXPECT_EQ(F.Machine.R[5], 1u);
+  EXPECT_EQ(F.Machine.R[6], 1u);
+  EXPECT_EQ(F.Machine.R[7], 0u);
+}
+
+TEST(HostMachineTest, SextZext) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x80000000;
+  Asm.op(HostOp::Sextl, 31, 1, 2); // r2 = 0xffffffff80000000
+  Asm.op(HostOp::Zextl, 31, 2, 3); // r3 = 0x80000000
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[2], 0xffffffff80000000ULL);
+  EXPECT_EQ(F.Machine.R[3], 0x80000000ULL);
+}
+
+TEST(HostMachineTest, LoadsAndStores) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1000;
+  F.Machine.R[2] = 0x1122334455667788ULL;
+  Asm.mem(HostOp::Stq, 2, 0, 1);
+  Asm.mem(HostOp::Ldl, 3, 0, 1);  // 0x55667788
+  Asm.mem(HostOp::Ldwu, 4, 2, 1); // bytes 2-3 little endian: 0x5566
+  Asm.mem(HostOp::Ldbu, 5, 7, 1); // 0x11
+  Asm.mem(HostOp::Stb, 5, 8, 1);
+  Asm.mem(HostOp::Ldq, 6, 0, 1);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[3], 0x55667788u);
+  EXPECT_EQ(F.Machine.R[4], 0x5566u);
+  EXPECT_EQ(F.Machine.R[5], 0x11u);
+  EXPECT_EQ(F.Machine.R[6], 0x1122334455667788ULL);
+  EXPECT_EQ(F.Mem.load(0x1008, 1), 0x11u);
+}
+
+TEST(HostMachineTest, LdqUIgnoresLowBits) {
+  MachineFixture F;
+  F.Mem.store(0x1000, 8, 0xcafebabedeadbeefULL);
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1003; // misaligned pointer
+  Asm.mem(HostOp::LdqU, 2, 0, 1);
+  Asm.mem(HostOp::LdqU, 3, 7, 1); // still within the same quadword? 0x100a & ~7 = 0x1008
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[2], 0xcafebabedeadbeefULL);
+  EXPECT_EQ(F.Machine.R[3], F.Mem.load(0x1008, 8));
+  EXPECT_EQ(F.Machine.Faults, 0u);
+}
+
+TEST(HostMachineTest, BranchesAndLoops) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  // r1 = 10; r2 = 0; loop: r2 += r1; r1 -= 1; bne r1, loop
+  Asm.lda(1, 10, 31);
+  Asm.lda(2, 0, 31);
+  auto Loop = Asm.newLabel();
+  Asm.bind(Loop);
+  Asm.op(HostOp::Addq, 2, 1, 2);
+  Asm.opl(HostOp::Subq, 1, 1, 1);
+  Asm.bne(1, Loop);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[2], 55u);
+}
+
+TEST(HostMachineTest, ConditionalBranchPredicates) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = static_cast<uint64_t>(-5LL);
+  auto L1 = Asm.newLabel();
+  Asm.blt(1, L1); // taken: -5 < 0
+  Asm.srv(SrvFunc::Exit); // must be skipped
+  Asm.bind(L1);
+  auto L2 = Asm.newLabel();
+  Asm.bge(31, L2); // taken: 0 >= 0
+  Asm.srv(SrvFunc::Exit);
+  Asm.bind(L2);
+  auto L3 = Asm.newLabel();
+  Asm.beq(1, L3); // not taken
+  Asm.srv(SrvFunc::Halt);
+  Asm.bind(L3);
+  Asm.srv(SrvFunc::Exit);
+  Asm.finish();
+  F.runToHalt();
+}
+
+TEST(HostMachineTest, ExitReportsGuestPcAndSrvWord) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  Asm.lda(RegExitPc, 0x1234, 31);
+  uint32_t SrvW = Asm.srv(SrvFunc::Exit);
+  Asm.finish();
+  ExitInfo E = F.Machine.run(0);
+  EXPECT_EQ(E.K, ExitInfo::Exit);
+  EXPECT_EQ(E.GuestPc, 0x1234u);
+  EXPECT_EQ(E.SrvWord, SrvW);
+}
+
+TEST(HostMachineTest, MisalignmentTrapFixup) {
+  MachineFixture F;
+  F.Mem.store(0x1001, 4, 0xdeadbeef); // prepare misaligned data
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1001;
+  Asm.mem(HostOp::Ldl, 2, 0, 1); // misaligned -> trap
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  std::vector<FaultInfo> Seen;
+  F.Machine.setFaultHandler([&](const FaultInfo &FI) {
+    Seen.push_back(FI);
+    return FaultAction::Fixup;
+  });
+  F.runToHalt();
+  ASSERT_EQ(Seen.size(), 1u);
+  EXPECT_EQ(Seen[0].HostPc, 0u);
+  EXPECT_EQ(Seen[0].Addr, 0x1001u);
+  EXPECT_EQ(Seen[0].Inst.Op, HostOp::Ldl);
+  EXPECT_EQ(F.Machine.R[2], 0xdeadbeefu);
+  EXPECT_EQ(F.Machine.Faults, 1u);
+  EXPECT_EQ(F.Machine.Fixups, 1u);
+}
+
+TEST(HostMachineTest, MisalignedStoreFixup) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1002;
+  F.Machine.R[2] = 0xa1b2c3d4e5f60718ULL;
+  Asm.mem(HostOp::Stq, 2, 0, 1);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt(); // default handler = fixup
+  EXPECT_EQ(F.Mem.load(0x1002, 8), 0xa1b2c3d4e5f60718ULL);
+  EXPECT_EQ(F.Machine.Faults, 1u);
+}
+
+TEST(HostMachineTest, AlignedAccessDoesNotTrap) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1000;
+  Asm.mem(HostOp::Ldl, 2, 0, 1);
+  Asm.mem(HostOp::Ldq, 3, 0, 1);
+  Asm.mem(HostOp::Ldwu, 4, 2, 1);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.Faults, 0u);
+}
+
+TEST(HostMachineTest, TrapChargesTrapCycles) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1001;
+  Asm.mem(HostOp::Ldl, 2, 0, 1);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_GE(F.Machine.Cycles,
+            static_cast<uint64_t>(F.Cost.TrapCycles +
+                                  F.Cost.FixupExtraCycles));
+}
+
+TEST(HostMachineTest, RetryReexecutesPatchedWord) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1001;
+  uint32_t FaultW = Asm.mem(HostOp::Ldl, 2, 0, 1);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.Mem.store(0x1001, 4, 0x12345678);
+  F.Machine.setFaultHandler([&](const FaultInfo &FI) {
+    // Patch the word into "lda r2, 7(r31)" and retry.
+    EXPECT_EQ(FI.HostPc, FaultW);
+    F.Code.patch(FaultW, encodeHost(memInst(HostOp::Lda, 2, 7, 31)));
+    return FaultAction::Retry;
+  });
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[2], 7u);
+  EXPECT_EQ(F.Machine.Faults, 1u);
+  EXPECT_EQ(F.Machine.Fixups, 0u);
+}
+
+TEST(HostMachineTest, HandlerHaltAbandonsRun) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 0x1001;
+  Asm.mem(HostOp::Stl, 2, 0, 1);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.Machine.setFaultHandler(
+      [](const FaultInfo &) { return FaultAction::Halt; });
+  ExitInfo E = F.Machine.run(0);
+  EXPECT_EQ(E.K, ExitInfo::Halt);
+}
+
+TEST(HostMachineTest, RunawayGuardTrips) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  auto L = Asm.newLabel();
+  Asm.bind(L);
+  Asm.br(L); // infinite loop
+  Asm.finish();
+  F.Machine.MaxInstsPerRun = 1000;
+  ExitInfo E = F.Machine.run(0);
+  EXPECT_EQ(E.K, ExitInfo::Limit);
+}
+
+TEST(HostMachineTest, ShiftsUse64BitAmounts) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  F.Machine.R[1] = 1;
+  Asm.opl(HostOp::Sll, 1, 40, 2); // r2 = 1 << 40
+  Asm.opl(HostOp::Srl, 2, 8, 3);  // r3 = 1 << 32
+  F.Machine.R[4] = 0x8000000000000000ULL;
+  Asm.opl(HostOp::Sra, 4, 63, 5); // r5 = all ones
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[2], 1ULL << 40);
+  EXPECT_EQ(F.Machine.R[3], 1ULL << 32);
+  EXPECT_EQ(F.Machine.R[5], ~0ULL);
+}
+
+TEST(HostMachineTest, MaterializeHelpers) {
+  const uint32_t Values[] = {0,          1,          0x7fff,     0x8000,
+                             0xffff,     0x10000,    0x12345678, 0x7fffffff,
+                             0x80000000, 0xdeadbeef, 0xffffffff};
+  for (uint32_t V : Values) {
+    MachineFixture F;
+    HostAssembler Asm(F.Code);
+    Asm.materialize32(1, V);
+    Asm.materializeSext32(2, static_cast<int32_t>(V));
+    Asm.srv(SrvFunc::Halt);
+    Asm.finish();
+    F.runToHalt();
+    EXPECT_EQ(F.Machine.R[1], static_cast<uint64_t>(V)) << "value " << V;
+    EXPECT_EQ(F.Machine.R[2],
+              static_cast<uint64_t>(
+                  static_cast<int64_t>(static_cast<int32_t>(V))))
+        << "value " << V;
+  }
+}
+
+TEST(HostMachineTest, LdahArithmetic) {
+  MachineFixture F;
+  HostAssembler Asm(F.Code);
+  Asm.ldah(1, 2, 31);   // r1 = 0x20000
+  Asm.ldah(2, -1, 31);  // r2 = -65536
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  F.runToHalt();
+  EXPECT_EQ(F.Machine.R[1], 0x20000u);
+  EXPECT_EQ(F.Machine.R[2], static_cast<uint64_t>(-65536LL));
+}

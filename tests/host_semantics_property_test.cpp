@@ -1,0 +1,369 @@
+//===- tests/host_semantics_property_test.cpp - HAlpha op properties ------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests for the host machine's operate instructions: every
+/// opcode is executed with hundreds of randomized operand pairs (plus
+/// adversarial corner values) and compared against an independent
+/// reference implementation written directly from the ISA definition in
+/// HostISA.h.  Covers both register and literal operand forms, and the
+/// ext/ins/msk byte-manipulation identities the MDA sequences rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "host/CodeSpace.h"
+#include "host/HostAssembler.h"
+#include "host/HostMachine.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace mdabt;
+using namespace mdabt::host;
+
+namespace {
+
+uint64_t mask(unsigned Size) {
+  return Size == 8 ? ~0ULL : (1ULL << (Size * 8)) - 1;
+}
+
+/// The reference semantics, written independently of HostMachine.cpp.
+uint64_t reference(HostOp Op, uint64_t A, uint64_t B) {
+  auto Ext = [&](unsigned Size, bool High) -> uint64_t {
+    unsigned Sh = B & 7;
+    if (!High)
+      return (A >> (8 * Sh)) & mask(Size);
+    return Sh == 0 ? 0 : (A << (8 * (8 - Sh))) & mask(Size);
+  };
+  auto Ins = [&](unsigned Size, bool High) -> uint64_t {
+    unsigned Sh = B & 7;
+    if (!High)
+      return (A & mask(Size)) << (8 * Sh);
+    return Sh == 0 ? 0 : (A & mask(Size)) >> (8 * (8 - Sh));
+  };
+  auto Msk = [&](unsigned Size, bool High) -> uint64_t {
+    unsigned Sh = B & 7;
+    if (!High)
+      return A & ~(mask(Size) << (8 * Sh));
+    return Sh == 0 ? A : A & ~(mask(Size) >> (8 * (8 - Sh)));
+  };
+  switch (Op) {
+  case HostOp::Addq:
+    return A + B;
+  case HostOp::Subq:
+    return A - B;
+  case HostOp::Addl:
+    return (A + B) & 0xffffffff;
+  case HostOp::Subl:
+    return (A - B) & 0xffffffff;
+  case HostOp::Mull:
+    return (A * B) & 0xffffffff;
+  case HostOp::Mulq:
+    return A * B;
+  case HostOp::And:
+    return A & B;
+  case HostOp::Bis:
+    return A | B;
+  case HostOp::Xor:
+    return A ^ B;
+  case HostOp::Sll:
+    return A << (B & 63);
+  case HostOp::Srl:
+    return A >> (B & 63);
+  case HostOp::Sra:
+    return static_cast<uint64_t>(static_cast<int64_t>(A) >> (B & 63));
+  case HostOp::Cmpeq:
+    return A == B;
+  case HostOp::Cmpult:
+    return A < B;
+  case HostOp::Cmpule:
+    return A <= B;
+  case HostOp::Cmplt:
+    return static_cast<int64_t>(A) < static_cast<int64_t>(B);
+  case HostOp::Cmple:
+    return static_cast<int64_t>(A) <= static_cast<int64_t>(B);
+  case HostOp::Cmplt32:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
+  case HostOp::Cmple32:
+    return static_cast<int32_t>(A) <= static_cast<int32_t>(B);
+  case HostOp::Sextl:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(B)));
+  case HostOp::Zextl:
+    return B & 0xffffffff;
+  case HostOp::Extwl:
+    return Ext(2, false);
+  case HostOp::Extwh:
+    return Ext(2, true);
+  case HostOp::Extll:
+    return Ext(4, false);
+  case HostOp::Extlh:
+    return Ext(4, true);
+  case HostOp::Extql:
+    return Ext(8, false);
+  case HostOp::Extqh:
+    return Ext(8, true);
+  case HostOp::Inswl:
+    return Ins(2, false);
+  case HostOp::Inswh:
+    return Ins(2, true);
+  case HostOp::Insll:
+    return Ins(4, false);
+  case HostOp::Inslh:
+    return Ins(4, true);
+  case HostOp::Insql:
+    return Ins(8, false);
+  case HostOp::Insqh:
+    return Ins(8, true);
+  case HostOp::Mskwl:
+    return Msk(2, false);
+  case HostOp::Mskwh:
+    return Msk(2, true);
+  case HostOp::Mskll:
+    return Msk(4, false);
+  case HostOp::Msklh:
+    return Msk(4, true);
+  case HostOp::Mskql:
+    return Msk(8, false);
+  case HostOp::Mskqh:
+    return Msk(8, true);
+  default:
+    ADD_FAILURE() << "no reference for opcode";
+    return 0;
+  }
+}
+
+const HostOp AllOperateOps[] = {
+    HostOp::Addq,    HostOp::Subq,    HostOp::Addl,  HostOp::Subl,
+    HostOp::Mull,    HostOp::Mulq,    HostOp::And,   HostOp::Bis,
+    HostOp::Xor,     HostOp::Sll,     HostOp::Srl,   HostOp::Sra,
+    HostOp::Cmpeq,   HostOp::Cmpult,  HostOp::Cmpule, HostOp::Cmplt,
+    HostOp::Cmple,   HostOp::Cmplt32, HostOp::Cmple32, HostOp::Sextl,
+    HostOp::Zextl,   HostOp::Extwl,   HostOp::Extwh, HostOp::Extll,
+    HostOp::Extlh,   HostOp::Extql,   HostOp::Extqh, HostOp::Inswl,
+    HostOp::Inswh,   HostOp::Insll,   HostOp::Inslh, HostOp::Insql,
+    HostOp::Insqh,   HostOp::Mskwl,   HostOp::Mskwh, HostOp::Mskll,
+    HostOp::Msklh,   HostOp::Mskql,   HostOp::Mskqh};
+
+/// Execute one operate instruction through the full machine.
+uint64_t execute(HostOp Op, uint64_t A, uint64_t B, bool Literal,
+                 uint8_t Lit) {
+  CodeSpace Code;
+  guest::GuestMemory Mem;
+  MemoryHierarchy Hier;
+  CostModel Cost;
+  HostMachine Machine(Code, Mem, Hier, Cost);
+  HostAssembler Asm(Code);
+  if (Literal)
+    Asm.opl(Op, 1, Lit, 3);
+  else
+    Asm.op(Op, 1, 2, 3);
+  Asm.srv(SrvFunc::Halt);
+  Asm.finish();
+  Machine.R[1] = A;
+  Machine.R[2] = B;
+  EXPECT_EQ(Machine.run(0).K, ExitInfo::Halt);
+  return Machine.R[3];
+}
+
+class OperatePropertyTest : public ::testing::TestWithParam<HostOp> {};
+
+const uint64_t Corners[] = {0,
+                            1,
+                            7,
+                            8,
+                            0x7f,
+                            0x80,
+                            0xff,
+                            0x7fff,
+                            0x8000,
+                            0xffff,
+                            0x7fffffff,
+                            0x80000000,
+                            0xffffffff,
+                            0x100000000ULL,
+                            0x7fffffffffffffffULL,
+                            0x8000000000000000ULL,
+                            ~0ULL};
+
+} // namespace
+
+TEST_P(OperatePropertyTest, RegisterFormMatchesReference) {
+  HostOp Op = GetParam();
+  RNG R(static_cast<uint64_t>(Op) * 97 + 1);
+  for (int I = 0; I != 200; ++I) {
+    uint64_t A = R.next();
+    uint64_t B = R.next();
+    EXPECT_EQ(execute(Op, A, B, false, 0), reference(Op, A, B))
+        << hostOpName(Op) << " A=" << A << " B=" << B;
+  }
+  for (uint64_t A : Corners)
+    for (uint64_t B : Corners)
+      EXPECT_EQ(execute(Op, A, B, false, 0), reference(Op, A, B))
+          << hostOpName(Op) << " A=" << A << " B=" << B;
+}
+
+TEST_P(OperatePropertyTest, LiteralFormMatchesReference) {
+  HostOp Op = GetParam();
+  RNG R(static_cast<uint64_t>(Op) * 131 + 5);
+  for (int I = 0; I != 100; ++I) {
+    uint64_t A = R.next();
+    uint8_t Lit = static_cast<uint8_t>(R.below(256));
+    EXPECT_EQ(execute(Op, A, 0, true, Lit), reference(Op, A, Lit))
+        << hostOpName(Op) << " A=" << A << " lit=" << unsigned(Lit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OperatePropertyTest,
+                         ::testing::ValuesIn(AllOperateOps),
+                         [](const ::testing::TestParamInfo<HostOp> &I) {
+                           return hostOpName(I.param);
+                         });
+
+TEST(ExtInsMskIdentityTest, LoadReconstruction) {
+  // The fundamental identity behind the MDA load sequence: for any two
+  // adjacent quadwords and any byte offset, extXl(lo) | extXh(hi)
+  // equals the unaligned value.
+  RNG R(404);
+  for (unsigned Size : {2u, 4u, 8u}) {
+    HostOp Lo = Size == 2 ? HostOp::Extwl
+                          : Size == 4 ? HostOp::Extll : HostOp::Extql;
+    HostOp Hi = Size == 2 ? HostOp::Extwh
+                          : Size == 4 ? HostOp::Extlh : HostOp::Extqh;
+    for (int I = 0; I != 200; ++I) {
+      uint8_t Bytes[16];
+      for (uint8_t &Byte : Bytes)
+        Byte = static_cast<uint8_t>(R.below(256));
+      uint64_t QLo = 0, QHi = 0;
+      std::memcpy(&QLo, Bytes, 8);
+      std::memcpy(&QHi, Bytes + 8, 8);
+      for (unsigned Sh = 0; Sh != 8; ++Sh) {
+        uint64_t Expect = 0;
+        std::memcpy(&Expect, Bytes + Sh, Size);
+        // extXh must read the quadword containing the last byte.
+        uint64_t HiQuad = (Sh + Size - 1) < 8 ? QLo : QHi;
+        uint64_t Got = reference(Lo, QLo, Sh) | reference(Hi, HiQuad, Sh);
+        EXPECT_EQ(Got, Expect)
+            << "size " << Size << " shift " << Sh;
+      }
+    }
+  }
+}
+
+TEST(ExtInsMskIdentityTest, StoreMergeIsComplementary) {
+  // ins and msk are complementary: msk clears exactly the bytes ins
+  // fills, so (msk(Q) | ins(V)) replaces the field and nothing else.
+  RNG R(808);
+  const struct {
+    HostOp Ins, Msk;
+    unsigned Size;
+    bool High;
+  } Cases[] = {
+      {HostOp::Inswl, HostOp::Mskwl, 2, false},
+      {HostOp::Inswh, HostOp::Mskwh, 2, true},
+      {HostOp::Insll, HostOp::Mskll, 4, false},
+      {HostOp::Inslh, HostOp::Msklh, 4, true},
+      {HostOp::Insql, HostOp::Mskql, 8, false},
+      {HostOp::Insqh, HostOp::Mskqh, 8, true},
+  };
+  for (const auto &C : Cases) {
+    for (int I = 0; I != 200; ++I) {
+      uint64_t Q = R.next();
+      uint64_t V = R.next();
+      for (unsigned Sh = 0; Sh != 8; ++Sh) {
+        uint64_t InsBits = reference(C.Ins, V, Sh);
+        uint64_t MskBits = reference(C.Msk, Q, Sh);
+        // Disjoint:
+        EXPECT_EQ(InsBits & MskBits & ~Q, 0u);
+        // msk kept exactly the bytes ins does not touch:
+        uint64_t FieldMask = reference(C.Ins, ~0ULL, Sh);
+        EXPECT_EQ(MskBits, Q & ~FieldMask)
+            << hostOpName(C.Msk) << " shift " << Sh;
+      }
+    }
+  }
+}
+
+TEST(MemoryPropertyTest, LoadStoreRoundTrip) {
+  // Random aligned load/store round trips for every size.
+  RNG R(77);
+  for (int I = 0; I != 300; ++I) {
+    CodeSpace Code;
+    guest::GuestMemory Mem;
+    MemoryHierarchy Hier;
+    CostModel Cost;
+    HostMachine Machine(Code, Mem, Hier, Cost);
+    unsigned SizeIdx = static_cast<unsigned>(R.below(4));
+    const HostOp Loads[] = {HostOp::Ldbu, HostOp::Ldwu, HostOp::Ldl,
+                            HostOp::Ldq};
+    const HostOp Stores[] = {HostOp::Stb, HostOp::Stw, HostOp::Stl,
+                             HostOp::Stq};
+    unsigned Size = 1u << SizeIdx;
+    uint32_t Addr = 0x1000 + static_cast<uint32_t>(R.below(256)) * 8;
+    uint64_t Value = R.next();
+    HostAssembler Asm(Code);
+    Asm.mem(Stores[SizeIdx], 1, 0, 2);
+    Asm.mem(Loads[SizeIdx], 3, 0, 2);
+    Asm.srv(SrvFunc::Halt);
+    Asm.finish();
+    Machine.R[1] = Value;
+    Machine.R[2] = Addr;
+    ASSERT_EQ(Machine.run(0).K, ExitInfo::Halt);
+    EXPECT_EQ(Machine.R[3], Value & mask(Size));
+    EXPECT_EQ(Machine.Faults, 0u);
+  }
+}
+
+TEST(MemoryPropertyTest, EveryMisalignedOffsetTraps) {
+  const struct {
+    HostOp Op;
+    unsigned Align;
+  } Cases[] = {{HostOp::Ldwu, 2}, {HostOp::Ldl, 4},  {HostOp::Ldq, 8},
+               {HostOp::Stw, 2},  {HostOp::Stl, 4},  {HostOp::Stq, 8}};
+  for (const auto &C : Cases) {
+    for (uint32_t Off = 0; Off != 16; ++Off) {
+      CodeSpace Code;
+      guest::GuestMemory Mem;
+      MemoryHierarchy Hier;
+      CostModel Cost;
+      HostMachine Machine(Code, Mem, Hier, Cost);
+      HostAssembler Asm(Code);
+      Asm.mem(C.Op, 1, 0, 2);
+      Asm.srv(SrvFunc::Halt);
+      Asm.finish();
+      Machine.R[2] = 0x2000 + Off;
+      ASSERT_EQ(Machine.run(0).K, ExitInfo::Halt);
+      bool ShouldTrap = (Off % C.Align) != 0;
+      EXPECT_EQ(Machine.Faults, ShouldTrap ? 1u : 0u)
+          << hostOpName(C.Op) << " offset " << Off;
+    }
+  }
+}
+
+TEST(BranchPropertyTest, DisplacementArithmetic) {
+  // Forward and backward branches land exactly where the label says,
+  // across a spread of distances.
+  for (int Gap : {0, 1, 3, 100, 5000}) {
+    CodeSpace Code;
+    guest::GuestMemory Mem;
+    MemoryHierarchy Hier;
+    CostModel Cost;
+    HostMachine Machine(Code, Mem, Hier, Cost);
+    HostAssembler Asm(Code);
+    auto Target = Asm.newLabel();
+    Asm.br(Target);
+    for (int I = 0; I != Gap; ++I)
+      Asm.srv(SrvFunc::Exit); // landing here would be an error
+    Asm.bind(Target);
+    Asm.lda(1, 99, 31);
+    Asm.srv(SrvFunc::Halt);
+    Asm.finish();
+    ASSERT_EQ(Machine.run(0).K, ExitInfo::Halt) << "gap " << Gap;
+    EXPECT_EQ(Machine.R[1], 99u);
+  }
+}

@@ -1,0 +1,157 @@
+//===- tests/mda_policy_test.cpp - Policy layer unit tests ----------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+#include "mda/Policies.h"
+#include "mda/PolicyFactory.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::mda;
+
+namespace {
+
+guest::GuestInst dummyLoad() {
+  guest::GuestInst I;
+  I.Op = guest::Opcode::Ldl;
+  return I;
+}
+
+} // namespace
+
+TEST(PolicyTest, DirectAlwaysInlines) {
+  DirectPolicy P;
+  EXPECT_EQ(P.hotThreshold(), 0u);
+  EXPECT_EQ(P.planMemoryOp(0x1000, dummyLoad()), dbt::MemPlan::Inline);
+  EXPECT_FALSE(P.onFault(0x1000, 0x1000, 1).PatchStub);
+}
+
+TEST(PolicyTest, DynamicProfilingLearnsFromInterpretation) {
+  DynamicProfilePolicy P(50);
+  EXPECT_EQ(P.hotThreshold(), 50u);
+  EXPECT_EQ(P.planMemoryOp(0x1000, dummyLoad()), dbt::MemPlan::Normal);
+  P.onInterpMemAccess(0x1000, 0x2001, 4, false); // misaligned
+  P.onInterpMemAccess(0x2000, 0x3000, 4, false); // aligned
+  P.onInterpMemAccess(0x3000, 0x2001, 1, false); // byte: never an MDA
+  EXPECT_EQ(P.planMemoryOp(0x1000, dummyLoad()), dbt::MemPlan::Inline);
+  EXPECT_EQ(P.planMemoryOp(0x2000, dummyLoad()), dbt::MemPlan::Normal);
+  EXPECT_EQ(P.planMemoryOp(0x3000, dummyLoad()), dbt::MemPlan::Normal);
+  EXPECT_EQ(P.detectedSites(), 1u);
+  // Profiling policies never patch.
+  EXPECT_FALSE(P.onFault(0x2000, 0x2000, 1).PatchStub);
+}
+
+TEST(PolicyTest, ExceptionHandlingPatchesAndRemembers) {
+  ExceptionHandlingPolicy P(50, /*Rearrange=*/false);
+  EXPECT_EQ(P.planMemoryOp(0x1000, dummyLoad()), dbt::MemPlan::Normal);
+  dbt::FaultDecision D = P.onFault(0x1000, 0x1000, 1);
+  EXPECT_TRUE(D.PatchStub);
+  EXPECT_FALSE(D.Supersede);
+  // A superseding retranslation would inline the faulted site.
+  EXPECT_EQ(P.planMemoryOp(0x1000, dummyLoad()), dbt::MemPlan::Inline);
+}
+
+TEST(PolicyTest, RearrangementSupersedesOnEveryFault) {
+  ExceptionHandlingPolicy P(50, /*Rearrange=*/true);
+  EXPECT_TRUE(P.onFault(0x1000, 0x1000, 1).Supersede);
+  EXPECT_TRUE(P.onFault(0x2000, 0x1000, 2).Supersede);
+}
+
+TEST(PolicyTest, DpehRetranslatesExactlyAtThreshold) {
+  DpehOptions Opts;
+  Opts.RetranslateThreshold = 4;
+  DpehPolicy P(50, Opts);
+  EXPECT_FALSE(P.onFault(0x1, 0x1000, 1).Supersede);
+  EXPECT_FALSE(P.onFault(0x2, 0x1000, 2).Supersede);
+  EXPECT_FALSE(P.onFault(0x3, 0x1000, 3).Supersede);
+  EXPECT_TRUE(P.onFault(0x4, 0x1000, 4).Supersede);
+  EXPECT_FALSE(P.onFault(0x5, 0x1000, 5).Supersede);
+}
+
+TEST(PolicyTest, DpehMultiVersionRequiresMixedProfile) {
+  DpehOptions Opts;
+  Opts.MultiVersion = true;
+  DpehPolicy P(50, Opts);
+  // Purely misaligned profile -> inline.
+  P.onInterpMemAccess(0x1000, 0x2001, 4, false);
+  EXPECT_EQ(P.planMemoryOp(0x1000, dummyLoad()), dbt::MemPlan::Inline);
+  // Mixed profile -> multi-version.
+  P.onInterpMemAccess(0x2000, 0x3000, 4, false);
+  P.onInterpMemAccess(0x2000, 0x3001, 4, false);
+  EXPECT_EQ(P.planMemoryOp(0x2000, dummyLoad()),
+            dbt::MemPlan::MultiVersion);
+  // Aligned-only profile that later faults: also multi-version.
+  P.onInterpMemAccess(0x3000, 0x4000, 4, false);
+  EXPECT_EQ(P.planMemoryOp(0x3000, dummyLoad()), dbt::MemPlan::Normal);
+  P.onFault(0x3000, 0x3000, 1);
+  EXPECT_EQ(P.planMemoryOp(0x3000, dummyLoad()),
+            dbt::MemPlan::MultiVersion);
+}
+
+TEST(PolicyTest, DpehWithoutMultiVersionInlinesMixedSites) {
+  DpehPolicy P(50);
+  P.onInterpMemAccess(0x2000, 0x3000, 4, false);
+  P.onInterpMemAccess(0x2000, 0x3001, 4, false);
+  EXPECT_EQ(P.planMemoryOp(0x2000, dummyLoad()), dbt::MemPlan::Inline);
+}
+
+TEST(PolicyFactoryTest, MakesEveryKind) {
+  EXPECT_STREQ(makePolicy({MechanismKind::Direct, 0, false, 0, false})
+                   ->name(),
+               "Direct Method");
+  EXPECT_STREQ(
+      makePolicy({MechanismKind::DynamicProfiling, 50, false, 0, false})
+          ->name(),
+      "Dynamic Profiling");
+  EXPECT_STREQ(
+      makePolicy({MechanismKind::ExceptionHandling, 50, false, 0, false})
+          ->name(),
+      "Exception Handling");
+  EXPECT_STREQ(
+      makePolicy({MechanismKind::ExceptionHandling, 50, true, 0, false})
+          ->name(),
+      "Exception Handling + Rearrangement");
+  EXPECT_STREQ(makePolicy({MechanismKind::Dpeh, 50, false, 4, true})
+                   ->name(),
+               "DPEH");
+}
+
+TEST(PolicyFactoryTest, SpecNames) {
+  EXPECT_EQ(policySpecName({MechanismKind::Direct, 0, false, 0, false}),
+            "direct");
+  EXPECT_EQ(
+      policySpecName({MechanismKind::DynamicProfiling, 500, false, 0, false}),
+      "dyn@500");
+  EXPECT_EQ(
+      policySpecName({MechanismKind::ExceptionHandling, 50, true, 0, false}),
+      "eh+rearrange");
+  EXPECT_EQ(policySpecName({MechanismKind::Dpeh, 50, false, 4, true}),
+            "dpeh+retrans4+mv");
+}
+
+TEST(PolicyFactoryTest, MechanismTableMatchesPaperTable2) {
+  std::vector<MechanismRow> Rows = mechanismTable();
+  ASSERT_EQ(Rows.size(), 6u);
+  EXPECT_STREQ(Rows[0].Mechanism, "Direct Method");
+  EXPECT_STREQ(Rows[3].Configuration, "Code rearrangement");
+}
+
+TEST(PolicyFactoryTest, StaticProfileCollection) {
+  // Build a program with one stable MDA and one aligned access; the
+  // collected profile must contain exactly the MDA site.
+  guest::ProgramBuilder B("t");
+  uint32_t Buf = B.dataReserve(64, 8);
+  B.movri(0, static_cast<int32_t>(Buf));
+  uint32_t MisPc = B.codeAddress();
+  B.ldl(1, guest::mem(0, 1));
+  B.ldl(2, guest::mem(0, 4));
+  B.halt();
+  guest::GuestImage Image = B.build();
+  auto Sites = StaticProfilePolicy::collectProfile(Image);
+  EXPECT_EQ(Sites.size(), 1u);
+  EXPECT_TRUE(Sites.count(MisPc));
+}

@@ -1,0 +1,305 @@
+//===- tests/workloads_test.cpp - Synthetic SPEC workload tests -----------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DESIGN.md invariant 4 (census identities) applied to the generator:
+/// the measured MDA census of a synthesized benchmark must match the
+/// plan's analytical expectations, train/ref inputs must differ exactly
+/// in the ref-only groups, and the alignment-enforcing layout must be
+/// MDA-free.
+///
+//===----------------------------------------------------------------------===//
+
+#include "reporting/Experiment.h"
+#include "workloads/SpecCatalog.h"
+#include "workloads/SpecPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::workloads;
+
+namespace {
+
+/// A small, fast plan exercising every group class.
+ProgramPlan tinyPlan() {
+  ProgramPlan Plan;
+  Plan.Name = "tiny";
+  Plan.Rounds = 8;
+  Plan.Seed = 99;
+  // Stable always-misaligned group.
+  Plan.Groups.push_back({4, 50, 4, BiasKind::Always, 0, false, 3, 0});
+  // Late onset at round 6.
+  Plan.Groups.push_back({2, 40, 4, BiasKind::Always, 6, false, 3, 0});
+  // Ref-only.
+  Plan.Groups.push_back({3, 30, 8, BiasKind::Always, 0, true, 3, 0});
+  // Mixed biases.
+  Plan.Groups.push_back({2, 64, 4, BiasKind::Equal50, 0, false, 3, 0});
+  Plan.Groups.push_back({2, 64, 4, BiasKind::Above50, 0, false, 3, 0});
+  Plan.Groups.push_back({2, 64, 4, BiasKind::Below50, 0, false, 3, 0});
+  // Gated showcase: 5 sites, 2 iterations, active in rounds 6-7 only.
+  Plan.Groups.push_back({5, 2, 4, BiasKind::Always, 6, false, 3, 0, true});
+  // Aligned filler.
+  Plan.Groups.push_back({4, 100, 4, BiasKind::Aligned, 8, false, 4, 0});
+  return Plan;
+}
+
+uint64_t planExpectedMdas(const ProgramPlan &Plan) {
+  uint64_t Total = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    Total += G.expectedMdas(Plan.Rounds);
+  return Total;
+}
+
+uint64_t planExpectedRefs(const ProgramPlan &Plan) {
+  uint64_t Total = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    Total += G.expectedRefs(Plan.Rounds);
+  return Total;
+}
+
+uint32_t planMdaSites(const ProgramPlan &Plan) {
+  uint32_t Total = 0;
+  for (const SiteGroup &G : Plan.Groups)
+    if (G.expectedMdas(Plan.Rounds) != 0)
+      Total += G.Sites;
+  return Total;
+}
+
+} // namespace
+
+TEST(KernelsTest, BiasFractions) {
+  EXPECT_DOUBLE_EQ(biasFraction(BiasKind::Aligned), 0.0);
+  EXPECT_DOUBLE_EQ(biasFraction(BiasKind::Always), 1.0);
+  EXPECT_DOUBLE_EQ(biasFraction(BiasKind::Above50), 0.75);
+  EXPECT_DOUBLE_EQ(biasFraction(BiasKind::Equal50), 0.5);
+  EXPECT_DOUBLE_EQ(biasFraction(BiasKind::Below50), 0.25);
+}
+
+TEST(KernelsTest, GroupExpectations) {
+  SiteGroup G{4, 50, 4, BiasKind::Always, 6, false, 3, 0};
+  EXPECT_EQ(G.expectedRefs(8), 4u * 50 * 8);
+  EXPECT_EQ(G.expectedMdas(8), 4u * 50 * 2); // active rounds 6,7
+  G.Bias = BiasKind::Below50;
+  G.OnsetRound = 0;
+  // Pattern-exact: (i & 3) == 3 hits 12 times in 50 iterations.
+  EXPECT_EQ(G.expectedMdas(8), 4u * 12 * 8);
+  G.OnsetRound = 8;
+  EXPECT_EQ(G.expectedMdas(8), 0u);
+}
+
+TEST(KernelsTest, BiasPatternCounts) {
+  EXPECT_EQ(biasPatternCount(BiasKind::Always, 10), 10u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Aligned, 10), 0u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Equal50, 10), 5u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Equal50, 11), 5u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Below50, 16), 4u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Below50, 7), 1u);  // i=3
+  EXPECT_EQ(biasPatternCount(BiasKind::Above50, 16), 12u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Above50, 6), 4u); // i=1,2,3,5
+  EXPECT_EQ(biasPatternCount(BiasKind::Rare, 64), 4u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Rare, 15), 0u);
+  EXPECT_EQ(biasPatternCount(BiasKind::Rare, 16), 1u);
+}
+
+TEST(KernelsTest, RareBiasCensusExact) {
+  ProgramPlan Plan;
+  Plan.Name = "rare";
+  Plan.Rounds = 4;
+  Plan.Seed = 5;
+  Plan.Groups.push_back({3, 48, 4, BiasKind::Rare, 0, false, 3, 0});
+  guest::GuestImage Image = buildProgram(Plan, InputKind::Ref);
+  reporting::CensusResult C = reporting::runCensus(Image);
+  EXPECT_EQ(C.Mdas, 3u * 3 * 4); // 48/16 per round per site
+  EXPECT_EQ(C.Nmi, 3u);
+  EXPECT_EQ(C.Bias.Below50, 3u); // 1/16 < 50%
+}
+
+TEST(KernelsTest, CensusMatchesPlanExpectations) {
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage Image = buildProgram(Plan, InputKind::Ref);
+  reporting::CensusResult C = reporting::runCensus(Image);
+
+  // Site accesses dominate, but section-entry slot loads, round
+  // bookkeeping and call/ret stack traffic add aligned references, so
+  // refs are a lower bound and MDAs must match exactly.
+  EXPECT_EQ(C.Mdas, planExpectedMdas(Plan));
+  EXPECT_GE(C.Refs, planExpectedRefs(Plan));
+  EXPECT_LE(C.Refs, planExpectedRefs(Plan) + planExpectedRefs(Plan) / 4 +
+                        4096);
+  EXPECT_EQ(C.Nmi, planMdaSites(Plan));
+}
+
+TEST(KernelsTest, BiasClassesShowUpInCensus) {
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage Image = buildProgram(Plan, InputKind::Ref);
+  reporting::CensusResult C = reporting::runCensus(Image);
+  // 2 sites of each mixed class.  The late-onset group's sites run for
+  // all 8 rounds but misalign in only 2, so their lifetime ratio is 25%
+  // (Below50).  Gated showcase sites execute only while misaligned, so
+  // they classify as Always despite their deep onset.
+  EXPECT_EQ(C.Bias.Equal50, 2u);
+  EXPECT_EQ(C.Bias.Above50, 2u);
+  EXPECT_EQ(C.Bias.Below50, 2u + 2u);
+  EXPECT_EQ(C.Bias.Always, 4u + 3u + 5u);
+}
+
+TEST(KernelsTest, TrainInputHidesRefOnlyGroups) {
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage Train = buildProgram(Plan, InputKind::Train);
+  guest::GuestImage Ref = buildProgram(Plan, InputKind::Ref);
+  reporting::CensusResult CT = reporting::runCensus(Train);
+  reporting::CensusResult CR = reporting::runCensus(Ref);
+  uint64_t RefOnlyMdas = 0;
+  uint32_t RefOnlySites = 0;
+  for (const SiteGroup &G : Plan.Groups) {
+    if (!G.RefOnly)
+      continue;
+    RefOnlyMdas += G.expectedMdas(Plan.Rounds);
+    RefOnlySites += G.Sites;
+  }
+  EXPECT_EQ(CR.Mdas - CT.Mdas, RefOnlyMdas);
+  EXPECT_EQ(CR.Nmi - CT.Nmi, RefOnlySites);
+  // Same code, same reference count: only alignment differs.
+  EXPECT_EQ(CR.Refs, CT.Refs);
+}
+
+TEST(KernelsTest, AlignedLayoutHasNoMdas) {
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage Image =
+      buildProgram(Plan, InputKind::Ref, LayoutKind::AlignedPadded, 1.5);
+  reporting::CensusResult C = reporting::runCensus(Image);
+  EXPECT_EQ(C.Mdas, 0u);
+  EXPECT_EQ(C.Nmi, 0u);
+}
+
+TEST(KernelsTest, PaddingGrowsDataSegment) {
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage Default = buildProgram(Plan, InputKind::Ref);
+  guest::GuestImage Padded =
+      buildProgram(Plan, InputKind::Ref, LayoutKind::AlignedPadded, 1.5);
+  EXPECT_GT(Padded.Data.size(), Default.Data.size());
+}
+
+TEST(KernelsTest, BuildIsDeterministic) {
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage A = buildProgram(Plan, InputKind::Ref);
+  guest::GuestImage B = buildProgram(Plan, InputKind::Ref);
+  EXPECT_EQ(A.Code, B.Code);
+  EXPECT_EQ(A.Data, B.Data);
+}
+
+TEST(KernelsTest, TrainAndRefShareCode) {
+  // Static profiling depends on instruction addresses being identical
+  // across inputs: only data may differ.
+  ProgramPlan Plan = tinyPlan();
+  guest::GuestImage Train = buildProgram(Plan, InputKind::Train);
+  guest::GuestImage Ref = buildProgram(Plan, InputKind::Ref);
+  EXPECT_EQ(Train.Code, Ref.Code);
+  EXPECT_NE(Train.Data, Ref.Data);
+}
+
+TEST(CatalogTest, HasAll54Benchmarks) {
+  EXPECT_EQ(specCatalog().size(), 54u);
+  EXPECT_EQ(selectedBenchmarks().size(), 21u);
+}
+
+TEST(CatalogTest, FindByName) {
+  const BenchmarkInfo *B = findBenchmark("410.bwaves");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->PaperNmi, 602u);
+  EXPECT_TRUE(B->Selected);
+  EXPECT_EQ(findBenchmark("999.nonesuch"), nullptr);
+}
+
+TEST(CatalogTest, EscapeFractionsDerivedFromPaperTables) {
+  const BenchmarkInfo *Bwaves = findBenchmark("410.bwaves");
+  ASSERT_NE(Bwaves, nullptr);
+  // Table III: 4.15e10 of 9.99e10 MDAs undetected by dynamic profiling.
+  EXPECT_NEAR(Bwaves->dynEscapeFrac(), 0.415, 0.01);
+  // Table IV: zero residual with the train profile.
+  EXPECT_DOUBLE_EQ(Bwaves->trainEscapeFrac(), 0.0);
+
+  const BenchmarkInfo *Eon = findBenchmark("252.eon");
+  ASSERT_NE(Eon, nullptr);
+  EXPECT_NEAR(Eon->trainEscapeFrac(), 0.378, 0.01);
+  EXPECT_LT(Eon->dynEscapeFrac(), 0.001);
+
+  // Table III exceeds Table I for xalancbmk; the fraction is clamped.
+  const BenchmarkInfo *Xal = findBenchmark("483.xalancbmk");
+  ASSERT_NE(Xal, nullptr);
+  EXPECT_DOUBLE_EQ(Xal->dynEscapeFrac(), 0.95);
+}
+
+TEST(CatalogTest, PlanHitsRatioTarget) {
+  ScaleConfig Scale;
+  Scale.TotalRefs = 200000;
+  for (const char *Name : {"410.bwaves", "179.art", "164.gzip",
+                           "483.xalancbmk", "433.milc", "188.ammp"}) {
+    const BenchmarkInfo *Info = findBenchmark(Name);
+    ASSERT_NE(Info, nullptr) << Name;
+    guest::GuestImage Image = buildBenchmark(*Info, InputKind::Ref, Scale);
+    reporting::CensusResult C = reporting::runCensus(Image);
+    double Target = std::min(Info->PaperRatio, Scale.MaxMisFraction);
+    EXPECT_GT(C.Mdas, 0u) << Name;
+    EXPECT_NEAR(C.Ratio, Target, std::max(0.35 * Target, 0.002))
+        << Name << " measured ratio " << C.Ratio;
+  }
+}
+
+TEST(CatalogTest, PlanPreservesNmiOrdering) {
+  // The census NMI must keep the paper's ordering character: galgel and
+  // milc huge, lbm tiny.
+  ScaleConfig Scale;
+  Scale.TotalRefs = 200000;
+  auto NmiOf = [&](const char *Name) {
+    const BenchmarkInfo *Info = findBenchmark(Name);
+    guest::GuestImage Image = buildBenchmark(*Info, InputKind::Ref, Scale);
+    return reporting::runCensus(Image).Nmi;
+  };
+  uint32_t Galgel = NmiOf("178.galgel");
+  uint32_t Lbm = NmiOf("470.lbm");
+  uint32_t Gzip = NmiOf("164.gzip");
+  EXPECT_GT(Galgel, Gzip);
+  EXPECT_GT(Gzip, Lbm);
+  EXPECT_LE(Lbm, 8u);
+}
+
+TEST(CatalogTest, TrainEscapeVisibleInCensusDelta) {
+  // 252.eon: a large share of MDAs must be absent under the train input.
+  ScaleConfig Scale;
+  Scale.TotalRefs = 200000;
+  const BenchmarkInfo *Eon = findBenchmark("252.eon");
+  reporting::CensusResult Ref = reporting::runCensus(
+      buildBenchmark(*Eon, InputKind::Ref, Scale));
+  reporting::CensusResult Train = reporting::runCensus(
+      buildBenchmark(*Eon, InputKind::Train, Scale));
+  double Escape = 1.0 - static_cast<double>(Train.Mdas) /
+                            static_cast<double>(Ref.Mdas);
+  EXPECT_NEAR(Escape, Eon->trainEscapeFrac(), 0.12);
+}
+
+TEST(CatalogTest, EveryBenchmarkBuildsAndHalts) {
+  ScaleConfig Scale;
+  Scale.TotalRefs = 30000;
+  for (const BenchmarkInfo &Info : specCatalog()) {
+    guest::GuestImage Image = buildBenchmark(Info, InputKind::Ref, Scale);
+    reporting::CensusResult C = reporting::runCensus(Image);
+    EXPECT_GT(C.Refs, 0u) << Info.Name;
+    EXPECT_GT(C.Checksum, 0u) << Info.Name;
+  }
+}
+
+TEST(Fig1Test, PairSharesPlanButDiffersInLayout) {
+  ScaleConfig Scale;
+  Scale.TotalRefs = 100000;
+  const BenchmarkInfo *Art = findBenchmark("179.art");
+  Fig1Pair Pair = buildFig1Pair(*Art, 1.4, Scale);
+  reporting::CensusResult D = reporting::runCensus(Pair.Default);
+  reporting::CensusResult A = reporting::runCensus(Pair.Aligned);
+  EXPECT_GT(D.Mdas, 0u);
+  EXPECT_EQ(A.Mdas, 0u);
+}
