@@ -31,7 +31,9 @@ dbt::RunResult runDpehVariant(const workloads::BenchmarkInfo &Info,
       workloads::buildBenchmark(Info, workloads::InputKind::Ref, Scale);
   mda::DpehPolicy Policy(50, Opts);
   dbt::Engine Engine(Image, Policy);
-  return Engine.run();
+  dbt::RunResult R = Engine.run();
+  reporting::checkRunCompleted(R, Info.Name);
+  return R;
 }
 
 } // namespace

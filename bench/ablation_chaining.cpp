@@ -34,8 +34,8 @@ int main() {
     dbt::EngineConfig On;
     dbt::EngineConfig Off;
     Off.EnableChaining = false;
-    dbt::RunResult ROn = reporting::runPolicy(*Info, Spec, Scale, On);
-    dbt::RunResult ROff = reporting::runPolicy(*Info, Spec, Scale, Off);
+    dbt::RunResult ROn = reporting::runPolicyChecked(*Info, Spec, Scale, On);
+    dbt::RunResult ROff = reporting::runPolicyChecked(*Info, Spec, Scale, Off);
     T.addRow({Name, withCommas(ROn.Cycles), withCommas(ROff.Cycles),
               signedPercent(reporting::gainOver(ROff.Cycles, ROn.Cycles)),
               withCommas(ROn.Counters.get("dbt.native_entries")),

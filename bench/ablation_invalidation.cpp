@@ -44,12 +44,16 @@ int main() {
     mda::DpehPolicy PolicyA(50, Opts);
     dbt::Engine EngineA(Image, PolicyA);
     dbt::RunResult Block = EngineA.run();
+    reporting::checkRunCompleted(Block,
+                                 std::string(Name) + " (block-granular)");
 
     dbt::EngineConfig Dynamo;
     Dynamo.FlushOnSupersede = true;
     mda::DpehPolicy PolicyB(50, Opts);
     dbt::Engine EngineB(Image, PolicyB, Dynamo);
     dbt::RunResult Flush = EngineB.run();
+    reporting::checkRunCompleted(Flush,
+                                 std::string(Name) + " (full-flush)");
 
     double Gain = reporting::gainOver(Flush.Cycles, Block.Cycles);
     Gains.push_back(Gain);

@@ -55,7 +55,7 @@ int main() {
       uint64_t Cycles[5];
       for (int C = 0; C != 5; ++C)
         Cycles[C] =
-            reporting::runPolicy(*Info, Columns[C].Spec, Scale, Config)
+            reporting::runPolicyChecked(*Info, Columns[C].Spec, Scale, Config)
                 .Cycles;
       for (int C = 0; C != 5; ++C)
         Norm[C].push_back(static_cast<double>(Cycles[C]) /

@@ -1,0 +1,237 @@
+//===- bench/chaos_soak.cpp - Seeded fault-injection soak -----------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness soak for the DBT engine: runs hundreds of seeded
+/// fault-injection campaigns (chaos::FaultPlan::randomized) across all
+/// five MDA policies and several engine configurations, and checks the
+/// graceful-degradation contract on every run:
+///
+///   - a run that reports success must reproduce the fault-free
+///     baseline's Checksum and MemoryHash bit-exactly;
+///   - a run that does not succeed must report a *typed* RunError other
+///     than MonitorStepLimit — hitting the step guard under injection
+///     means the degradation ladder failed to contain a livelock
+///     (an engine wedge), which fails the soak.
+///
+/// Registered as a ctest target; MDABT_CHAOS_CAMPAIGNS overrides the
+/// campaign count (default 250).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "chaos/FaultPlan.h"
+
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+using namespace mdabt;
+using namespace mdabt::bench;
+
+namespace {
+
+struct PolicyCase {
+  const char *Label;
+  mda::PolicySpec Spec;
+};
+
+/// One row of the survival report.
+struct PolicyTally {
+  uint64_t Campaigns = 0;
+  uint64_t Survived = 0;  ///< completed, checksum+memhash match baseline
+  uint64_t Degraded = 0;  ///< typed abort (TrapStorm/PatchFailed/...)
+  uint64_t Wedged = 0;    ///< MonitorStepLimit under injection
+  uint64_t Corrupt = 0;   ///< completed but diverged from baseline
+  uint64_t Injected = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t InterpPins = 0;
+  uint64_t ByError[6] = {0, 0, 0, 0, 0, 0};
+};
+
+} // namespace
+
+int main() {
+  banner("Chaos soak: seeded fault-injection campaigns against every MDA "
+         "policy",
+         "every campaign either survives bit-exactly or aborts with a "
+         "typed RunError; zero wedges, zero silent corruption");
+
+  uint64_t Campaigns = 250;
+  if (const char *Env = std::getenv("MDABT_CHAOS_CAMPAIGNS")) {
+    long long V = std::atoll(Env);
+    if (V > 0)
+      Campaigns = static_cast<uint64_t>(V);
+  }
+
+  workloads::ScaleConfig Scale;
+  Scale.TotalRefs = 30000;
+
+  const PolicyCase Cases[] = {
+      {"direct", {mda::MechanismKind::Direct, 0, false, 0, false}},
+      {"static", {mda::MechanismKind::StaticProfiling, 0, false, 0, false}},
+      {"dyn@50", {mda::MechanismKind::DynamicProfiling, 50, false, 0, false}},
+      {"eh+rearrange",
+       {mda::MechanismKind::ExceptionHandling, 50, true, 0, false}},
+      {"dpeh+retrans4", {mda::MechanismKind::Dpeh, 50, false, 4, false}},
+  };
+  constexpr size_t NumCases = sizeof(Cases) / sizeof(Cases[0]);
+
+  const workloads::BenchmarkInfo *Progs[] = {
+      workloads::findBenchmark("470.lbm"),
+      workloads::findBenchmark("410.bwaves"),
+  };
+  constexpr size_t NumProgs = sizeof(Progs) / sizeof(Progs[0]);
+  for (const workloads::BenchmarkInfo *P : Progs) {
+    if (!P) {
+      std::fprintf(stderr, "error: soak benchmark missing from catalog\n");
+      return 1;
+    }
+  }
+
+  // Fault-free baselines: every policy must agree on the observable
+  // final state of each program — that shared state is the ground truth
+  // the chaos runs are checked against.
+  struct Baseline {
+    uint64_t Checksum = 0;
+    uint64_t MemoryHash = 0;
+  };
+  Baseline Base[NumProgs];
+  for (size_t P = 0; P != NumProgs; ++P) {
+    for (size_t C = 0; C != NumCases; ++C) {
+      dbt::RunResult R =
+          reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale);
+      reporting::checkRunCompleted(
+          R, std::string(Progs[P]->Name) + " fault-free baseline (" +
+                 Cases[C].Label + ")");
+      if (C == 0) {
+        Base[P].Checksum = R.Checksum;
+        Base[P].MemoryHash = R.MemoryHash;
+      } else if (R.Checksum != Base[P].Checksum ||
+                 R.MemoryHash != Base[P].MemoryHash) {
+        std::fprintf(stderr,
+                     "error: fault-free baselines disagree on %s (%s)\n",
+                     Progs[P]->Name, Cases[C].Label);
+        return 1;
+      }
+    }
+  }
+
+  PolicyTally Tally[NumCases];
+  uint64_t CorruptTotal = 0, WedgedTotal = 0;
+
+  for (uint64_t I = 0; I != Campaigns; ++I) {
+    size_t P = static_cast<size_t>(I % NumProgs);
+    size_t C = static_cast<size_t>((I / NumProgs) % NumCases);
+    chaos::FaultPlan Plan =
+        chaos::FaultPlan::randomized(0xC0FFEEULL * 1000003 + I);
+
+    dbt::EngineConfig Config;
+    // A wedge (uncontained livelock) must surface quickly as
+    // MonitorStepLimit instead of hanging the soak.
+    Config.MaxMonitorSteps = 500'000;
+    Config.Chaos = &Plan;
+    // Rotate through the cache configurations that stress the flush and
+    // supersede paths.
+    switch (I % 4) {
+    case 1:
+      Config.CodeCacheLimitWords = 256;
+      break;
+    case 2:
+      Config.CodeCacheLimitWords = 2000;
+      break;
+    case 3:
+      Config.FlushOnSupersede = true;
+      break;
+    default:
+      break;
+    }
+    // Every fifth campaign runs with tight tolerance ceilings so the
+    // typed-abort paths (PatchFailed/TranslationFailed/CacheThrash) are
+    // exercised, not just the unlimited-degradation paths.
+    if (I % 5 == 4) {
+      Config.Hardening.PatchFailureLimit = 8;
+      Config.Hardening.TranslationFailureLimit = 64;
+      Config.Hardening.FlushLimit = 32;
+      Config.Hardening.MaxWatchdogTrips = 64;
+    }
+
+    dbt::RunResult R =
+        reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, Config);
+
+    PolicyTally &T = Tally[C];
+    ++T.Campaigns;
+    T.Injected += R.Counters.get("chaos.injected");
+    T.WatchdogTrips += R.Counters.get("harden.watchdog_trips");
+    T.InterpPins += R.Counters.get("harden.interp_only_blocks");
+    ++T.ByError[static_cast<size_t>(R.Error)];
+    if (R.completed()) {
+      if (R.Checksum == Base[P].Checksum &&
+          R.MemoryHash == Base[P].MemoryHash) {
+        ++T.Survived;
+      } else {
+        ++T.Corrupt;
+        ++CorruptTotal;
+        std::fprintf(stderr,
+                     "CORRUPT: campaign %" PRIu64 " (%s, %s, seed-derived "
+                     "plan) completed with diverged state\n",
+                     I, Progs[P]->Name, Cases[C].Label);
+      }
+    } else if (R.Error == dbt::RunError::MonitorStepLimit) {
+      ++T.Wedged;
+      ++WedgedTotal;
+      std::fprintf(stderr,
+                   "WEDGE: campaign %" PRIu64 " (%s, %s) hit the monitor "
+                   "step guard — livelock not contained\n",
+                   I, Progs[P]->Name, Cases[C].Label);
+    } else {
+      ++T.Degraded;
+    }
+  }
+
+  TablePrinter T({"Policy", "Campaigns", "Survived", "Degraded", "Wedged",
+                  "Corrupt", "Injected", "WatchdogTrips", "InterpPins"});
+  uint64_t SurvivedTotal = 0, DegradedTotal = 0;
+  for (size_t C = 0; C != NumCases; ++C) {
+    const PolicyTally &Y = Tally[C];
+    SurvivedTotal += Y.Survived;
+    DegradedTotal += Y.Degraded;
+    T.addRow({Cases[C].Label, withCommas(Y.Campaigns),
+              withCommas(Y.Survived), withCommas(Y.Degraded),
+              withCommas(Y.Wedged), withCommas(Y.Corrupt),
+              withCommas(Y.Injected), withCommas(Y.WatchdogTrips),
+              withCommas(Y.InterpPins)});
+  }
+  printTable(T, "chaos_soak");
+
+  TablePrinter E({"RunError", "Count"});
+  for (size_t K = 0; K != 6; ++K) {
+    uint64_t N = 0;
+    for (size_t C = 0; C != NumCases; ++C)
+      N += Tally[C].ByError[K];
+    E.addRow({dbt::runErrorName(static_cast<dbt::RunError>(K)),
+              withCommas(N)});
+  }
+  printTable(E, "chaos_soak_errors");
+
+  std::printf("Soak: %" PRIu64 " campaigns, %" PRIu64 " survived, %" PRIu64
+              " degraded (typed), %" PRIu64 " wedged, %" PRIu64 " corrupt\n",
+              Campaigns, SurvivedTotal, DegradedTotal, WedgedTotal,
+              CorruptTotal);
+  if (WedgedTotal != 0 || CorruptTotal != 0) {
+    std::fprintf(stderr, "chaos soak FAILED\n");
+    return 1;
+  }
+  if (SurvivedTotal == 0) {
+    std::fprintf(stderr,
+                 "chaos soak FAILED: no campaign survived — injection or "
+                 "degradation machinery is misconfigured\n");
+    return 1;
+  }
+  std::printf("chaos soak passed\n");
+  return 0;
+}

@@ -32,7 +32,7 @@ int main() {
        workloads::selectedBenchmarks()) {
     uint64_t Cycles[4];
     for (int I = 0; I != 4; ++I) {
-      dbt::RunResult R = reporting::runPolicy(
+      dbt::RunResult R = reporting::runPolicyChecked(
           *Info,
           {mda::MechanismKind::DynamicProfiling, Thresholds[I], false, 0,
            false},

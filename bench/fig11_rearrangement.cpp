@@ -27,10 +27,10 @@ int main() {
   std::vector<double> Gains;
   for (const workloads::BenchmarkInfo *Info :
        workloads::selectedBenchmarks()) {
-    dbt::RunResult Base = reporting::runPolicy(
+    dbt::RunResult Base = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::ExceptionHandling, 50, false, 0, false},
         Scale);
-    dbt::RunResult Rearr = reporting::runPolicy(
+    dbt::RunResult Rearr = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::ExceptionHandling, 50, true, 0, false},
         Scale);
     double Gain = reporting::gainOver(Base.Cycles, Rearr.Cycles);

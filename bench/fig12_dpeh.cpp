@@ -26,10 +26,10 @@ int main() {
   std::vector<double> Gains;
   for (const workloads::BenchmarkInfo *Info :
        workloads::selectedBenchmarks()) {
-    dbt::RunResult Eh = reporting::runPolicy(
+    dbt::RunResult Eh = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::ExceptionHandling, 50, false, 0, false},
         Scale);
-    dbt::RunResult Dpeh = reporting::runPolicy(
+    dbt::RunResult Dpeh = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
     double Gain = reporting::gainOver(Eh.Cycles, Dpeh.Cycles);
     Gains.push_back(Gain);

@@ -28,9 +28,9 @@ int main() {
   std::vector<double> Gains;
   for (const workloads::BenchmarkInfo *Info :
        workloads::selectedBenchmarks()) {
-    dbt::RunResult Base = reporting::runPolicy(
+    dbt::RunResult Base = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
-    dbt::RunResult Retr = reporting::runPolicy(
+    dbt::RunResult Retr = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::Dpeh, 50, false, 4, false}, Scale);
     double Gain = reporting::gainOver(Base.Cycles, Retr.Cycles);
     Gains.push_back(Gain);

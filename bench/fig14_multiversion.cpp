@@ -27,9 +27,9 @@ int main() {
   std::vector<double> Gains;
   for (const workloads::BenchmarkInfo *Info :
        workloads::selectedBenchmarks()) {
-    dbt::RunResult Base = reporting::runPolicy(
+    dbt::RunResult Base = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
-    dbt::RunResult Mv = reporting::runPolicy(
+    dbt::RunResult Mv = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::Dpeh, 50, false, 0, true}, Scale);
     double Gain = reporting::gainOver(Base.Cycles, Mv.Cycles);
     Gains.push_back(Gain);

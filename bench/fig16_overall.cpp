@@ -47,7 +47,7 @@ int main() {
     uint64_t Cycles[NumCols];
     for (int C = 0; C != NumCols; ++C)
       Cycles[C] =
-          reporting::runPolicy(*Info, Columns[C].Spec, Scale).Cycles;
+          reporting::runPolicyChecked(*Info, Columns[C].Spec, Scale).Cycles;
     std::vector<std::string> Row = {Info->Name};
     for (int C = 0; C != NumCols; ++C) {
       double V = static_cast<double>(Cycles[C]) /

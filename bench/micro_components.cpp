@@ -22,6 +22,7 @@
 #include "host/HostMachine.h"
 #include "host/MdaSequences.h"
 #include "mda/Policies.h"
+#include "reporting/Experiment.h"
 #include "support/CacheModel.h"
 #include "support/RNG.h"
 
@@ -70,7 +71,9 @@ void BM_EngineDpehThroughput(benchmark::State &State) {
   for (auto _ : State) {
     mda::DpehPolicy Policy(50);
     dbt::Engine Engine(Image, Policy);
-    Cycles += Engine.run().Cycles;
+    dbt::RunResult R = Engine.run();
+    reporting::checkRunCompleted(R, "BM_EngineDpehThroughput");
+    Cycles += R.Cycles;
   }
   State.SetItemsProcessed(static_cast<int64_t>(Cycles));
   State.SetLabel("items = simulated cycles");

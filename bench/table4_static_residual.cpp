@@ -26,7 +26,7 @@ int main() {
   TablePrinter T({"Benchmark", "Paper", "Measured (scaled)"});
   for (const workloads::BenchmarkInfo *Info :
        workloads::selectedBenchmarks()) {
-    dbt::RunResult R = reporting::runPolicy(
+    dbt::RunResult R = reporting::runPolicyChecked(
         *Info, {mda::MechanismKind::StaticProfiling, 0, false, 0, false},
         Scale);
     T.addRow({Info->Name,

@@ -23,6 +23,7 @@
 #include "dbt/Engine.h"
 #include "guest/Assembler.h"
 #include "mda/PolicyFactory.h"
+#include "reporting/Experiment.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -112,6 +113,7 @@ int main() {
     std::unique_ptr<dbt::MdaPolicy> Policy = mda::makePolicy(R.Spec);
     dbt::Engine Engine(Image, *Policy);
     dbt::RunResult Result = Engine.run();
+    reporting::checkRunCompleted(Result, R.Label);
     std::printf("%-38s %14s %8s %8s %8s\n", R.Label,
                 withCommas(Result.Cycles).c_str(),
                 withCommas(Result.Counters.get("dbt.fault_traps")).c_str(),

@@ -70,11 +70,11 @@ bool parsePolicy(const std::string &Name, mda::PolicySpec &Spec) {
 void runOne(const workloads::BenchmarkInfo &Info,
             const mda::PolicySpec &Spec,
             const workloads::ScaleConfig &Scale) {
-  dbt::RunResult R = reporting::runPolicy(Info, Spec, Scale);
+  dbt::RunResult R = reporting::runPolicyChecked(Info, Spec, Scale);
   std::printf("--- %s under %s ---\n", Info.Name,
               mda::policySpecName(Spec).c_str());
-  std::printf("cycles: %s  (completed: %s)\n",
-              withCommas(R.Cycles).c_str(), R.Completed ? "yes" : "NO");
+  std::printf("cycles: %s  (status: %s)\n",
+              withCommas(R.Cycles).c_str(), dbt::runErrorName(R.Error));
   for (const auto &Entry : R.Counters.entries())
     std::printf("  %-22s %s\n", Entry.first.c_str(),
                 withCommas(Entry.second).c_str());

@@ -20,6 +20,7 @@
 #include "guest/Encoding.h"
 #include "guest/Interpreter.h"
 #include "mda/Policies.h"
+#include "reporting/Experiment.h"
 
 #include <cstdio>
 
@@ -69,6 +70,7 @@ int main() {
   mda::DpehPolicy Policy(/*Threshold=*/50);
   dbt::Engine Engine(Image, Policy);
   dbt::RunResult R = Engine.run();
+  reporting::checkRunCompleted(R, "quickstart DPEH run");
 
   // ---- 3. Inspect the run ----------------------------------------------------
   std::printf("\nDPEH run: %s cycles, checksum %016llx\n",

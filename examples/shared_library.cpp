@@ -23,6 +23,7 @@
 #include "guest/Interpreter.h"
 #include "guest/MdaCensus.h"
 #include "mda/Policies.h"
+#include "reporting/Experiment.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -139,6 +140,7 @@ int main() {
   for (Row &R : Rows) {
     dbt::Engine Engine(P.Image, *R.Policy);
     dbt::RunResult Result = Engine.run();
+    reporting::checkRunCompleted(Result, R.Name);
     std::printf("  %-20s %12s cycles, %6s traps, checksum %016llx\n",
                 R.Name, withCommas(Result.Cycles).c_str(),
                 withCommas(Result.Counters.get("dbt.fault_traps")).c_str(),

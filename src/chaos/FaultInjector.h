@@ -1,0 +1,74 @@
+//===- chaos/FaultInjector.h - Seeded fault-injection oracle ---*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime side of a FaultPlan: the engine consults the injector at
+/// each injection point and the injector answers deterministically from
+/// the plan's seeded PRNG.  All decisions share one injection budget
+/// (FaultPlan::MaxInjections) so that even rate-1.0 campaigns terminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_CHAOS_FAULTINJECTOR_H
+#define MDABT_CHAOS_FAULTINJECTOR_H
+
+#include "chaos/FaultPlan.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+
+namespace mdabt {
+namespace chaos {
+
+/// Answers the engine's "does this operation fail?" questions for one
+/// run, deterministically.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan)
+      : Plan(Plan), Rng(Plan.Seed) {}
+
+  /// Trap delivery is lost; the faulting instruction restarts unhandled.
+  bool lostTrap() { return fire(Plan.LostTrapRate); }
+
+  /// The same exception is delivered a second time.
+  bool duplicateTrap() { return fire(Plan.DuplicateTrapRate); }
+
+  /// A stale re-delivery for an already-patched word arrives now.
+  bool spuriousTrap() { return fire(Plan.SpuriousTrapRate); }
+
+  /// Fate of one code-cache patch write.
+  PatchFault patchFault();
+
+  /// Deterministic corruption of a torn patch word.
+  uint32_t tearWord(uint32_t Word) {
+    return Word ^ (1u << (Rng.next() & 31));
+  }
+
+  /// The translator fails this block-translation attempt.
+  bool translateFails();
+
+  /// A spurious whole-cache flush is requested at this dispatch.
+  bool flushStorm() { return fire(Plan.FlushStormRate); }
+
+  /// Total events injected so far.
+  uint64_t injected() const { return Injected; }
+
+private:
+  bool budgetLeft() const {
+    return Plan.MaxInjections == 0 || Injected < Plan.MaxInjections;
+  }
+  bool fire(double Rate);
+
+  FaultPlan Plan;
+  RNG Rng;
+  uint64_t Injected = 0;
+  uint64_t TranslationAttempts = 0;
+};
+
+} // namespace chaos
+} // namespace mdabt
+
+#endif // MDABT_CHAOS_FAULTINJECTOR_H

@@ -1,0 +1,98 @@
+//===- chaos/FaultPlan.h - Deterministic fault-campaign description -*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FaultPlan describes one deterministic fault-injection campaign
+/// against the DBT engine.  Every trigger is driven by a seeded PRNG
+/// (plus absolute event indices for the exact-count triggers), so a plan
+/// replays bit-identically: the same plan against the same workload and
+/// policy produces the same injected faults, the same degradation-ladder
+/// engagements, and the same RunResult.
+///
+/// The injection points mirror the hazards real DBT runtimes face on the
+/// trap/patch/retranslate path (paper Figs. 5-8):
+///
+///   - trap delivery: lost deliveries (the instruction restarts
+///     unhandled, the classic retry-storm), duplicate deliveries of one
+///     exception, and stale re-deliveries for an already-patched word;
+///   - patch application: a code-cache write that is dropped or torn;
+///   - block translation: translator failure at a rate or at an exact
+///     translation count;
+///   - code-cache flush: spurious whole-cache flushes, modelling a
+///     flush storm under CodeCacheLimitWords pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_CHAOS_FAULTPLAN_H
+#define MDABT_CHAOS_FAULTPLAN_H
+
+#include <cstdint>
+
+namespace mdabt {
+namespace chaos {
+
+/// What happens to one code-cache patch application.
+enum class PatchFault : uint8_t {
+  None, ///< the write lands
+  Drop, ///< the write is silently lost
+  Torn, ///< a corrupted word lands instead
+};
+
+/// Deterministic description of one fault campaign.
+struct FaultPlan {
+  /// Seed of the injector's PRNG; same seed => same campaign.
+  uint64_t Seed = 0;
+
+  // -- trap delivery -----------------------------------------------------
+  /// P(the delivery is lost) per misalignment trap: the handler never
+  /// runs and the faulting instruction simply restarts.  Sustained loss
+  /// at one site is the trap-storm livelock the watchdog must contain.
+  double LostTrapRate = 0.0;
+  /// P(the same exception is delivered twice) per handled trap.
+  double DuplicateTrapRate = 0.0;
+  /// P(a stale re-delivery of the most recently patched word arrives)
+  /// per monitor dispatch.
+  double SpuriousTrapRate = 0.0;
+
+  // -- patch application -------------------------------------------------
+  /// P(a code-cache patch write is dropped) per patch.
+  double PatchDropRate = 0.0;
+  /// P(a code-cache patch write is torn) per patch.
+  double PatchTornRate = 0.0;
+
+  // -- block translation -------------------------------------------------
+  /// P(the translator fails) per block-translation attempt.
+  double TranslateFailRate = 0.0;
+  /// Fail exactly the Nth translation attempt (1-based; 0 = disabled).
+  uint32_t TranslateFailAt = 0;
+
+  // -- code-cache flush --------------------------------------------------
+  /// P(a spurious whole-cache flush is requested) per monitor dispatch.
+  double FlushStormRate = 0.0;
+
+  /// Hard ceiling on the total number of injected events (0 = no
+  /// ceiling).  Keeps rate-1.0 campaigns terminating: once the budget is
+  /// spent the system is allowed to heal.
+  uint32_t MaxInjections = 4096;
+
+  /// True if any injection can ever fire.
+  bool enabled() const {
+    return LostTrapRate > 0 || DuplicateTrapRate > 0 ||
+           SpuriousTrapRate > 0 || PatchDropRate > 0 ||
+           PatchTornRate > 0 || TranslateFailRate > 0 ||
+           TranslateFailAt != 0 || FlushStormRate > 0;
+  }
+
+  /// A randomized campaign: each fault class is armed with probability
+  /// ~1/2, with rates spanning rare glitches to sustained storms.
+  /// Deterministic in \p Seed.
+  static FaultPlan randomized(uint64_t Seed);
+};
+
+} // namespace chaos
+} // namespace mdabt
+
+#endif // MDABT_CHAOS_FAULTPLAN_H

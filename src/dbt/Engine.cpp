@@ -6,6 +6,7 @@
 
 #include "dbt/Engine.h"
 
+#include "chaos/FaultInjector.h"
 #include "dbt/GuestBlock.h"
 #include "dbt/Translator.h"
 #include "guest/Interpreter.h"
@@ -15,10 +16,14 @@
 #include "support/CacheModel.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace mdabt;
 using namespace mdabt::dbt;
@@ -33,6 +38,24 @@ uint64_t mdabt::dbt::fnv1a(const uint8_t *Bytes, size_t Size) {
   return H;
 }
 
+const char *mdabt::dbt::runErrorName(RunError E) {
+  switch (E) {
+  case RunError::None:
+    return "none";
+  case RunError::MonitorStepLimit:
+    return "monitor-step-limit";
+  case RunError::TrapStorm:
+    return "trap-storm";
+  case RunError::PatchFailed:
+    return "patch-failed";
+  case RunError::TranslationFailed:
+    return "translation-failed";
+  case RunError::CacheThrash:
+    return "cache-thrash";
+  }
+  return "unknown";
+}
+
 MdaPolicy::~MdaPolicy() = default;
 
 namespace {
@@ -42,13 +65,37 @@ class Session {
 public:
   Session(const guest::GuestImage &Image, MdaPolicy &Policy,
           const EngineConfig &Config)
-      : Policy(Policy), Config(Config), Cost(Config.Cost), Interp(Mem),
+      : Policy(Policy), Config(Config), Cost(Config.Cost),
+        Hard(Config.Hardening), Interp(Mem),
         Machine(Code, Mem, Hier, Cost), Trans(Code), Profiler(*this) {
     Mem.loadImage(Image);
     Cpu.reset(Image);
     Interp.setObserver(&Profiler);
     Machine.setFaultHandler(
         [this](const FaultInfo &F) { return onFault(F); });
+    if (Config.Chaos && Config.Chaos->enabled()) {
+      Injector.emplace(*Config.Chaos);
+      // Intercept only the engine's own patch writes (stub redirection,
+      // chaining, unchaining, reverts): translator-internal backpatches
+      // are never read back for verification, so injecting there would
+      // model a hazard the real trap/patch path does not have.
+      Code.setPatchHook([this](uint32_t, uint32_t &W) {
+        if (!ChaosPatchArmed)
+          return true;
+        switch (Injector->patchFault()) {
+        case chaos::PatchFault::None:
+          break;
+        case chaos::PatchFault::Drop:
+          ++ChaosPatchDrops;
+          return false;
+        case chaos::PatchFault::Torn:
+          ++ChaosPatchTears;
+          W = Injector->tearWord(W);
+          break;
+        }
+        return true;
+      });
+    }
   }
 
   RunResult run();
@@ -70,18 +117,90 @@ private:
     Session &S;
   };
 
+  // -- verified code-cache patching --------------------------------------
+
+  /// Write \p Desired into code word \p Word and verify by read-back,
+  /// repairing a dropped or torn write up to PatchRepairLimit times.  On
+  /// persistent failure the previous content is restored (a torn word
+  /// must never become executable) and false is returned; if even the
+  /// restore cannot be made to stick the run aborts with PatchFailed.
+  bool patchVerified(uint32_t Word, uint32_t Desired) {
+    uint32_t Fallback = Code.word(Word);
+    ChaosPatchArmed = true;
+    bool Ok = false;
+    bool Repaired = false;
+    for (uint32_t A = 0; A <= Hard.PatchRepairLimit; ++A) {
+      Code.patch(Word, Desired);
+      if (Code.word(Word) == Desired) {
+        Ok = true;
+        break;
+      }
+      Repaired = true;
+    }
+    if (Ok) {
+      ChaosPatchArmed = false;
+      if (Repaired)
+        ++PatchRepairs;
+      return true;
+    }
+    ++PatchFailures;
+    if (Hard.PatchFailureLimit != 0 &&
+        PatchFailures > Hard.PatchFailureLimit)
+      Abort = RunError::PatchFailed;
+    // Roll back so execution never reaches a corrupt word.
+    bool Restored = false;
+    for (uint32_t A = 0; A <= Hard.PatchRepairLimit; ++A) {
+      Code.patch(Word, Fallback);
+      if (Code.word(Word) == Fallback) {
+        Restored = true;
+        break;
+      }
+    }
+    ChaosPatchArmed = false;
+    if (!Restored)
+      Abort = RunError::PatchFailed;
+    return false;
+  }
+
   // -- translation -------------------------------------------------------
 
   Translation *installTranslation(uint32_t GuestPc, uint32_t Generation,
                                   bool AllowFlush = false) {
+    if (InterpOnly.count(GuestPc))
+      return nullptr; // degradation rung 3: this block stays interpreted
     // Capacity policy: flush before installing, and only from monitor
     // context (translated code must not be running during a flush).
     if (AllowFlush && Config.CodeCacheLimitWords != 0 &&
-        Code.size() > Config.CodeCacheLimitWords)
+        Code.size() > Config.CodeCacheLimitWords) {
       flushAll();
+      if (Abort != RunError::None)
+        return nullptr;
+    }
     GuestBlock Block = discoverBlock(Mem, GuestPc);
+    if (Injector && Injector->translateFails()) {
+      // The translator failed: charge the wasted work, fall back to
+      // interpretation, and pin the block interp-only once failures at
+      // this PC persist.
+      ++ChaosTranslateFails;
+      ++TranslateFailures;
+      if (!Policy.translationIsOffline())
+        TranslateCycles += static_cast<uint64_t>(Block.size()) *
+                           Cost.TranslateCyclesPerInst;
+      if (++TranslateFailsAt[GuestPc] >= Hard.TranslateRetryLimit) {
+        InterpOnly.insert(GuestPc);
+        ++LadderInterpPins;
+      }
+      if (Hard.TranslationFailureLimit != 0 &&
+          TranslateFailures > Hard.TranslationFailureLimit)
+        Abort = RunError::TranslationFailed;
+      return nullptr;
+    }
+    TranslateFailsAt.erase(GuestPc);
     Translator::PlanFn Plan = [this](uint32_t Pc,
                                      const guest::GuestInst &I) {
+      // Watchdog overrides (degradation rungs 1-2) win over the policy.
+      if (ForceInline.count(Pc))
+        return MemPlan::Inline;
       return Policy.planMemoryOp(Pc, I);
     };
     Store.push_back(
@@ -93,7 +212,25 @@ private:
       TranslateCycles += static_cast<uint64_t>(Block.size()) *
                          Cost.TranslateCyclesPerInst;
     ++Translations;
+    // A single block bigger than the whole cache would flush-thrash on
+    // every dispatch: pin it interpret-only instead.
+    if (Config.CodeCacheLimitWords != 0 &&
+        T->EndWord - T->EntryWord > Config.CodeCacheLimitWords) {
+      InterpOnly.insert(GuestPc);
+      ++OversizedPins;
+      invalidate(T);
+      return nullptr;
+    }
     return T;
+  }
+
+  /// Take \p Old out of service: mark invalid and unchain every direct
+  /// branch into it so stale callers fall back to the monitor.
+  void invalidate(Translation *Old) {
+    Old->Valid = false;
+    for (uint32_t W : Old->IncomingChains)
+      patchVerified(W, encodeHost(srvInst(SrvFunc::Exit)));
+    Old->IncomingChains.clear();
   }
 
   /// Invalidate \p Old and retranslate its guest block (rearrangement /
@@ -109,10 +246,7 @@ private:
       ++Supersedes;
       return;
     }
-    Old->Valid = false;
-    for (uint32_t W : Old->IncomingChains)
-      Code.patch(W, encodeHost(srvInst(SrvFunc::Exit)));
-    Old->IncomingChains.clear();
+    invalidate(Old);
     installTranslation(Old->GuestPc, Old->Generation + 1);
     ++Supersedes;
   }
@@ -127,6 +261,9 @@ private:
     PatchedOriginals.clear();
     PendingFlush = false;
     ++Flushes;
+    LastFlushStep = StepIndex;
+    if (Hard.FlushLimit != 0 && Flushes > Hard.FlushLimit)
+      Abort = RunError::CacheThrash;
     // Heat survives: hot blocks retranslate on their next dispatch,
     // exactly like a real cache flush.
   }
@@ -143,12 +280,30 @@ private:
     return It->second.second;
   }
 
-  FaultAction onFault(const FaultInfo &F) {
+  /// Handle one (possibly stale or injected) trap delivery.  Validates
+  /// the delivery against the current cache contents before acting:
+  /// duplicate and spurious deliveries for a word that has since been
+  /// patched, flushed, or reused must not patch the wrong instruction.
+  FaultAction deliver(const FaultInfo &F) {
+    if (F.HostPc >= Code.size() ||
+        Code.word(F.HostPc) != encodeHost(F.Inst)) {
+      // Stale delivery: the word no longer holds the faulting
+      // instruction (already patched, flushed, or reused).
+      ++SpuriousTraps;
+      return FaultAction::Retry;
+    }
     Translation *T = findOwner(F.HostPc);
-    assert(T && "misalignment fault outside any translation");
+    if (!T) {
+      // The word matches but no live translation owns it (flushed and
+      // not yet reused): emulate so the guest still makes progress.
+      ++SpuriousTraps;
+      return FaultAction::Fixup;
+    }
     auto It = T->MemWordToGuestPc.find(F.HostPc);
-    assert(It != T->MemWordToGuestPc.end() &&
-           "fault at an unrecorded memory word");
+    if (It == T->MemWordToGuestPc.end()) {
+      ++SpuriousTraps;
+      return FaultAction::Retry;
+    }
     uint32_t InstPc = It->second;
     ++T->FaultCount;
 
@@ -159,13 +314,19 @@ private:
     // Exception-handling method (paper Fig. 5): generate the MDA code
     // sequence in the code cache and patch the offending instruction.
     Translator::StubInfo S;
-    if (D.AdaptiveStub) {
+    bool Adaptive = D.AdaptiveStub;
+    if (Adaptive && NextCounterCell + 4 > Mem.size()) {
+      // Runtime counter cells exhausted: degrade to a plain stub rather
+      // than corrupting guest memory.
+      Adaptive = false;
+      ++StubDowngrades;
+    }
+    if (Adaptive) {
       // The revertible stub of paper Fig. 8 (right): remember the
       // original word so the monitor can patch it back when the stub
       // reports a run of aligned executions.
       uint32_t CounterAddr = NextCounterCell;
       NextCounterCell += 4;
-      assert(CounterAddr + 4 <= Mem.size() && "runtime cells exhausted");
       Mem.store(CounterAddr, 4, 0);
       PatchedOriginals[F.HostPc] = {Code.word(F.HostPc), InstPc};
       S = Trans.emitAdaptiveStub(F.Inst, F.HostPc, CounterAddr,
@@ -173,16 +334,110 @@ private:
     } else {
       S = Trans.emitStub(F.Inst, F.HostPc);
     }
-    Trans.patchToStub(F.HostPc, S.Entry);
+    if (!patchVerified(F.HostPc,
+                       Translator::stubBranchWord(F.HostPc, S.Entry))) {
+      // The redirect did not stick; the original instruction is still
+      // in place.  Emulate this occurrence and let a later trap retry
+      // the patch (or the watchdog escalate).
+      if (Adaptive)
+        PatchedOriginals.erase(F.HostPc);
+      return Abort != RunError::None ? FaultAction::Halt
+                                     : FaultAction::Fixup;
+    }
     T->PatchedWords.push_back(F.HostPc);
     T->MemWordToGuestPc.erase(F.HostPc);
     Regions[S.Entry] = {S.End, T};
     Machine.addCycles(Cost.PatchExtraCycles);
     ++Patches;
+    LastPatch = F;
+    HaveLastPatch = true;
 
     if (D.Supersede)
       supersede(T);
     return FaultAction::Retry;
+  }
+
+  /// Trap-storm watchdog escalation: force progress at a site the
+  /// normal policy machinery has failed to fix.  Climbs a three-rung
+  /// degradation ladder per block — (1) rearrangement with the storming
+  /// site force-inlined, (2) retranslation with every memory site
+  /// force-inlined, (3) interpret-only pin — and always emulates the
+  /// current access so the guest advances regardless.
+  FaultAction engageLadder(const FaultInfo &F) {
+    ++WatchdogTrips;
+    ConsecutiveTraps = 0;
+    if (WatchdogTrips > Hard.MaxWatchdogTrips) {
+      Abort = RunError::TrapStorm;
+      return FaultAction::Halt;
+    }
+    Translation *T = findOwner(F.HostPc);
+    if (!T) {
+      ++SpuriousTraps;
+      return FaultAction::Fixup;
+    }
+    uint32_t BlockPc = T->GuestPc;
+    auto It = T->MemWordToGuestPc.find(F.HostPc);
+    uint32_t InstPc =
+        It != T->MemWordToGuestPc.end() ? It->second : 0;
+    uint32_t Rung = ++LadderRungOf[BlockPc];
+    if (Rung == 1 && InstPc != 0) {
+      ForceInline.insert(InstPc);
+      Policy.onWatchdogEscalation(BlockPc, InstPc, 1);
+      if (T->Valid)
+        supersede(T);
+      ++LadderRearranges;
+    } else if (Rung <= 2) {
+      for (const auto &Entry : T->MemWordToGuestPc)
+        ForceInline.insert(Entry.second);
+      Policy.onWatchdogEscalation(BlockPc, InstPc, 2);
+      if (T->Valid)
+        supersede(T);
+      ++LadderRetranslations;
+    } else {
+      InterpOnly.insert(BlockPc);
+      Policy.onWatchdogEscalation(BlockPc, 0, 3);
+      if (T->Valid)
+        invalidate(T);
+      ++LadderInterpPins;
+    }
+    return FaultAction::Fixup;
+  }
+
+  FaultAction onFault(const FaultInfo &F) {
+    // Watchdog: consecutive traps at one host word with no intervening
+    // progress (Fixup always advances Pc, so delta > 1 means the guest
+    // is moving) indicate a livelock the policy cannot break.
+    if (F.HostPc == LastTrapWord &&
+        Machine.Instructions - LastTrapInsts <= 1) {
+      ++ConsecutiveTraps;
+    } else {
+      ConsecutiveTraps = 1;
+      LastTrapWord = F.HostPc;
+    }
+    LastTrapInsts = Machine.Instructions;
+    if (Abort != RunError::None)
+      return FaultAction::Halt;
+    if (ConsecutiveTraps > Hard.WatchdogTrapK)
+      return engageLadder(F);
+
+    if (Injector && Injector->lostTrap()) {
+      // The delivery is lost: the handler never runs and the faulting
+      // instruction restarts — the retry storm the watchdog contains.
+      ++ChaosLostTraps;
+      return FaultAction::Retry;
+    }
+    FaultAction A = deliver(F);
+    if (Abort != RunError::None)
+      return FaultAction::Halt;
+    if (Injector && Injector->duplicateTrap()) {
+      // The same exception is delivered twice: the second delivery must
+      // be recognized as stale and stay harmless.
+      ++ChaosDupTraps;
+      deliver(F);
+      if (Abort != RunError::None)
+        return FaultAction::Halt;
+    }
+    return A;
   }
 
   /// Apply a revert request posted by an adaptive stub: restore the
@@ -197,7 +452,8 @@ private:
     auto It = PatchedOriginals.find(FaultWord);
     if (It == PatchedOriginals.end())
       return;
-    Code.patch(FaultWord, It->second.first);
+    if (!patchVerified(FaultWord, It->second.first))
+      return; // revert failed; the stub stays in place and stays correct
     if (Translation *T = findOwner(FaultWord))
       T->MemWordToGuestPc[FaultWord] = It->second.second;
     PatchedOriginals.erase(It);
@@ -244,9 +500,10 @@ private:
                      (static_cast<int64_t>(X.SrvWord) + 1);
       if (Disp < -(1 << 20) || Disp >= (1 << 20))
         return; // out of branch range; keep going through the monitor
-      Code.patch(X.SrvWord,
-                 encodeHost(brInst(HostOp::Br, RegZero,
-                                   static_cast<int32_t>(Disp))));
+      if (!patchVerified(X.SrvWord,
+                         encodeHost(brInst(HostOp::Br, RegZero,
+                                           static_cast<int32_t>(Disp)))))
+        return; // chain patch failed; keep exiting through the monitor
       X.Chained = true;
       Target->IncomingChains.push_back(X.SrvWord);
       ChainCycles += Cost.ChainPatchCycles;
@@ -260,6 +517,7 @@ private:
   MdaPolicy &Policy;
   const EngineConfig &Config;
   const CostModel &Cost;
+  const HardeningConfig &Hard;
 
   guest::GuestMemory Mem;
   guest::GuestCPU Cpu;
@@ -283,6 +541,29 @@ private:
   std::unordered_map<uint32_t, std::pair<uint32_t, uint32_t>>
       PatchedOriginals;
 
+  /// Fault injection (chaos campaigns); disengaged in normal runs.
+  std::optional<chaos::FaultInjector> Injector;
+  bool ChaosPatchArmed = false;
+  /// Most recent successfully patched fault, replayed by the spurious
+  /// (stale re-delivery) injection point.
+  FaultInfo LastPatch;
+  bool HaveLastPatch = false;
+
+  /// Degradation-ladder state.
+  std::unordered_set<uint32_t> ForceInline; ///< inst PCs forced Inline
+  std::unordered_set<uint32_t> InterpOnly;  ///< block PCs never translated
+  std::unordered_map<uint32_t, uint32_t> LadderRungOf; ///< block -> rung
+  std::unordered_map<uint32_t, uint32_t> TranslateFailsAt;
+  RunError Abort = RunError::None;
+
+  /// Trap-storm watchdog state.
+  uint32_t LastTrapWord = ~0u;
+  uint64_t LastTrapInsts = 0;
+  uint32_t ConsecutiveTraps = 0;
+
+  uint64_t StepIndex = 0;
+  uint64_t LastFlushStep = 0;
+
   uint64_t InterpCycles = 0;
   uint64_t TranslateCycles = 0;
   uint64_t MonitorCycles = 0;
@@ -297,22 +578,65 @@ private:
   uint64_t Reverts = 0;
   uint64_t Flushes = 0;
   uint64_t NativeEntries = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t LadderRearranges = 0;
+  uint64_t LadderRetranslations = 0;
+  uint64_t LadderInterpPins = 0;
+  uint64_t OversizedPins = 0;
+  uint64_t SpuriousTraps = 0;
+  uint64_t PatchRepairs = 0;
+  uint64_t PatchFailures = 0;
+  uint64_t TranslateFailures = 0;
+  uint64_t FlushesSuppressed = 0;
+  uint64_t StubDowngrades = 0;
+  uint64_t ChaosLostTraps = 0;
+  uint64_t ChaosDupTraps = 0;
+  uint64_t ChaosSpurious = 0;
+  uint64_t ChaosPatchDrops = 0;
+  uint64_t ChaosPatchTears = 0;
+  uint64_t ChaosTranslateFails = 0;
+  uint64_t ChaosFlushStorms = 0;
   bool PendingFlush = false;
 };
 
 RunResult Session::run() {
   RunResult R;
-  uint64_t Steps = 0;
   bool Guarded = false;
 
   while (!Cpu.Halted) {
-    if (++Steps > Config.MaxMonitorSteps) {
+    if (++StepIndex > Config.MaxMonitorSteps) {
       Guarded = true;
       break;
     }
+    if (Abort != RunError::None)
+      break;
 
-    if (PendingFlush)
+    if (Injector) {
+      if (Injector->flushStorm()) {
+        ++ChaosFlushStorms;
+        // Flush-storm backoff: absorb requests arriving faster than
+        // the cache can usefully refill.
+        if (StepIndex - LastFlushStep >= Hard.FlushStormBackoffSteps)
+          PendingFlush = true;
+        else
+          ++FlushesSuppressed;
+      }
+      if (HaveLastPatch && Injector->spuriousTrap()) {
+        // Stale re-delivery of an already-handled exception: it must be
+        // recognized as such and rejected.
+        ++ChaosSpurious;
+        Machine.addCycles(Cost.TrapCycles);
+        deliver(LastPatch);
+        if (Abort != RunError::None)
+          break;
+      }
+    }
+
+    if (PendingFlush) {
       flushAll();
+      if (Abort != RunError::None)
+        break;
+    }
 
     auto It = BlockMap.find(Cpu.Pc);
     Translation *T =
@@ -325,7 +649,8 @@ RunResult Session::run() {
       ExitInfo E = Machine.run(T->EntryWord);
       syncToGuest();
       if (E.K == ExitInfo::Halt) {
-        Cpu.Halted = true;
+        if (Abort == RunError::None)
+          Cpu.Halted = true;
         break;
       }
       if (E.K == ExitInfo::Limit) {
@@ -338,10 +663,17 @@ RunResult Session::run() {
       continue;
     }
 
-    uint32_t H = ++Heat[Cpu.Pc];
-    if (H > Policy.hotThreshold()) {
-      installTranslation(Cpu.Pc, /*Generation=*/0, /*AllowFlush=*/true);
-      continue; // dispatch natively on the next iteration
+    if (!InterpOnly.count(Cpu.Pc)) {
+      uint32_t H = ++Heat[Cpu.Pc];
+      if (H > Policy.hotThreshold()) {
+        if (installTranslation(Cpu.Pc, /*Generation=*/0,
+                               /*AllowFlush=*/true))
+          continue; // dispatch natively on the next iteration
+        if (Abort != RunError::None)
+          break;
+        // Translation failed: fall through and interpret this block so
+        // the guest still makes forward progress.
+      }
     }
 
     // Phase 1: interpret one dynamic basic block, profiling as we go.
@@ -351,7 +683,10 @@ RunResult Session::run() {
     InterpCycles += N * Cost.InterpCyclesPerInst;
   }
 
-  R.Completed = !Guarded && Cpu.Halted;
+  RunError Err = Abort;
+  if (Err == RunError::None && (Guarded || !Cpu.Halted))
+    Err = RunError::MonitorStepLimit;
+  R.Error = Err;
   R.FinalCpu = Cpu;
   R.Checksum = Cpu.Checksum;
   // The BT-runtime scratch cells (revert counters) are not part of the
@@ -394,6 +729,29 @@ RunResult Session::run() {
   C.add("dbt.fault_traps", Machine.Faults);
   C.add("dbt.fixups", Machine.Fixups);
   C.add("dbt.code_words", Code.size());
+  C.set("run.error", static_cast<uint64_t>(Err));
+  C.add("harden.watchdog_trips", WatchdogTrips);
+  C.add("harden.ladder_rearrange", LadderRearranges);
+  C.add("harden.ladder_retranslate", LadderRetranslations);
+  C.add("harden.ladder_interp_only", LadderInterpPins);
+  C.add("harden.oversized_pins", OversizedPins);
+  C.add("harden.interp_only_blocks", InterpOnly.size());
+  C.add("harden.spurious_traps", SpuriousTraps);
+  C.add("harden.patch_repairs", PatchRepairs);
+  C.add("harden.patch_failures", PatchFailures);
+  C.add("harden.translate_failures", TranslateFailures);
+  C.add("harden.flush_suppressed", FlushesSuppressed);
+  C.add("harden.stub_downgrades", StubDowngrades);
+  if (Injector) {
+    C.add("chaos.injected", Injector->injected());
+    C.add("chaos.lost_traps", ChaosLostTraps);
+    C.add("chaos.dup_traps", ChaosDupTraps);
+    C.add("chaos.spurious_traps", ChaosSpurious);
+    C.add("chaos.patch_drops", ChaosPatchDrops);
+    C.add("chaos.patch_tears", ChaosPatchTears);
+    C.add("chaos.translate_fail", ChaosTranslateFails);
+    C.add("chaos.flush_storms", ChaosFlushStorms);
+  }
   return R;
 }
 
@@ -404,7 +762,14 @@ Engine::Engine(const guest::GuestImage &Image, MdaPolicy &Policy,
     : Image(Image), Policy(Policy), Config(Config) {}
 
 RunResult Engine::run() {
-  assert(!Used && "Engine::run may be called once");
+  if (Used) {
+    // A second run would silently reuse policy state already specialized
+    // by the first; that has produced corrupt figures before.  Hard
+    // error in every build mode, not just under assert.
+    std::fprintf(stderr, "mdabt fatal: Engine::run() called twice; one "
+                         "Engine performs exactly one run\n");
+    std::abort();
+  }
   Used = true;
   Session S(Image, Policy, Config);
   return S.run();

@@ -34,7 +34,65 @@
 #include <cstdint>
 
 namespace mdabt {
+namespace chaos {
+struct FaultPlan;
+} // namespace chaos
+
 namespace dbt {
+
+/// Why a run did not complete (RunError::None = clean completion).
+/// Every abnormal outcome is typed so that experiments can never
+/// silently publish figures from a truncated run.
+enum class RunError : uint8_t {
+  None = 0,
+  /// The monitor-step or host-instruction guard tripped.
+  MonitorStepLimit,
+  /// The trap-storm watchdog exhausted its escalation budget: a
+  /// misalignment-trap livelock could not be contained.
+  TrapStorm,
+  /// Code-cache patching failed beyond the configured tolerance, or a
+  /// torn word could not be repaired.
+  PatchFailed,
+  /// Block translation failed beyond the configured tolerance.
+  TranslationFailed,
+  /// Code-cache flushes exceeded the configured tolerance (flush
+  /// thrash under CodeCacheLimitWords pressure).
+  CacheThrash,
+};
+
+/// Stable human-readable name for a RunError.
+const char *runErrorName(RunError E);
+
+/// Tolerances of the graceful-degradation machinery.  Defaults are
+/// permissive: the engine degrades (rearrange -> retranslate ->
+/// interpret-only) rather than aborting; the ceilings exist so that an
+/// operator can bound how much misbehaviour a run may absorb before it
+/// is reported as a typed failure instead.
+struct HardeningConfig {
+  /// Consecutive no-progress traps at one host word before the
+  /// degradation ladder engages (the trap-storm watchdog).
+  uint32_t WatchdogTrapK = 8;
+  /// Watchdog escalations tolerated before the run aborts (TrapStorm).
+  uint32_t MaxWatchdogTrips = 256;
+  /// Failed translation attempts for one block before it is pinned
+  /// interpret-only.
+  uint32_t TranslateRetryLimit = 4;
+  /// Re-write attempts for a dropped/torn code-cache patch before the
+  /// previous content is restored and the patch abandoned.
+  uint32_t PatchRepairLimit = 3;
+  /// Abandoned patches tolerated before the run aborts (PatchFailed).
+  /// 0 = unlimited.
+  uint32_t PatchFailureLimit = 0;
+  /// Failed translations tolerated before the run aborts
+  /// (TranslationFailed).  0 = unlimited.
+  uint32_t TranslationFailureLimit = 0;
+  /// Code-cache flushes tolerated before the run aborts (CacheThrash).
+  /// 0 = unlimited.
+  uint32_t FlushLimit = 0;
+  /// Minimum monitor steps between spurious (injected) flushes; closer
+  /// requests are suppressed as flush-storm backoff.
+  uint32_t FlushStormBackoffSteps = 8;
+};
 
 /// Engine knobs shared by all experiments.
 struct EngineConfig {
@@ -52,6 +110,11 @@ struct EngineConfig {
   bool FlushOnSupersede = false;
   /// Abort guard: maximum monitor iterations.
   uint64_t MaxMonitorSteps = 1ULL << 32;
+  /// Graceful-degradation tolerances.
+  HardeningConfig Hardening;
+  /// Optional deterministic fault-injection campaign (chaos testing).
+  /// The plan must outlive the engine.  Null = no injection.
+  const chaos::FaultPlan *Chaos = nullptr;
 };
 
 /// Everything an experiment wants to know about one run.
@@ -68,8 +131,12 @@ struct RunResult {
   /// Event counters (translations, patches, traps, cache misses, cycle
   /// breakdown...).
   CounterBag Counters;
-  /// False if a guard tripped.
-  bool Completed = false;
+  /// Why the run ended; RunError::None means it ran to completion and
+  /// Checksum/MemoryHash are trustworthy.
+  RunError Error = RunError::MonitorStepLimit;
+
+  /// True if the guest program ran to completion.
+  bool completed() const { return Error == RunError::None; }
 };
 
 /// Runs a guest image to completion under an MDA policy.

@@ -90,6 +90,19 @@ public:
   /// block's trap count *including* this one.
   virtual FaultDecision onFault(uint32_t InstPc, uint32_t BlockPc,
                                 uint32_t BlockFaultCount) = 0;
+
+  /// The engine's trap-storm watchdog escalated on block \p BlockPc
+  /// (degradation rung \p Rung, 1-based: rearrangement, block
+  /// retranslation, interpret-only pin).  \p InstPc is the site the
+  /// engine is force-inlining in future translations, or 0 when the
+  /// whole block is affected.  Policies may fold the site into their
+  /// own profiles so later translations agree with the override.
+  virtual void onWatchdogEscalation(uint32_t BlockPc, uint32_t InstPc,
+                                    uint32_t Rung) {
+    (void)BlockPc;
+    (void)InstPc;
+    (void)Rung;
+  }
 };
 
 } // namespace dbt

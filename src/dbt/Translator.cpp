@@ -520,9 +520,14 @@ Translator::StubInfo Translator::emitAdaptiveStub(
   return S;
 }
 
-void Translator::patchToStub(uint32_t FaultWord, uint32_t StubEntry) {
+uint32_t Translator::stubBranchWord(uint32_t FaultWord,
+                                    uint32_t StubEntry) {
   int64_t Disp = static_cast<int64_t>(StubEntry) -
                  (static_cast<int64_t>(FaultWord) + 1);
-  Code.patch(FaultWord, encodeHost(brInst(HostOp::Br, RegZero,
-                                          static_cast<int32_t>(Disp))));
+  return encodeHost(
+      brInst(HostOp::Br, RegZero, static_cast<int32_t>(Disp)));
+}
+
+void Translator::patchToStub(uint32_t FaultWord, uint32_t StubEntry) {
+  Code.patch(FaultWord, stubBranchWord(FaultWord, StubEntry));
 }

@@ -82,6 +82,10 @@ public:
                             uint32_t FaultWord, uint32_t CounterAddr,
                             uint32_t MailboxAddr, uint32_t Threshold);
 
+  /// The branch word patchToStub writes (exposed so the engine can
+  /// verify the patch actually landed before resuming execution).
+  static uint32_t stubBranchWord(uint32_t FaultWord, uint32_t StubEntry);
+
   /// Patch the faulting word into a branch to \p StubEntry.
   void patchToStub(uint32_t FaultWord, uint32_t StubEntry);
 

@@ -21,6 +21,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace mdabt {
@@ -47,9 +48,19 @@ public:
     return Words[Index];
   }
 
+  /// Interception hook for patch(): fault injection uses it to model
+  /// dropped or torn code-cache writes.  Returning false drops the
+  /// write; the hook may rewrite \p Word (a torn write).  Reads are
+  /// never intercepted, so callers can verify a patch by reading it
+  /// back (which the hardened engine does for every critical patch).
+  using PatchHook = std::function<bool(uint32_t Index, uint32_t &Word)>;
+  void setPatchHook(PatchHook H) { Hook = std::move(H); }
+
   /// Overwrite an existing word (exception-handler patching, chaining).
   void patch(uint32_t Index, uint32_t Word) {
     assert(Index < Words.size() && "code patch out of range");
+    if (Hook && !Hook(Index, Word))
+      return;
     Words[Index] = Word;
   }
 
@@ -67,6 +78,7 @@ public:
 private:
   uint64_t Base;
   std::vector<uint32_t> Words;
+  PatchHook Hook;
 };
 
 } // namespace host

@@ -141,6 +141,13 @@ public:
     Faulted.insert(InstPc);
     return {true, Rearrange};
   }
+  void onWatchdogEscalation(uint32_t, uint32_t InstPc,
+                            uint32_t) override {
+    // Keep the engine-forced inline site inlined across our own
+    // rearrangement retranslations too.
+    if (InstPc)
+      Faulted.insert(InstPc);
+  }
 
 private:
   uint32_t Threshold;
@@ -216,6 +223,12 @@ public:
     D.AdaptiveStub = Opts.AdaptiveRevert;
     D.RevertThreshold = Opts.RevertThreshold;
     return D;
+  }
+
+  void onWatchdogEscalation(uint32_t, uint32_t InstPc,
+                            uint32_t) override {
+    if (InstPc)
+      Faulted.insert(InstPc);
   }
 
   dbt::TranslationOpts translationOpts() const override {

@@ -11,6 +11,9 @@
 #include "guest/Interpreter.h"
 #include "support/Stats.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace mdabt;
 using namespace mdabt::reporting;
 
@@ -31,6 +34,24 @@ dbt::RunResult mdabt::reporting::runPolicy(
 
   dbt::Engine Engine(Ref, *Policy, Config);
   return Engine.run();
+}
+
+void mdabt::reporting::checkRunCompleted(const dbt::RunResult &R,
+                                         const std::string &What) {
+  if (R.completed())
+    return;
+  std::fprintf(stderr, "error: %s did not complete: %s\n", What.c_str(),
+               dbt::runErrorName(R.Error));
+  std::exit(1);
+}
+
+dbt::RunResult mdabt::reporting::runPolicyChecked(
+    const workloads::BenchmarkInfo &Info, const mda::PolicySpec &Spec,
+    const workloads::ScaleConfig &Scale, const dbt::EngineConfig &Config) {
+  dbt::RunResult R = runPolicy(Info, Spec, Scale, Config);
+  checkRunCompleted(R, std::string(Info.Name) + " under " +
+                           mda::policySpecName(Spec));
+  return R;
 }
 
 CensusResult mdabt::reporting::runCensus(const guest::GuestImage &Image) {

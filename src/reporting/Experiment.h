@@ -35,6 +35,20 @@ dbt::RunResult runPolicy(const workloads::BenchmarkInfo &Info,
                          const dbt::EngineConfig &Config =
                              dbt::EngineConfig());
 
+/// Like runPolicy, but a run that does not complete is fatal: the
+/// failure reason is printed to stderr and the process exits nonzero.
+/// Bench binaries use this so truncated runs can never publish figures.
+dbt::RunResult runPolicyChecked(const workloads::BenchmarkInfo &Info,
+                                const mda::PolicySpec &Spec,
+                                const workloads::ScaleConfig &Scale =
+                                    workloads::ScaleConfig(),
+                                const dbt::EngineConfig &Config =
+                                    dbt::EngineConfig());
+
+/// Exit the process with an error message if \p R did not complete.
+/// \p What names the run (benchmark/policy) for the diagnostic.
+void checkRunCompleted(const dbt::RunResult &R, const std::string &What);
+
 /// Census of one image (interpreted to completion).
 struct CensusResult {
   uint32_t Nmi = 0;

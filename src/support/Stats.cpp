@@ -41,6 +41,16 @@ void CounterBag::add(const std::string &Name, uint64_t Delta) {
   Entries.push_back({Name, Delta});
 }
 
+void CounterBag::set(const std::string &Name, uint64_t Value) {
+  for (auto &Entry : Entries) {
+    if (Entry.first == Name) {
+      Entry.second = Value;
+      return;
+    }
+  }
+  Entries.push_back({Name, Value});
+}
+
 uint64_t CounterBag::get(const std::string &Name) const {
   for (const auto &Entry : Entries)
     if (Entry.first == Name)
@@ -51,4 +61,10 @@ uint64_t CounterBag::get(const std::string &Name) const {
 void CounterBag::merge(const CounterBag &Other) {
   for (const auto &Entry : Other.Entries)
     add(Entry.first, Entry.second);
+}
+
+void CounterBag::maxWith(const CounterBag &Other) {
+  for (const auto &Entry : Other.Entries)
+    if (Entry.second > get(Entry.first))
+      set(Entry.first, Entry.second);
 }

@@ -34,11 +34,19 @@ public:
   /// Add \p Delta to counter \p Name, creating it at zero if absent.
   void add(const std::string &Name, uint64_t Delta = 1);
 
+  /// Overwrite counter \p Name with \p Value (for non-additive values
+  /// such as gauges and status codes).
+  void set(const std::string &Name, uint64_t Value);
+
   /// Value of counter \p Name; 0 if it was never touched.
   uint64_t get(const std::string &Name) const;
 
   /// Merge all counters of \p Other into this bag.
   void merge(const CounterBag &Other);
+
+  /// Keep the elementwise maximum of this bag and \p Other (for
+  /// worst-case aggregation across runs).
+  void maxWith(const CounterBag &Other);
 
   /// All (name, value) pairs in insertion order.
   const std::vector<std::pair<std::string, uint64_t>> &entries() const {

@@ -57,7 +57,9 @@ inline Oracle interpretOracle(const guest::GuestImage &Image,
 /// Assert that an engine run reproduced the oracle exactly.
 inline void expectMatchesOracle(const dbt::RunResult &R, const Oracle &O,
                                 const char *What) {
-  EXPECT_TRUE(R.Completed) << What << ": engine run did not complete";
+  EXPECT_TRUE(R.completed())
+      << What << ": engine run did not complete ("
+      << dbt::runErrorName(R.Error) << ")";
   EXPECT_EQ(R.Checksum, O.Checksum) << What << ": checksum diverged";
   EXPECT_EQ(R.MemoryHash, O.MemoryHash) << What << ": memory diverged";
   for (unsigned I = 0; I != guest::NumGPR; ++I)

@@ -1,0 +1,356 @@
+//===- tests/chaos_test.cpp - Fault-injection and degradation tests -------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the chaos subsystem and the engine's graceful-degradation
+/// machinery: injector determinism, containment of each fault class
+/// (dropped/torn patches, lost/duplicate/spurious traps, translator
+/// failures, flush storms), the trap-storm watchdog ladder, and the
+/// reachability of every typed RunError.  The robustness contract under
+/// test: a chaos run either completes bit-identical to the fault-free
+/// oracle or aborts with a typed RunError — never a wedge, never silent
+/// corruption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "chaos/FaultInjector.h"
+#include "chaos/FaultPlan.h"
+#include "mda/PolicyFactory.h"
+#include "mda/Policies.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::testutil;
+
+namespace {
+
+dbt::RunResult runChaos(const guest::GuestImage &Image,
+                        dbt::MdaPolicy &Policy,
+                        const chaos::FaultPlan &Plan,
+                        dbt::EngineConfig Config = dbt::EngineConfig()) {
+  Config.Chaos = &Plan;
+  // Bound the run so an uncontained livelock fails fast as
+  // MonitorStepLimit instead of hanging the test.
+  Config.MaxMonitorSteps = 2'000'000;
+  dbt::Engine Engine(Image, Policy, Config);
+  return Engine.run();
+}
+
+} // namespace
+
+// ---- injector unit behaviour ----------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  chaos::FaultPlan Plan;
+  Plan.Seed = 42;
+  Plan.LostTrapRate = 0.3;
+  Plan.PatchDropRate = 0.2;
+  Plan.PatchTornRate = 0.2;
+  Plan.TranslateFailRate = 0.1;
+  chaos::FaultInjector A(Plan), B(Plan);
+  for (int I = 0; I != 500; ++I) {
+    EXPECT_EQ(A.lostTrap(), B.lostTrap());
+    EXPECT_EQ(A.patchFault(), B.patchFault());
+    EXPECT_EQ(A.translateFails(), B.translateFails());
+  }
+  EXPECT_EQ(A.injected(), B.injected());
+}
+
+TEST(FaultInjectorTest, BudgetCapsInjections) {
+  chaos::FaultPlan Plan;
+  Plan.Seed = 7;
+  Plan.LostTrapRate = 1.0;
+  Plan.MaxInjections = 16;
+  chaos::FaultInjector Inj(Plan);
+  int Fired = 0;
+  for (int I = 0; I != 1000; ++I)
+    Fired += Inj.lostTrap() ? 1 : 0;
+  EXPECT_EQ(Fired, 16);
+  EXPECT_EQ(Inj.injected(), 16u);
+}
+
+TEST(FaultInjectorTest, ExactTranslationFailure) {
+  chaos::FaultPlan Plan;
+  Plan.TranslateFailAt = 3;
+  chaos::FaultInjector Inj(Plan);
+  EXPECT_FALSE(Inj.translateFails());
+  EXPECT_FALSE(Inj.translateFails());
+  EXPECT_TRUE(Inj.translateFails());
+  EXPECT_FALSE(Inj.translateFails());
+}
+
+TEST(FaultInjectorTest, RandomizedPlanIsDeterministic) {
+  chaos::FaultPlan A = chaos::FaultPlan::randomized(99);
+  chaos::FaultPlan B = chaos::FaultPlan::randomized(99);
+  EXPECT_EQ(A.LostTrapRate, B.LostTrapRate);
+  EXPECT_EQ(A.DuplicateTrapRate, B.DuplicateTrapRate);
+  EXPECT_EQ(A.SpuriousTrapRate, B.SpuriousTrapRate);
+  EXPECT_EQ(A.PatchDropRate, B.PatchDropRate);
+  EXPECT_EQ(A.PatchTornRate, B.PatchTornRate);
+  EXPECT_EQ(A.TranslateFailRate, B.TranslateFailRate);
+  EXPECT_EQ(A.TranslateFailAt, B.TranslateFailAt);
+  EXPECT_EQ(A.FlushStormRate, B.FlushStormRate);
+  EXPECT_EQ(A.MaxInjections, B.MaxInjections);
+}
+
+// ---- containment: each fault class alone ----------------------------------
+
+TEST(ChaosEngineTest, DroppedPatchesAreContained) {
+  guest::GuestImage Image = misalignedSumProgram(400);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 11;
+  Plan.PatchDropRate = 0.7;
+  Plan.MaxInjections = 64;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "dropped patches");
+  EXPECT_GT(R.Counters.get("chaos.patch_drops"), 0u);
+  // Every abandoned patch was followed by a Fixup, never a corrupt word.
+  EXPECT_EQ(R.Counters.get("run.error"), 0u);
+}
+
+TEST(ChaosEngineTest, TornPatchesAreRepairedOrRolledBack) {
+  guest::GuestImage Image = misalignedSumProgram(400);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 12;
+  Plan.PatchTornRate = 0.6;
+  Plan.MaxInjections = 48;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "torn patches");
+  EXPECT_GT(R.Counters.get("chaos.patch_tears"), 0u);
+  EXPECT_GT(R.Counters.get("harden.patch_repairs") +
+                R.Counters.get("harden.patch_failures"),
+            0u);
+}
+
+TEST(ChaosEngineTest, LostTrapStormIsContainedByWatchdog) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 13;
+  Plan.LostTrapRate = 1.0;
+  Plan.MaxInjections = 256;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "lost-trap storm");
+  EXPECT_GT(R.Counters.get("chaos.lost_traps"), 0u);
+  EXPECT_GT(R.Counters.get("harden.watchdog_trips"), 0u);
+}
+
+TEST(ChaosEngineTest, DuplicateTrapsAreHarmless) {
+  guest::GuestImage Image = misalignedSumProgram(400);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 14;
+  Plan.DuplicateTrapRate = 1.0;
+  Plan.MaxInjections = 128;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "duplicate traps");
+  EXPECT_GT(R.Counters.get("chaos.dup_traps"), 0u);
+  // The duplicate delivery of a patched word is recognized as stale.
+  EXPECT_GT(R.Counters.get("harden.spurious_traps"), 0u);
+}
+
+TEST(ChaosEngineTest, SpuriousTrapsAreRejected) {
+  guest::GuestImage Image = misalignedSumProgram(400);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 15;
+  Plan.SpuriousTrapRate = 0.5;
+  Plan.MaxInjections = 128;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "spurious traps");
+  EXPECT_GT(R.Counters.get("chaos.spurious_traps"), 0u);
+}
+
+TEST(ChaosEngineTest, TranslatorFailureFallsBackToInterpreter) {
+  guest::GuestImage Image = misalignedSumProgram(400);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 16;
+  Plan.TranslateFailRate = 1.0;
+  Plan.MaxInjections = 0; // unlimited: the block must get pinned
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "translator failure");
+  EXPECT_GT(R.Counters.get("harden.translate_failures"), 0u);
+  EXPECT_GT(R.Counters.get("harden.ladder_interp_only"), 0u);
+  EXPECT_EQ(R.Counters.get("dbt.translations"), 0u);
+}
+
+TEST(ChaosEngineTest, ExactTranslationFailureIsTransparent) {
+  guest::GuestImage Image = lateOnsetProgram(600, 300);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.TranslateFailAt = 1; // first translation attempt fails
+  mda::DpehPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "exact translation failure");
+  EXPECT_EQ(R.Counters.get("chaos.translate_fail"), 1u);
+  EXPECT_GT(R.Counters.get("dbt.translations"), 0u); // retried fine
+}
+
+TEST(ChaosEngineTest, FlushStormIsBackedOffAndSurvived) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  Oracle O = interpretOracle(Image);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 17;
+  Plan.FlushStormRate = 1.0;
+  Plan.MaxInjections = 200;
+  mda::DpehPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  expectMatchesOracle(R, O, "flush storm");
+  EXPECT_GT(R.Counters.get("chaos.flush_storms"), 0u);
+  EXPECT_GT(R.Counters.get("dbt.flushes"), 0u);
+  EXPECT_GT(R.Counters.get("harden.flush_suppressed"), 0u);
+}
+
+// ---- typed aborts: every tolerance ceiling is reachable --------------------
+
+TEST(ChaosEngineTest, TrapStormAbortsWhenLadderBudgetExhausted) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 18;
+  Plan.LostTrapRate = 1.0;
+  Plan.MaxInjections = 0; // sustained storm, never heals
+  dbt::EngineConfig Config;
+  Config.Hardening.MaxWatchdogTrips = 1;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan, Config);
+  EXPECT_FALSE(R.completed());
+  EXPECT_EQ(R.Error, dbt::RunError::TrapStorm);
+  EXPECT_STREQ(dbt::runErrorName(R.Error), "trap-storm");
+}
+
+TEST(ChaosEngineTest, PatchFailureCeilingAborts) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 19;
+  Plan.PatchDropRate = 1.0;
+  Plan.MaxInjections = 0;
+  dbt::EngineConfig Config;
+  Config.Hardening.PatchFailureLimit = 2;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan, Config);
+  EXPECT_FALSE(R.completed());
+  EXPECT_EQ(R.Error, dbt::RunError::PatchFailed);
+}
+
+TEST(ChaosEngineTest, UnrepairableTornWordAborts) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 20;
+  Plan.PatchTornRate = 1.0; // every write torn, including the rollback
+  Plan.MaxInjections = 0;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan);
+  EXPECT_FALSE(R.completed());
+  EXPECT_EQ(R.Error, dbt::RunError::PatchFailed);
+}
+
+TEST(ChaosEngineTest, TranslationFailureCeilingAborts) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 21;
+  Plan.TranslateFailRate = 1.0;
+  Plan.MaxInjections = 0;
+  dbt::EngineConfig Config;
+  Config.Hardening.TranslationFailureLimit = 2;
+  mda::ExceptionHandlingPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan, Config);
+  EXPECT_FALSE(R.completed());
+  EXPECT_EQ(R.Error, dbt::RunError::TranslationFailed);
+}
+
+TEST(ChaosEngineTest, FlushCeilingAbortsAsCacheThrash) {
+  guest::GuestImage Image = misalignedSumProgram(600);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 22;
+  Plan.FlushStormRate = 1.0;
+  Plan.MaxInjections = 0;
+  dbt::EngineConfig Config;
+  Config.Hardening.FlushLimit = 3;
+  // No backoff: every storm request lands, so the ceiling is reached
+  // within the program's handful of monitor dispatches.
+  Config.Hardening.FlushStormBackoffSteps = 1;
+  mda::DpehPolicy Policy(10);
+  dbt::RunResult R = runChaos(Image, Policy, Plan, Config);
+  EXPECT_FALSE(R.completed());
+  EXPECT_EQ(R.Error, dbt::RunError::CacheThrash);
+}
+
+// ---- determinism and randomized mini-soak ----------------------------------
+
+TEST(ChaosEngineTest, CampaignsReplayBitIdentically) {
+  guest::GuestImage Image = lateOnsetProgram(800, 200);
+  chaos::FaultPlan Plan = chaos::FaultPlan::randomized(1234);
+  mda::ExceptionHandlingPolicy P1(10), P2(10);
+  dbt::RunResult A = runChaos(Image, P1, Plan);
+  dbt::RunResult B = runChaos(Image, P2, Plan);
+  EXPECT_EQ(A.Error, B.Error);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.MemoryHash, B.MemoryHash);
+  ASSERT_EQ(A.Counters.entries().size(), B.Counters.entries().size());
+  for (const auto &Entry : A.Counters.entries())
+    EXPECT_EQ(Entry.second, B.Counters.get(Entry.first)) << Entry.first;
+}
+
+TEST(ChaosEngineTest, RandomizedCampaignsNeverWedgeOrCorrupt) {
+  guest::GuestImage Image = lateOnsetProgram(600, 150);
+  Oracle O = interpretOracle(Image);
+  const mda::PolicySpec Specs[] = {
+      {mda::MechanismKind::Direct, 0, false, 0, false},
+      {mda::MechanismKind::DynamicProfiling, 10, false, 0, false},
+      {mda::MechanismKind::ExceptionHandling, 10, true, 0, false},
+      {mda::MechanismKind::Dpeh, 10, false, 4, false},
+  };
+  for (uint64_t Seed = 0; Seed != 24; ++Seed) {
+    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(5000 + Seed);
+    std::unique_ptr<dbt::MdaPolicy> Policy =
+        mda::makePolicy(Specs[Seed % 4]);
+    dbt::EngineConfig Config;
+    if (Seed % 3 == 1)
+      Config.CodeCacheLimitWords = 200;
+    if (Seed % 3 == 2)
+      Config.FlushOnSupersede = true;
+    dbt::RunResult R = runChaos(Image, *Policy, Plan, Config);
+    if (R.completed()) {
+      expectMatchesOracle(
+          R, O, ("chaos seed " + std::to_string(Seed)).c_str());
+    } else {
+      // A typed abort is acceptable; a step-guard trip is a wedge.
+      EXPECT_NE(R.Error, dbt::RunError::MonitorStepLimit)
+          << "campaign " << Seed << " wedged";
+    }
+  }
+}
+
+// ---- baseline purity --------------------------------------------------------
+
+TEST(ChaosEngineTest, DisabledPlanLeavesRunUntouched) {
+  guest::GuestImage Image = misalignedSumProgram(300);
+  chaos::FaultPlan Empty; // all rates zero: enabled() == false
+  mda::ExceptionHandlingPolicy P1(10), P2(10);
+  dbt::Engine E1(Image, P1);
+  dbt::RunResult A = E1.run();
+  dbt::EngineConfig Config;
+  Config.Chaos = &Empty;
+  dbt::Engine E2(Image, P2, Config);
+  dbt::RunResult B = E2.run();
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.MemoryHash, B.MemoryHash);
+  EXPECT_EQ(B.Counters.get("chaos.injected"), 0u);
+}

@@ -78,6 +78,67 @@ guest::GuestImage manyWarmBlocksProgram(uint32_t Outer, uint32_t Onset,
   return B.build();
 }
 
+/// Like manyWarmBlocksProgram, but the late-onset increment lives in an
+/// out-of-line block that jumps back to the shared body.  The MDA sites
+/// therefore belong to exactly one block and are never interpreted
+/// misaligned, so a dynamic-profiling policy cannot learn them from the
+/// onset path — the first misaligned execution must go through the
+/// native trap machinery.
+guest::GuestImage isolatedOnsetProgram(uint32_t Outer, uint32_t Onset,
+                                       unsigned NumFuncs) {
+  using namespace guest;
+  ProgramBuilder B("isolated-onset");
+  uint32_t Buf = B.dataReserve(4096, 8);
+  uint32_t Slot = B.dataU32(Buf);
+  std::vector<ProgramBuilder::Label> Funcs;
+  for (unsigned F = 0; F != NumFuncs; ++F)
+    Funcs.push_back(B.newLabel());
+  ProgramBuilder::Label Inc = B.newLabel();
+
+  B.movri(6, 0);
+  ProgramBuilder::Label Loop = B.here();
+  B.cmpi(6, static_cast<int32_t>(Onset));
+  B.jcc(Cond::Eq, Inc);
+  ProgramBuilder::Label Body = B.here();
+  B.movri(3, static_cast<int32_t>(Slot));
+  B.ldl(0, mem(3, 0));
+  B.movri(2, 0x42);
+  B.stl(mem(0, 0), 2);
+  B.stl(mem(0, 8), 2);
+  B.ldl(2, mem(0, 0));
+  B.chk(2);
+  for (ProgramBuilder::Label F : Funcs)
+    B.call(F);
+  B.addi(6, 1);
+  B.cmpi(6, static_cast<int32_t>(Outer));
+  B.jcc(Cond::B, Loop);
+  B.halt();
+
+  // Out-of-line onset block: aligned accesses only.
+  B.bind(Inc);
+  B.movri(3, static_cast<int32_t>(Slot));
+  B.ldl(0, mem(3, 0));
+  B.addi(0, 1);
+  B.stl(mem(3, 0), 0);
+  B.jmp(Body);
+
+  for (unsigned F = 0; F != NumFuncs; ++F) {
+    B.bind(Funcs[F]);
+    uint32_t FBuf = B.dataReserve(256, 8);
+    B.movri(0, static_cast<int32_t>(FBuf));
+    B.movri(1, 0);
+    ProgramBuilder::Label Inner = B.here();
+    B.stl(memIdx(0, 1, 2, 0), 6);
+    B.ldl(2, memIdx(0, 1, 2, 0));
+    B.addi(1, 1);
+    B.cmpi(1, 8);
+    B.jcc(Cond::B, Inner);
+    B.chk(2);
+    B.ret();
+  }
+  return B.build();
+}
+
 } // namespace
 
 TEST(CodeCacheTest, CapacityFlushPreservesCorrectness) {
@@ -166,6 +227,59 @@ TEST(CodeCacheTest, FlushedFuzzProgramsStayCorrect) {
     expectMatchesOracle(
         R, O, ("flush fuzz seed " + std::to_string(Seed)).c_str());
   }
+}
+
+TEST(CodeCacheTest, CapacitySmallerThanOneBlock) {
+  // A limit smaller than a translated block used to mean that block
+  // flushed the cache on every install without ever fitting.  The
+  // hardened engine detects the oversized install and pins the block
+  // interpret-only: the run stays correct, the block never occupies the
+  // cache, and once pinned it is never translated again.
+  guest::GuestImage Image = manyWarmBlocksProgram(300, 1000, 4);
+  Oracle O = interpretOracle(Image);
+  dbt::EngineConfig Config;
+  Config.CodeCacheLimitWords = 8;
+  mda::DpehPolicy Policy(10);
+  dbt::Engine Engine(Image, Policy, Config);
+  dbt::RunResult R = Engine.run();
+  expectMatchesOracle(R, O, "cache smaller than one block");
+  EXPECT_GT(R.Counters.get("harden.oversized_pins"), 0u);
+  // Pin-once semantics: each oversized block is pinned exactly once, and
+  // the pinned set accounts for every pin the run recorded.
+  EXPECT_EQ(R.Counters.get("harden.oversized_pins"),
+            R.Counters.get("harden.interp_only_blocks"));
+}
+
+TEST(CodeCacheTest, FlushDuringSupersedeRetranslation) {
+  // Capacity pressure and retranslation interleave: a capacity flush
+  // can arrive while blocks are being superseded at their trap
+  // threshold (the superseding install itself can trigger the flush).
+  // Both invalidation styles must stay correct.  The isolated-onset
+  // program keeps the MDA sites out of any interpreted block, so the
+  // trap/supersede path genuinely fires even under constant flushing.
+  guest::GuestImage Image = isolatedOnsetProgram(600, 200, 6);
+  Oracle O = interpretOracle(Image);
+  mda::DpehOptions Opts;
+  Opts.RetranslateThreshold = 2;
+
+  dbt::EngineConfig Config;
+  Config.CodeCacheLimitWords = 200;
+  mda::DpehPolicy PolicyA(10, Opts);
+  dbt::Engine EngineA(Image, PolicyA, Config);
+  dbt::RunResult R = EngineA.run();
+  expectMatchesOracle(R, O, "capacity flush during retranslation");
+  EXPECT_GE(R.Counters.get("dbt.fault_traps"), 1u);
+  EXPECT_GE(R.Counters.get("dbt.flushes"), 1u);
+  EXPECT_GE(R.Counters.get("dbt.supersedes"), 1u);
+
+  dbt::EngineConfig Dynamo = Config;
+  Dynamo.FlushOnSupersede = true;
+  mda::DpehPolicy PolicyB(10, Opts);
+  dbt::Engine EngineB(Image, PolicyB, Dynamo);
+  dbt::RunResult RD = EngineB.run();
+  expectMatchesOracle(RD, O, "dynamo flush during retranslation");
+  EXPECT_GE(RD.Counters.get("dbt.supersedes"), 1u);
+  EXPECT_GE(RD.Counters.get("dbt.flushes"), 1u);
 }
 
 TEST(CodeCacheTest, ClearEmptiesArena) {

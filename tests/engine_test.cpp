@@ -341,11 +341,12 @@ TEST(EngineTest, HeatingThresholdControlsInterpretation) {
 }
 
 TEST(EngineTest, EngineRefusesSecondRun) {
-#ifndef NDEBUG
+  // The one-shot guard is a hard runtime error in every build mode
+  // (not an assert): a second run would silently reuse policy state
+  // already specialized by the first.
   guest::GuestImage Image = misalignedSumProgram(10);
   mda::DirectPolicy Policy;
   dbt::Engine E(Image, Policy);
   E.run();
-  EXPECT_DEATH(E.run(), "once");
-#endif
+  EXPECT_DEATH(E.run(), "exactly one run");
 }

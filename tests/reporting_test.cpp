@@ -101,7 +101,7 @@ TEST(ReportingTest, RunPolicyEndToEnd) {
   Scale.TotalRefs = 40000;
   dbt::RunResult R = reporting::runPolicy(
       *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
-  EXPECT_TRUE(R.Completed);
+  EXPECT_TRUE(R.completed()) << dbt::runErrorName(R.Error);
   EXPECT_GT(R.Cycles, 0u);
 }
 
