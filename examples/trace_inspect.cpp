@@ -1,0 +1,222 @@
+//===- examples/trace_inspect.cpp - Trace timeline inspector --------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Load a JSONL trace (docs/TELEMETRY.md) and make the per-block
+/// mechanism lifecycle of paper Fig. 5-8 directly visible:
+///
+///   trace_inspect [trace.jsonl] [--top N] [--block 0xPC]
+///
+/// With no trace file, runs a demo first: one EH-policy run of a
+/// Table-I benchmark with the JSONL sink enabled, written to
+/// trace_demo.jsonl (plus its metrics as trace_demo.metrics.json), then
+/// inspects it.  Output:
+///
+///   - run summary (event totals per kind, virtual-time span);
+///   - top-N trap-hot blocks (most trap.taken events);
+///   - the full event timeline of the hottest block (or --block PC):
+///     interpretation heating -> phase transition -> translation ->
+///     traps -> stub patching -> rearrangement/retranslation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mda/PolicyFactory.h"
+#include "obs/TraceSink.h"
+#include "reporting/Experiment.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace mdabt;
+
+namespace {
+
+/// Run one benchmark under the exception-handling policy with the JSONL
+/// sink attached and return the trace path.
+std::string runDemo() {
+  const char *Name = "410.bwaves";
+  const workloads::BenchmarkInfo *Info = workloads::findBenchmark(Name);
+  if (!Info) {
+    std::fprintf(stderr, "error: demo benchmark '%s' missing\n", Name);
+    std::exit(1);
+  }
+  std::string Path = "trace_demo.jsonl";
+  obs::JsonlTraceSink Sink(Path);
+  if (!Sink.ok()) {
+    std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+
+  mda::PolicySpec Spec;
+  Spec.Kind = mda::MechanismKind::ExceptionHandling;
+  workloads::ScaleConfig Scale;
+  Scale.TotalRefs = 400000;
+  dbt::EngineConfig Config;
+  Config.Trace = &Sink;
+  dbt::RunResult R =
+      reporting::runPolicyChecked(*Info, Spec, Scale, Config);
+  Sink.flush();
+  reporting::writeMetricsJson(R, "trace_demo.metrics.json");
+  std::printf("demo: %s under Exception Handling — %llu events -> %s, "
+              "metrics -> trace_demo.metrics.json\n\n",
+              Name, static_cast<unsigned long long>(Sink.written()),
+              Path.c_str());
+  return Path;
+}
+
+const char *shortName(obs::TraceEventKind K) {
+  return obs::traceEventName(K);
+}
+
+/// Render the kind-specific payloads the way TELEMETRY.md defines them.
+std::string payloadText(const obs::TraceEvent &E) {
+  using K = obs::TraceEventKind;
+  switch (E.Kind) {
+  case K::BlockInterpreted:
+    return format("insts=%llu heat=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::PhaseTransition:
+    return format("heat=%llu", static_cast<unsigned long long>(E.A));
+  case K::BlockTranslated:
+    return format("insts=%llu gen=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::TrapTaken:
+    return format("word=%llu block_faults=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::StubEmitted:
+    return format("entry=%llu adaptive=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::PatchApplied:
+    return format("word=%llu stub=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::BlockRetranslated:
+    return format("gen=%llu flush=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::BlockInvalidated:
+    return format("faults=%llu gen=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::LadderRung:
+    return format("rung=%llu trips=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  default:
+    return format("a=%llu b=%llu", static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path;
+  size_t TopN = 5;
+  uint32_t FocusBlock = 0;
+  bool HaveFocus = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--top") == 0 && I + 1 < Argc) {
+      TopN = static_cast<size_t>(std::strtoul(Argv[++I], nullptr, 0));
+    } else if (std::strcmp(Argv[I], "--block") == 0 && I + 1 < Argc) {
+      FocusBlock =
+          static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 0));
+      HaveFocus = true;
+    } else {
+      Path = Argv[I];
+    }
+  }
+  if (Path.empty())
+    Path = runDemo();
+
+  std::vector<obs::TraceEvent> Events;
+  size_t BadLine = 0;
+  if (!obs::readJsonlTrace(Path, Events, &BadLine)) {
+    if (BadLine)
+      std::fprintf(stderr, "error: %s: malformed event at line %zu\n",
+                   Path.c_str(), BadLine);
+    else
+      std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return 1;
+  }
+  if (Events.empty()) {
+    std::fprintf(stderr, "error: %s contains no events\n", Path.c_str());
+    return 1;
+  }
+
+  // ---- run summary ----------------------------------------------------------
+  uint64_t PerKind[obs::NumTraceEventKinds] = {};
+  for (const obs::TraceEvent &E : Events)
+    ++PerKind[static_cast<unsigned>(E.Kind)];
+  std::printf("%s: %zu events, virtual time %s..%s cycles\n", Path.c_str(),
+              Events.size(), withCommas(Events.front().VirtualTime).c_str(),
+              withCommas(Events.back().VirtualTime).c_str());
+  for (unsigned K = 0; K != obs::NumTraceEventKinds; ++K)
+    if (PerKind[K])
+      std::printf("  %-20s %s\n",
+                  shortName(static_cast<obs::TraceEventKind>(K)),
+                  withCommas(PerKind[K]).c_str());
+
+  // ---- top-N trap-hot blocks ------------------------------------------------
+  std::map<uint32_t, uint64_t> TrapsPerBlock;
+  for (const obs::TraceEvent &E : Events)
+    if (E.Kind == obs::TraceEventKind::TrapTaken)
+      ++TrapsPerBlock[E.BlockPc];
+  std::vector<std::pair<uint64_t, uint32_t>> Hot;
+  for (const auto &KV : TrapsPerBlock)
+    Hot.push_back({KV.second, KV.first});
+  std::sort(Hot.rbegin(), Hot.rend());
+  std::printf("\ntop %zu trap-hot blocks:\n", std::min(TopN, Hot.size()));
+  for (size_t I = 0; I != Hot.size() && I != TopN; ++I)
+    std::printf("  block 0x%04x  %s traps\n", Hot[I].second,
+                withCommas(Hot[I].first).c_str());
+
+  // ---- per-block lifecycle timeline -----------------------------------------
+  if (!HaveFocus) {
+    if (Hot.empty()) {
+      std::printf("\nno traps in this trace; nothing to focus on "
+                  "(use --block 0xPC to pick a block)\n");
+      return 0;
+    }
+    FocusBlock = Hot.front().second;
+  }
+  std::printf("\nlifecycle of block 0x%04x:\n", FocusBlock);
+  size_t Shown = 0, Interp = 0;
+  for (const obs::TraceEvent &E : Events) {
+    if (E.BlockPc != FocusBlock)
+      continue;
+    // Compress the heating phase: hundreds of block.interpreted events
+    // say nothing individually.
+    if (E.Kind == obs::TraceEventKind::BlockInterpreted) {
+      ++Interp;
+      continue;
+    }
+    if (Interp) {
+      std::printf("  %14s  (%zu x block.interpreted — heating)\n", "",
+                  Interp);
+      Interp = 0;
+    }
+    std::printf("  t=%-12llu %-20s pc=0x%04x  %s\n",
+                static_cast<unsigned long long>(E.VirtualTime),
+                shortName(E.Kind), E.GuestPc, payloadText(E).c_str());
+    ++Shown;
+  }
+  if (Interp)
+    std::printf("  %14s  (%zu x block.interpreted)\n", "", Interp);
+  if (Shown == 0)
+    std::printf("  (no lifecycle events for this block)\n");
+  return 0;
+}

@@ -9,12 +9,33 @@
 using namespace mdabt;
 using namespace mdabt::chaos;
 
-bool FaultInjector::fire(double Rate) {
+const char *mdabt::chaos::injectKindName(InjectKind Kind) {
+  switch (Kind) {
+  case InjectKind::LostTrap:
+    return "lost-trap";
+  case InjectKind::DuplicateTrap:
+    return "duplicate-trap";
+  case InjectKind::SpuriousTrap:
+    return "spurious-trap";
+  case InjectKind::PatchDrop:
+    return "patch-drop";
+  case InjectKind::PatchTorn:
+    return "patch-torn";
+  case InjectKind::TranslateFail:
+    return "translate-fail";
+  case InjectKind::FlushStorm:
+    return "flush-storm";
+  }
+  return "unknown";
+}
+
+bool FaultInjector::fire(double Rate, InjectKind Kind) {
   if (Rate <= 0.0 || !budgetLeft())
     return false;
   if (Rng.unit() >= Rate)
     return false;
   ++Injected;
+  notify(Kind);
   return true;
 }
 
@@ -25,10 +46,12 @@ PatchFault FaultInjector::patchFault() {
   double U = Rng.unit();
   if (U < Plan.PatchDropRate) {
     ++Injected;
+    notify(InjectKind::PatchDrop);
     return PatchFault::Drop;
   }
   if (U < Plan.PatchDropRate + Plan.PatchTornRate) {
     ++Injected;
+    notify(InjectKind::PatchTorn);
     return PatchFault::Torn;
   }
   return PatchFault::None;
@@ -39,9 +62,10 @@ bool FaultInjector::translateFails() {
   if (Plan.TranslateFailAt != 0 &&
       TranslationAttempts == Plan.TranslateFailAt && budgetLeft()) {
     ++Injected;
+    notify(InjectKind::TranslateFail);
     return true;
   }
-  return fire(Plan.TranslateFailRate);
+  return fire(Plan.TranslateFailRate, InjectKind::TranslateFail);
 }
 
 FaultPlan FaultPlan::randomized(uint64_t Seed) {

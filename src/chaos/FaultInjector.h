@@ -19,9 +19,26 @@
 #include "support/RNG.h"
 
 #include <cstdint>
+#include <functional>
 
 namespace mdabt {
 namespace chaos {
+
+/// What kind of fault an injection decision produced.  Reported through
+/// the injection hook so the observability layer can attribute every
+/// injected event (TraceEventKind::ChaosInjected carries this value).
+enum class InjectKind : uint8_t {
+  LostTrap = 0,
+  DuplicateTrap,
+  SpuriousTrap,
+  PatchDrop,
+  PatchTorn,
+  TranslateFail,
+  FlushStorm,
+};
+
+/// Stable human-readable name for an InjectKind.
+const char *injectKindName(InjectKind Kind);
 
 /// Answers the engine's "does this operation fail?" questions for one
 /// run, deterministically.
@@ -30,14 +47,24 @@ public:
   explicit FaultInjector(const FaultPlan &Plan)
       : Plan(Plan), Rng(Plan.Seed) {}
 
+  /// Called once per *fired* injection, with the fault kind.  The engine
+  /// uses this to emit chaos.injected trace events; unset = no overhead
+  /// beyond the injection decision itself.
+  using InjectionHook = std::function<void(InjectKind)>;
+  void setInjectionHook(InjectionHook H) { Hook = std::move(H); }
+
   /// Trap delivery is lost; the faulting instruction restarts unhandled.
-  bool lostTrap() { return fire(Plan.LostTrapRate); }
+  bool lostTrap() { return fire(Plan.LostTrapRate, InjectKind::LostTrap); }
 
   /// The same exception is delivered a second time.
-  bool duplicateTrap() { return fire(Plan.DuplicateTrapRate); }
+  bool duplicateTrap() {
+    return fire(Plan.DuplicateTrapRate, InjectKind::DuplicateTrap);
+  }
 
   /// A stale re-delivery for an already-patched word arrives now.
-  bool spuriousTrap() { return fire(Plan.SpuriousTrapRate); }
+  bool spuriousTrap() {
+    return fire(Plan.SpuriousTrapRate, InjectKind::SpuriousTrap);
+  }
 
   /// Fate of one code-cache patch write.
   PatchFault patchFault();
@@ -51,7 +78,9 @@ public:
   bool translateFails();
 
   /// A spurious whole-cache flush is requested at this dispatch.
-  bool flushStorm() { return fire(Plan.FlushStormRate); }
+  bool flushStorm() {
+    return fire(Plan.FlushStormRate, InjectKind::FlushStorm);
+  }
 
   /// Total events injected so far.
   uint64_t injected() const { return Injected; }
@@ -60,10 +89,15 @@ private:
   bool budgetLeft() const {
     return Plan.MaxInjections == 0 || Injected < Plan.MaxInjections;
   }
-  bool fire(double Rate);
+  bool fire(double Rate, InjectKind Kind);
+  void notify(InjectKind Kind) {
+    if (Hook)
+      Hook(Kind);
+  }
 
   FaultPlan Plan;
   RNG Rng;
+  InjectionHook Hook;
   uint64_t Injected = 0;
   uint64_t TranslationAttempts = 0;
 };

@@ -61,20 +61,32 @@ MdaPolicy::~MdaPolicy() = default;
 namespace {
 
 /// All per-run state of the engine: built fresh for every run().
-class Session {
+/// Implements TraceClock so every emitted event is stamped with the
+/// run's current modeled cycle count.
+class Session : public obs::TraceClock {
 public:
   Session(const guest::GuestImage &Image, MdaPolicy &Policy,
           const EngineConfig &Config)
       : Policy(Policy), Config(Config), Cost(Config.Cost),
         Hard(Config.Hardening), Interp(Mem),
-        Machine(Code, Mem, Hier, Cost), Trans(Code), Profiler(*this) {
+        Machine(Code, Mem, Hier, Cost), Trans(Code), Profiler(*this),
+        Trace(Config.Trace, this),
+        HTransInsts(&Reg.histogram("translate.block_insts")),
+        HTrapBlock(&Reg.histogram("trap.block_faults")),
+        HInterpInsts(&Reg.histogram("interp.block_insts")) {
     Mem.loadImage(Image);
     Cpu.reset(Image);
     Interp.setObserver(&Profiler);
     Machine.setFaultHandler(
         [this](const FaultInfo &F) { return onFault(F); });
+    Policy.bindTracer(Trace);
     if (Config.Chaos && Config.Chaos->enabled()) {
       Injector.emplace(*Config.Chaos);
+      if (Trace.enabled())
+        Injector->setInjectionHook([this](chaos::InjectKind K) {
+          Trace.emit(obs::TraceEventKind::ChaosInjected, 0, 0,
+                     static_cast<uint64_t>(K), Injector->injected());
+        });
       // Intercept only the engine's own patch writes (stub redirection,
       // chaining, unchaining, reverts): translator-internal backpatches
       // are never read back for verification, so injecting there would
@@ -139,8 +151,11 @@ private:
     }
     if (Ok) {
       ChaosPatchArmed = false;
-      if (Repaired)
+      if (Repaired) {
         ++PatchRepairs;
+        Trace.emit(obs::TraceEventKind::PatchRepaired, 0, 0, Word,
+                   Desired);
+      }
       return true;
     }
     ++PatchFailures;
@@ -157,6 +172,8 @@ private:
       }
     }
     ChaosPatchArmed = false;
+    Trace.emit(obs::TraceEventKind::PatchRolledBack, 0, 0, Word,
+               Restored ? 1 : 0);
     if (!Restored)
       Abort = RunError::PatchFailed;
     return false;
@@ -186,6 +203,8 @@ private:
       if (!Policy.translationIsOffline())
         TranslateCycles += static_cast<uint64_t>(Block.size()) *
                            Cost.TranslateCyclesPerInst;
+      Trace.emit(obs::TraceEventKind::TranslationFailed, GuestPc, GuestPc,
+                 TranslateFailsAt[GuestPc] + 1, Generation);
       if (++TranslateFailsAt[GuestPc] >= Hard.TranslateRetryLimit) {
         InterpOnly.insert(GuestPc);
         ++LadderInterpPins;
@@ -212,6 +231,9 @@ private:
       TranslateCycles += static_cast<uint64_t>(Block.size()) *
                          Cost.TranslateCyclesPerInst;
     ++Translations;
+    HTransInsts->record(Block.size());
+    Trace.emit(obs::TraceEventKind::BlockTranslated, GuestPc, GuestPc,
+               Block.size(), Generation);
     // A single block bigger than the whole cache would flush-thrash on
     // every dispatch: pin it interpret-only instead.
     if (Config.CodeCacheLimitWords != 0 &&
@@ -228,6 +250,9 @@ private:
   /// branch into it so stale callers fall back to the monitor.
   void invalidate(Translation *Old) {
     Old->Valid = false;
+    HTrapBlock->record(Old->FaultCount);
+    Trace.emit(obs::TraceEventKind::BlockInvalidated, 0, Old->GuestPc,
+               Old->FaultCount, Old->Generation);
     for (uint32_t W : Old->IncomingChains)
       patchVerified(W, encodeHost(srvInst(SrvFunc::Exit)));
     Old->IncomingChains.clear();
@@ -239,6 +264,8 @@ private:
   void supersede(Translation *Old) {
     if (!Old->Valid)
       return; // already superseded; the stale code may still be running
+    Trace.emit(obs::TraceEventKind::BlockRetranslated, 0, Old->GuestPc,
+               Old->Generation + 1, Config.FlushOnSupersede ? 1 : 0);
     if (Config.FlushOnSupersede) {
       // Dynamo-style: flush everything at the next safe point (we may
       // be inside the fault handler with the old code still running).
@@ -254,6 +281,13 @@ private:
   /// Full code-cache flush (Dynamo-style, or capacity-triggered).  Only
   /// legal from the monitor, when no translated code is running.
   void flushAll() {
+    // Flushed translations leave service without invalidate(): record
+    // their trap counts before the store is dropped.
+    for (Translation &T : Store)
+      if (T.Valid)
+        HTrapBlock->record(T.FaultCount);
+    Trace.emit(obs::TraceEventKind::CacheFlush, 0, 0, Code.size(),
+               Store.size());
     Code.clear();
     BlockMap.clear();
     Regions.clear();
@@ -290,6 +324,7 @@ private:
       // Stale delivery: the word no longer holds the faulting
       // instruction (already patched, flushed, or reused).
       ++SpuriousTraps;
+      Trace.emit(obs::TraceEventKind::TrapSpurious, 0, 0, F.HostPc, 0);
       return FaultAction::Retry;
     }
     Translation *T = findOwner(F.HostPc);
@@ -297,15 +332,20 @@ private:
       // The word matches but no live translation owns it (flushed and
       // not yet reused): emulate so the guest still makes progress.
       ++SpuriousTraps;
+      Trace.emit(obs::TraceEventKind::TrapSpurious, 0, 0, F.HostPc, 1);
       return FaultAction::Fixup;
     }
     auto It = T->MemWordToGuestPc.find(F.HostPc);
     if (It == T->MemWordToGuestPc.end()) {
       ++SpuriousTraps;
+      Trace.emit(obs::TraceEventKind::TrapSpurious, 0, T->GuestPc,
+                 F.HostPc, 2);
       return FaultAction::Retry;
     }
     uint32_t InstPc = It->second;
     ++T->FaultCount;
+    Trace.emit(obs::TraceEventKind::TrapTaken, InstPc, T->GuestPc,
+               F.HostPc, T->FaultCount);
 
     FaultDecision D = Policy.onFault(InstPc, T->GuestPc, T->FaultCount);
     if (!D.PatchStub)
@@ -334,6 +374,8 @@ private:
     } else {
       S = Trans.emitStub(F.Inst, F.HostPc);
     }
+    Trace.emit(obs::TraceEventKind::StubEmitted, InstPc, T->GuestPc,
+               S.Entry, Adaptive ? 1 : 0);
     if (!patchVerified(F.HostPc,
                        Translator::stubBranchWord(F.HostPc, S.Entry))) {
       // The redirect did not stick; the original instruction is still
@@ -349,6 +391,8 @@ private:
     Regions[S.Entry] = {S.End, T};
     Machine.addCycles(Cost.PatchExtraCycles);
     ++Patches;
+    Trace.emit(obs::TraceEventKind::PatchApplied, InstPc, T->GuestPc,
+               F.HostPc, S.Entry);
     LastPatch = F;
     HaveLastPatch = true;
 
@@ -373,6 +417,7 @@ private:
     Translation *T = findOwner(F.HostPc);
     if (!T) {
       ++SpuriousTraps;
+      Trace.emit(obs::TraceEventKind::TrapSpurious, 0, 0, F.HostPc, 3);
       return FaultAction::Fixup;
     }
     uint32_t BlockPc = T->GuestPc;
@@ -380,6 +425,8 @@ private:
     uint32_t InstPc =
         It != T->MemWordToGuestPc.end() ? It->second : 0;
     uint32_t Rung = ++LadderRungOf[BlockPc];
+    Trace.emit(obs::TraceEventKind::LadderRung, InstPc, BlockPc,
+               Rung > 3 ? 3 : Rung, WatchdogTrips);
     if (Rung == 1 && InstPc != 0) {
       ForceInline.insert(InstPc);
       Policy.onWatchdogEscalation(BlockPc, InstPc, 1);
@@ -454,8 +501,11 @@ private:
       return;
     if (!patchVerified(FaultWord, It->second.first))
       return; // revert failed; the stub stays in place and stays correct
-    if (Translation *T = findOwner(FaultWord))
+    Translation *T = findOwner(FaultWord);
+    if (T)
       T->MemWordToGuestPc[FaultWord] = It->second.second;
+    Trace.emit(obs::TraceEventKind::StubReverted, It->second.second,
+               T ? T->GuestPc : 0, FaultWord, 0);
     PatchedOriginals.erase(It);
     MonitorCycles += Cost.ChainPatchCycles; // one store into the cache
     ++Reverts;
@@ -508,6 +558,8 @@ private:
       Target->IncomingChains.push_back(X.SrvWord);
       ChainCycles += Cost.ChainPatchCycles;
       ++Chains;
+      Trace.emit(obs::TraceEventKind::BlockChained, X.TargetGuestPc,
+                 Owner->GuestPc, X.SrvWord, Target->EntryWord);
       return;
     }
   }
@@ -527,6 +579,23 @@ private:
   HostMachine Machine;
   Translator Trans;
   InterpProfiler Profiler;
+
+  // -- observability -----------------------------------------------------
+
+  /// TraceClock: the monotonic virtual time every trace event carries —
+  /// the same cycle aggregation RunResult::Cycles reports at end of run.
+  uint64_t now() const override {
+    return Machine.Cycles + InterpCycles + TranslateCycles +
+           MonitorCycles + ChainCycles;
+  }
+
+  obs::Tracer Trace;
+  obs::MetricsRegistry Reg;
+  /// Histogram handles resolved once; hot paths record through these
+  /// rather than by-name lookups.
+  obs::Histogram *HTransInsts;
+  obs::Histogram *HTrapBlock;
+  obs::Histogram *HInterpInsts;
 
   std::unordered_map<uint32_t, Translation *> BlockMap;
   std::unordered_map<uint32_t, uint32_t> Heat;
@@ -602,6 +671,8 @@ private:
 RunResult Session::run() {
   RunResult R;
   bool Guarded = false;
+  Trace.emit(obs::TraceEventKind::RunBegin, Cpu.Pc, 0,
+             Policy.hotThreshold(), Injector ? 1 : 0);
 
   while (!Cpu.Halted) {
     if (++StepIndex > Config.MaxMonitorSteps) {
@@ -666,6 +737,10 @@ RunResult Session::run() {
     if (!InterpOnly.count(Cpu.Pc)) {
       uint32_t H = ++Heat[Cpu.Pc];
       if (H > Policy.hotThreshold()) {
+        // The block crossed the heating threshold: phase 1
+        // (interpretation) -> phase 2 (native execution) for this PC.
+        Trace.emit(obs::TraceEventKind::PhaseTransition, Cpu.Pc, Cpu.Pc,
+                   H, 0);
         if (installTranslation(Cpu.Pc, /*Generation=*/0,
                                /*AllowFlush=*/true))
           continue; // dispatch natively on the next iteration
@@ -677,10 +752,15 @@ RunResult Session::run() {
     }
 
     // Phase 1: interpret one dynamic basic block, profiling as we go.
+    uint32_t BlockPc = Cpu.Pc;
     uint64_t N = Interp.stepBlock(Cpu);
     InterpInsts += N;
     ++InterpBlocks;
     InterpCycles += N * Cost.InterpCyclesPerInst;
+    HInterpInsts->record(N);
+    if (Trace.enabled())
+      Trace.emit(obs::TraceEventKind::BlockInterpreted, BlockPc, BlockPc,
+                 N, Heat[BlockPc]);
   }
 
   RunError Err = Abort;
@@ -698,60 +778,73 @@ RunResult Session::run() {
   R.MemoryHash = fnv1a(Mem.data(), Mem.size());
   R.Cycles = Machine.Cycles + InterpCycles + TranslateCycles +
              MonitorCycles + ChainCycles;
+  Trace.emit(obs::TraceEventKind::RunEnd, Cpu.Pc, 0,
+             static_cast<uint64_t>(Err), R.Cycles);
+  if (Config.Trace)
+    Config.Trace->flush();
 
-  CounterBag &C = R.Counters;
-  C.add("cycles.total", R.Cycles);
-  C.add("cycles.native", Machine.Cycles);
-  C.add("cycles.interp", InterpCycles);
-  C.add("cycles.translate", TranslateCycles);
-  C.add("cycles.monitor", MonitorCycles);
-  C.add("cycles.chain", ChainCycles);
-  C.add("cycles.traps",
-        Machine.Faults * Cost.TrapCycles +
-            Machine.Fixups * Cost.FixupExtraCycles +
-            Patches * Cost.PatchExtraCycles);
-  C.add("interp.insts", InterpInsts);
-  C.add("interp.refs", InterpRefs);
-  C.add("interp.blocks", InterpBlocks);
-  C.add("host.insts", Machine.Instructions);
-  C.add("host.loads", Machine.Loads);
-  C.add("host.stores", Machine.Stores);
-  C.add("host.l1i_misses", Hier.L1I.misses());
-  C.add("host.l1d_misses", Hier.L1D.misses());
-  C.add("host.l2_misses", Hier.L2.misses());
-  C.add("dbt.translations", Translations);
-  C.add("dbt.supersedes", Supersedes);
-  C.add("dbt.patches", Patches);
-  C.add("dbt.chains", Chains);
-  C.add("dbt.reverts", Reverts);
-  C.add("dbt.flushes", Flushes);
-  C.add("dbt.native_entries", NativeEntries);
-  C.add("dbt.fault_traps", Machine.Faults);
-  C.add("dbt.fixups", Machine.Fixups);
-  C.add("dbt.code_words", Code.size());
-  C.set("run.error", static_cast<uint64_t>(Err));
-  C.add("harden.watchdog_trips", WatchdogTrips);
-  C.add("harden.ladder_rearrange", LadderRearranges);
-  C.add("harden.ladder_retranslate", LadderRetranslations);
-  C.add("harden.ladder_interp_only", LadderInterpPins);
-  C.add("harden.oversized_pins", OversizedPins);
-  C.add("harden.interp_only_blocks", InterpOnly.size());
-  C.add("harden.spurious_traps", SpuriousTraps);
-  C.add("harden.patch_repairs", PatchRepairs);
-  C.add("harden.patch_failures", PatchFailures);
-  C.add("harden.translate_failures", TranslateFailures);
-  C.add("harden.flush_suppressed", FlushesSuppressed);
-  C.add("harden.stub_downgrades", StubDowngrades);
+  // Blocks still in service at end of run never pass through
+  // invalidate(): fold their trap counts into the distribution here.
+  for (Translation &T : Store)
+    if (T.Valid)
+      HTrapBlock->record(T.FaultCount);
+
+  // The registry is the authoritative record; the legacy CounterBag is
+  // derived from it below so the two views agree by construction.
+  Reg.addCounter("cycles.total", R.Cycles);
+  Reg.addCounter("cycles.native", Machine.Cycles);
+  Reg.addCounter("cycles.interp", InterpCycles);
+  Reg.addCounter("cycles.translate", TranslateCycles);
+  Reg.addCounter("cycles.monitor", MonitorCycles);
+  Reg.addCounter("cycles.chain", ChainCycles);
+  Reg.addCounter("cycles.traps",
+                 Machine.Faults * Cost.TrapCycles +
+                     Machine.Fixups * Cost.FixupExtraCycles +
+                     Patches * Cost.PatchExtraCycles);
+  Reg.addCounter("interp.insts", InterpInsts);
+  Reg.addCounter("interp.refs", InterpRefs);
+  Reg.addCounter("interp.blocks", InterpBlocks);
+  Reg.addCounter("host.insts", Machine.Instructions);
+  Reg.addCounter("host.loads", Machine.Loads);
+  Reg.addCounter("host.stores", Machine.Stores);
+  Reg.addCounter("host.l1i_misses", Hier.L1I.misses());
+  Reg.addCounter("host.l1d_misses", Hier.L1D.misses());
+  Reg.addCounter("host.l2_misses", Hier.L2.misses());
+  Reg.addCounter("dbt.translations", Translations);
+  Reg.addCounter("dbt.supersedes", Supersedes);
+  Reg.addCounter("dbt.patches", Patches);
+  Reg.addCounter("dbt.chains", Chains);
+  Reg.addCounter("dbt.reverts", Reverts);
+  Reg.addCounter("dbt.flushes", Flushes);
+  Reg.addCounter("dbt.native_entries", NativeEntries);
+  Reg.addCounter("dbt.fault_traps", Machine.Faults);
+  Reg.addCounter("dbt.fixups", Machine.Fixups);
+  Reg.setGauge("dbt.code_words", Code.size());
+  Reg.setGauge("run.error", static_cast<uint64_t>(Err));
+  Reg.addCounter("harden.watchdog_trips", WatchdogTrips);
+  Reg.addCounter("harden.ladder_rearrange", LadderRearranges);
+  Reg.addCounter("harden.ladder_retranslate", LadderRetranslations);
+  Reg.addCounter("harden.ladder_interp_only", LadderInterpPins);
+  Reg.addCounter("harden.oversized_pins", OversizedPins);
+  Reg.setGauge("harden.interp_only_blocks", InterpOnly.size());
+  Reg.addCounter("harden.spurious_traps", SpuriousTraps);
+  Reg.addCounter("harden.patch_repairs", PatchRepairs);
+  Reg.addCounter("harden.patch_failures", PatchFailures);
+  Reg.addCounter("harden.translate_failures", TranslateFailures);
+  Reg.addCounter("harden.flush_suppressed", FlushesSuppressed);
+  Reg.addCounter("harden.stub_downgrades", StubDowngrades);
   if (Injector) {
-    C.add("chaos.injected", Injector->injected());
-    C.add("chaos.lost_traps", ChaosLostTraps);
-    C.add("chaos.dup_traps", ChaosDupTraps);
-    C.add("chaos.spurious_traps", ChaosSpurious);
-    C.add("chaos.patch_drops", ChaosPatchDrops);
-    C.add("chaos.patch_tears", ChaosPatchTears);
-    C.add("chaos.translate_fail", ChaosTranslateFails);
-    C.add("chaos.flush_storms", ChaosFlushStorms);
+    Reg.addCounter("chaos.injected", Injector->injected());
+    Reg.addCounter("chaos.lost_traps", ChaosLostTraps);
+    Reg.addCounter("chaos.dup_traps", ChaosDupTraps);
+    Reg.addCounter("chaos.spurious_traps", ChaosSpurious);
+    Reg.addCounter("chaos.patch_drops", ChaosPatchDrops);
+    Reg.addCounter("chaos.patch_tears", ChaosPatchTears);
+    Reg.addCounter("chaos.translate_fail", ChaosTranslateFails);
+    Reg.addCounter("chaos.flush_storms", ChaosFlushStorms);
   }
+  Reg.fillCounterBag(R.Counters);
+  R.Metrics = std::move(Reg);
   return R;
 }
 

@@ -29,6 +29,8 @@
 #include "guest/GuestCPU.h"
 #include "guest/GuestImage.h"
 #include "host/CostModel.h"
+#include "obs/Metrics.h"
+#include "obs/TraceSink.h"
 #include "support/Stats.h"
 
 #include <cstdint>
@@ -115,6 +117,12 @@ struct EngineConfig {
   /// Optional deterministic fault-injection campaign (chaos testing).
   /// The plan must outlive the engine.  Null = no injection.
   const chaos::FaultPlan *Chaos = nullptr;
+  /// Optional structured trace sink (see docs/TELEMETRY.md).  Null =
+  /// tracing disabled; every emission point reduces to one branch.  The
+  /// sink must outlive the engine and receives every lifecycle event
+  /// (translation, chaining, traps, patching, degradation, flushes)
+  /// stamped with the run's monotonic virtual time in modeled cycles.
+  obs::TraceSink *Trace = nullptr;
 };
 
 /// Everything an experiment wants to know about one run.
@@ -129,8 +137,13 @@ struct RunResult {
   /// Final architectural state.
   guest::GuestCPU FinalCpu;
   /// Event counters (translations, patches, traps, cache misses, cycle
-  /// breakdown...).
+  /// breakdown...).  Derived from Metrics (fillCounterBag) so the two
+  /// views can never disagree; kept for existing benches and tests.
   CounterBag Counters;
+  /// The authoritative per-run metrics: counters, gauges and histograms
+  /// with stable registration order; serializes to JSON for results/
+  /// via reporting::writeMetricsJson (schema in docs/TELEMETRY.md).
+  obs::MetricsRegistry Metrics;
   /// Why the run ended; RunError::None means it ran to completion and
   /// Checksum/MemoryHash are trustworthy.
   RunError Error = RunError::MonitorStepLimit;

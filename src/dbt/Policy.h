@@ -18,6 +18,7 @@
 
 #include "dbt/Translation.h"
 #include "guest/GuestInst.h"
+#include "obs/TraceSink.h"
 
 #include <cstdint>
 
@@ -103,6 +104,17 @@ public:
     (void)InstPc;
     (void)Rung;
   }
+
+  /// Observability: the engine binds its tracer (sink + virtual-time
+  /// clock) before the run starts so policies can emit policy.* trace
+  /// events.  A policy that is never bound holds a disabled tracer and
+  /// pays one branch per emit call.
+  void bindTracer(const obs::Tracer &T) { Trace = T; }
+
+protected:
+  /// Emits policy.* events (see docs/TELEMETRY.md); disabled unless the
+  /// engine bound a sink via bindTracer.
+  obs::Tracer Trace;
 };
 
 } // namespace dbt

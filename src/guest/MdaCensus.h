@@ -25,6 +25,11 @@ namespace mdabt {
 namespace guest {
 
 /// True if an access of \p Size bytes at \p Addr is misaligned.
+///
+/// This is the single definition of "misaligned" for the whole system:
+/// the interpreter's census hooks, the profiling policies, the
+/// host machine's trap check, and the workload generators all agree by
+/// calling it (sizes are powers of two; byte accesses never misalign).
 inline bool isMisaligned(uint32_t Addr, unsigned Size) {
   return (Addr & (Size - 1)) != 0;
 }

@@ -9,6 +9,12 @@
 /// follow DESIGN.md section 5; the trap cost of ~1000 cycles is the
 /// paper's own figure (section II, citing the FX!32 studies [15][16]).
 ///
+/// These modeled cycles are also the unit of the run's virtual clock:
+/// RunResult::Cycles and the VirtualTime stamp on every trace event
+/// (docs/TELEMETRY.md) are sums of the per-phase cycle accounts this
+/// struct prices, so changing a cost here shifts reported runtimes and
+/// trace timestamps coherently.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MDABT_HOST_COSTMODEL_H

@@ -96,8 +96,10 @@ public:
   uint32_t hotThreshold() const override { return Threshold; }
   void onInterpMemAccess(uint32_t InstPc, uint32_t Addr, unsigned Size,
                          bool) override {
-    if (Size >= 2 && guest::isMisaligned(Addr, Size))
-      Sites.insert(InstPc);
+    if (Size >= 2 && guest::isMisaligned(Addr, Size) &&
+        Sites.insert(InstPc).second)
+      Trace.emit(obs::TraceEventKind::PolicySiteMarked, InstPc, 0,
+                 /*A=*/0, /*B=*/Sites.size());
   }
   dbt::MemPlan planMemoryOp(uint32_t InstPc,
                             const guest::GuestInst &) override {
@@ -137,8 +139,11 @@ public:
     return Faulted.count(InstPc) ? dbt::MemPlan::Inline
                                  : dbt::MemPlan::Normal;
   }
-  dbt::FaultDecision onFault(uint32_t InstPc, uint32_t, uint32_t) override {
-    Faulted.insert(InstPc);
+  dbt::FaultDecision onFault(uint32_t InstPc, uint32_t BlockPc,
+                             uint32_t) override {
+    if (Faulted.insert(InstPc).second)
+      Trace.emit(obs::TraceEventKind::PolicySiteMarked, InstPc, BlockPc,
+                 /*A=*/1, /*B=*/Faulted.size());
     return {true, Rearrange};
   }
   void onWatchdogEscalation(uint32_t, uint32_t InstPc,
@@ -205,14 +210,19 @@ public:
     // section IV-D: most MDA instructions are biased, so blanket
     // multi-versioning just burns check cycles).
     if (Opts.MultiVersion && It != Profile.end() &&
-        It->second.Aligned != 0 && It->second.Aligned >= It->second.Mis)
+        It->second.Aligned != 0 && It->second.Aligned >= It->second.Mis) {
+      Trace.emit(obs::TraceEventKind::PolicyMultiVersion, InstPc, 0,
+                 It->second.Aligned, It->second.Mis);
       return dbt::MemPlan::MultiVersion;
+    }
     return dbt::MemPlan::Inline;
   }
 
-  dbt::FaultDecision onFault(uint32_t InstPc, uint32_t,
+  dbt::FaultDecision onFault(uint32_t InstPc, uint32_t BlockPc,
                              uint32_t BlockFaultCount) override {
-    Faulted.insert(InstPc);
+    if (Faulted.insert(InstPc).second)
+      Trace.emit(obs::TraceEventKind::PolicySiteMarked, InstPc, BlockPc,
+                 /*A=*/1, /*B=*/Faulted.size());
     // Trigger exactly at the threshold: the superseding translation
     // starts with a fresh trap count (paper Fig. 7).
     bool Retranslate = Opts.RetranslateThreshold != 0 &&

@@ -1,0 +1,144 @@
+//===- obs/Metrics.cpp ----------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/Format.h"
+
+using namespace mdabt;
+using namespace mdabt::obs;
+
+void Histogram::record(uint64_t Value) {
+  ++Buckets[bucketOf(Value)];
+  ++Count;
+  Sum += Value;
+  if (Value < Min)
+    Min = Value;
+  if (Value > Max)
+    Max = Value;
+}
+
+unsigned Histogram::bucketOf(uint64_t V) {
+  if (V == 0)
+    return 0;
+  unsigned B = 1;
+  while (B < NumBuckets - 1 && V >= (1ULL << B))
+    ++B;
+  return B;
+}
+
+MetricsRegistry::Entry *MetricsRegistry::find(const std::string &Name,
+                                              Kind K) {
+  for (Entry &E : Entries)
+    if (E.K == K && E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+const MetricsRegistry::Entry *
+MetricsRegistry::find(const std::string &Name, Kind K) const {
+  for (const Entry &E : Entries)
+    if (E.K == K && E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+void MetricsRegistry::addCounter(const std::string &Name, uint64_t Delta) {
+  if (Entry *E = find(Name, Kind::Counter)) {
+    E->Value += Delta;
+    return;
+  }
+  Entries.push_back({Name, Kind::Counter, Delta, 0});
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, uint64_t Value) {
+  if (Entry *E = find(Name, Kind::Gauge)) {
+    E->Value = Value;
+    return;
+  }
+  Entries.push_back({Name, Kind::Gauge, Value, 0});
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  if (Entry *E = find(Name, Kind::Hist))
+    return *Histograms[E->HistIndex];
+  Histograms.push_back(std::make_unique<Histogram>());
+  Entries.push_back({Name, Kind::Hist, 0, Histograms.size() - 1});
+  return *Histograms.back();
+}
+
+uint64_t MetricsRegistry::counter(const std::string &Name) const {
+  const Entry *E = find(Name, Kind::Counter);
+  return E ? E->Value : 0;
+}
+
+uint64_t MetricsRegistry::gauge(const std::string &Name) const {
+  const Entry *E = find(Name, Kind::Gauge);
+  return E ? E->Value : 0;
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &Name) const {
+  const Entry *E = find(Name, Kind::Hist);
+  return E ? Histograms[E->HistIndex].get() : nullptr;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::string Out = "{";
+  for (int Section = 0; Section != 3; ++Section) {
+    Kind K = static_cast<Kind>(Section);
+    const char *Label = Section == 0   ? "counters"
+                        : Section == 1 ? "gauges"
+                                       : "histograms";
+    if (Section != 0)
+      Out += ",";
+    Out += format("\"%s\":{", Label);
+    bool First = true;
+    for (const Entry &E : Entries) {
+      if (E.K != K)
+        continue;
+      if (!First)
+        Out += ",";
+      First = false;
+      if (K != Kind::Hist) {
+        Out += format("\"%s\":%llu", E.Name.c_str(),
+                      static_cast<unsigned long long>(E.Value));
+        continue;
+      }
+      const Histogram &H = *Histograms[E.HistIndex];
+      Out += format("\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+                    "\"max\":%llu,\"buckets\":[",
+                    E.Name.c_str(),
+                    static_cast<unsigned long long>(H.count()),
+                    static_cast<unsigned long long>(H.sum()),
+                    static_cast<unsigned long long>(H.min()),
+                    static_cast<unsigned long long>(H.max()));
+      for (unsigned I = 0; I != Histogram::NumBuckets; ++I)
+        Out += format(I == 0 ? "%llu" : ",%llu",
+                      static_cast<unsigned long long>(H.bucket(I)));
+      Out += "]}";
+    }
+    Out += "}";
+  }
+  Out += "}";
+  return Out;
+}
+
+void MetricsRegistry::fillCounterBag(CounterBag &Bag) const {
+  for (const Entry &E : Entries) {
+    switch (E.K) {
+    case Kind::Counter:
+      Bag.add(E.Name, E.Value);
+      break;
+    case Kind::Gauge:
+      Bag.set(E.Name, E.Value);
+      break;
+    case Kind::Hist:
+      Bag.add(E.Name + ".count", Histograms[E.HistIndex]->count());
+      break;
+    }
+  }
+}

@@ -1,0 +1,125 @@
+//===- obs/Metrics.h - Named counters, gauges and histograms ---*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: a registry of named
+/// counters (monotonic event counts), gauges (point-in-time values such
+/// as run.error or code-cache size) and histograms (log2-bucketed
+/// distributions such as translated-block sizes).  The engine builds one
+/// registry per run; it is the authoritative source behind both the JSON
+/// artifact written for results/ and the legacy CounterBag that existing
+/// benches and tests consume (fillCounterBag keeps the two views
+/// consistent by construction).
+///
+/// Registration order is preserved, so serialized output is stable and
+/// diffable across runs.  Hot paths should resolve a Histogram* handle
+/// once and record through it, never look up by name per event.
+///
+/// Metric names and units are documented in docs/TELEMETRY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_OBS_METRICS_H
+#define MDABT_OBS_METRICS_H
+
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace obs {
+
+/// A log2-bucketed distribution of uint64 samples: bucket 0 holds value
+/// 0, bucket i holds [2^(i-1), 2^i).  Values beyond the last bucket
+/// clamp into it.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 17;
+
+  void record(uint64_t Value);
+
+  uint64_t count() const { return Count; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return Count == 0 ? 0 : Min; }
+  uint64_t max() const { return Max; }
+  uint64_t bucket(unsigned I) const {
+    return I < NumBuckets ? Buckets[I] : 0;
+  }
+  double mean() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Count);
+  }
+
+  /// Bucket index value \p V falls into.
+  static unsigned bucketOf(uint64_t V);
+
+private:
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  uint64_t Min = ~0ULL;
+  uint64_t Max = 0;
+};
+
+/// Named counters/gauges/histograms with stable registration order.
+class MetricsRegistry {
+public:
+  /// Add \p Delta to counter \p Name, registering it at zero if new.
+  void addCounter(const std::string &Name, uint64_t Delta = 1);
+
+  /// Overwrite gauge \p Name with \p Value, registering it if new.
+  void setGauge(const std::string &Name, uint64_t Value);
+
+  /// The histogram named \p Name, registering it if new.  The returned
+  /// reference stays valid for the registry's lifetime (histograms are
+  /// stored behind stable storage): resolve once, record many times.
+  Histogram &histogram(const std::string &Name);
+
+  /// Value of counter \p Name (0 if absent).
+  uint64_t counter(const std::string &Name) const;
+  /// Value of gauge \p Name (0 if absent).
+  uint64_t gauge(const std::string &Name) const;
+  /// Histogram \p Name, or null if absent.
+  const Histogram *findHistogram(const std::string &Name) const;
+
+  /// Total registered metrics (all three kinds).
+  size_t size() const { return Entries.size(); }
+
+  /// Serialize the full registry as a JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+  ///                          "buckets":[..]}}}
+  /// Key order is registration order.
+  std::string toJson() const;
+
+  /// Export counters (as add) and gauges (as set) into \p Bag in
+  /// registration order, preserving the legacy CounterBag view.
+  /// Histograms are summarized as "<name>.count".
+  void fillCounterBag(CounterBag &Bag) const;
+
+private:
+  enum class Kind : uint8_t { Counter, Gauge, Hist };
+  struct Entry {
+    std::string Name;
+    Kind K;
+    uint64_t Value = 0; ///< counter/gauge value
+    size_t HistIndex = 0;
+  };
+  Entry *find(const std::string &Name, Kind K);
+  const Entry *find(const std::string &Name, Kind K) const;
+
+  std::vector<Entry> Entries;
+  /// Deque-like stable storage for histograms (index via Entry).
+  std::vector<std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace mdabt
+
+#endif // MDABT_OBS_METRICS_H

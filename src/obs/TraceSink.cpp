@@ -1,0 +1,190 @@
+//===- obs/TraceSink.cpp --------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceSink.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace mdabt;
+using namespace mdabt::obs;
+
+const char *mdabt::obs::traceEventName(TraceEventKind Kind) {
+  switch (Kind) {
+#define MDABT_TRACE_EVENT_NAME(Name, Wire)                                   \
+  case TraceEventKind::Name:                                                 \
+    return Wire;
+    MDABT_TRACE_EVENT_KINDS(MDABT_TRACE_EVENT_NAME)
+#undef MDABT_TRACE_EVENT_NAME
+  }
+  return "unknown";
+}
+
+bool mdabt::obs::traceEventKindFromName(const char *Name,
+                                        TraceEventKind &Out) {
+#define MDABT_TRACE_EVENT_PARSE(EnumName, Wire)                              \
+  if (std::strcmp(Name, Wire) == 0) {                                        \
+    Out = TraceEventKind::EnumName;                                          \
+    return true;                                                             \
+  }
+  MDABT_TRACE_EVENT_KINDS(MDABT_TRACE_EVENT_PARSE)
+#undef MDABT_TRACE_EVENT_PARSE
+  return false;
+}
+
+TraceSink::~TraceSink() = default;
+TraceClock::~TraceClock() = default;
+
+// -- RingBufferTraceSink ----------------------------------------------------
+
+RingBufferTraceSink::RingBufferTraceSink(size_t Capacity)
+    : Ring(Capacity == 0 ? 1 : Capacity) {}
+
+void RingBufferTraceSink::emit(const TraceEvent &Event) {
+  ++Total;
+  if (Count == Ring.size())
+    ++Dropped;
+  else
+    ++Count;
+  Ring[Head] = Event;
+  Head = (Head + 1) % Ring.size();
+}
+
+const TraceEvent &RingBufferTraceSink::at(size_t I) const {
+  assert(I < Count && "ring index out of range");
+  // Head points at the next write slot == the oldest retained event
+  // once the ring has wrapped.
+  size_t Oldest = Count == Ring.size() ? Head : 0;
+  return Ring[(Oldest + I) % Ring.size()];
+}
+
+std::vector<TraceEvent> RingBufferTraceSink::snapshot() const {
+  std::vector<TraceEvent> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Out.push_back(at(I));
+  return Out;
+}
+
+// -- JSONL ------------------------------------------------------------------
+
+std::string mdabt::obs::traceEventToJson(const TraceEvent &E) {
+  // Field names are part of the telemetry schema (docs/TELEMETRY.md);
+  // event names contain no characters needing JSON escaping.
+  return format("{\"ev\":\"%s\",\"t\":%llu,\"pc\":%u,\"block\":%u,"
+                "\"a\":%llu,\"b\":%llu}",
+                traceEventName(E.Kind),
+                static_cast<unsigned long long>(E.VirtualTime), E.GuestPc,
+                E.BlockPc, static_cast<unsigned long long>(E.A),
+                static_cast<unsigned long long>(E.B));
+}
+
+namespace {
+
+/// Scan for "\"Key\":" in \p Line and parse the unsigned integer that
+/// follows.  Tolerates any key order but not duplicate keys.
+bool parseField(const char *Line, const char *Key, uint64_t &Out) {
+  std::string Needle = std::string("\"") + Key + "\":";
+  const char *P = std::strstr(Line, Needle.c_str());
+  if (!P)
+    return false;
+  P += Needle.size();
+  if (*P < '0' || *P > '9')
+    return false;
+  uint64_t V = 0;
+  for (; *P >= '0' && *P <= '9'; ++P)
+    V = V * 10 + static_cast<uint64_t>(*P - '0');
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+bool mdabt::obs::traceEventFromJson(const char *Line, TraceEvent &Out) {
+  const char *P = std::strstr(Line, "\"ev\":\"");
+  if (!P)
+    return false;
+  P += 6;
+  const char *End = std::strchr(P, '"');
+  if (!End || End - P >= 64)
+    return false;
+  char Name[64];
+  std::memcpy(Name, P, static_cast<size_t>(End - P));
+  Name[End - P] = '\0';
+  TraceEvent E;
+  if (!traceEventKindFromName(Name, E.Kind))
+    return false;
+  uint64_t T = 0, Pc = 0, Block = 0, A = 0, B = 0;
+  if (!parseField(Line, "t", T) || !parseField(Line, "pc", Pc) ||
+      !parseField(Line, "block", Block) || !parseField(Line, "a", A) ||
+      !parseField(Line, "b", B))
+    return false;
+  E.VirtualTime = T;
+  E.GuestPc = static_cast<uint32_t>(Pc);
+  E.BlockPc = static_cast<uint32_t>(Block);
+  E.A = A;
+  E.B = B;
+  Out = E;
+  return true;
+}
+
+bool mdabt::obs::readJsonlTrace(const std::string &Path,
+                                std::vector<TraceEvent> &Out,
+                                size_t *BadLine) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F) {
+    if (BadLine)
+      *BadLine = 0;
+    return false;
+  }
+  Out.clear();
+  char Line[512];
+  size_t LineNo = 0;
+  bool Ok = true;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    ++LineNo;
+    // Skip blank lines (a trailing newline at EOF is not an error).
+    const char *P = Line;
+    while (*P == ' ' || *P == '\t' || *P == '\n' || *P == '\r')
+      ++P;
+    if (*P == '\0')
+      continue;
+    TraceEvent E;
+    if (!traceEventFromJson(Line, E)) {
+      if (BadLine)
+        *BadLine = LineNo;
+      Ok = false;
+      break;
+    }
+    Out.push_back(E);
+  }
+  std::fclose(F);
+  return Ok;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string &Path)
+    : File(std::fopen(Path.c_str(), "w")) {}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  if (File)
+    std::fclose(File);
+}
+
+void JsonlTraceSink::emit(const TraceEvent &Event) {
+  if (!File)
+    return;
+  std::string Json = traceEventToJson(Event);
+  std::fwrite(Json.data(), 1, Json.size(), File);
+  std::fputc('\n', File);
+  ++Written;
+}
+
+void JsonlTraceSink::flush() {
+  if (File)
+    std::fflush(File);
+}

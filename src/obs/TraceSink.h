@@ -1,0 +1,169 @@
+//===- obs/TraceSink.h - Trace event sinks and the Tracer ------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Where trace events go.  A TraceSink receives every TraceEvent an
+/// instrumented component emits; three implementations cover the design
+/// space:
+///
+///   NullTraceSink       discards everything (explicit "tracing off"
+///                       object for call sites that want a sink either
+///                       way);
+///   RingBufferTraceSink keeps the last N events in a pre-allocated ring
+///                       (flight-recorder style: no allocation after
+///                       construction, wraparound drops the oldest);
+///   JsonlTraceSink      appends one JSON object per event to a file
+///                       (the format docs/TELEMETRY.md documents and
+///                       examples/trace_inspect.cpp reads back).
+///
+/// Components never talk to a sink directly; they hold a Tracer, a
+/// two-pointer handle bundling the sink with the virtual-time clock.  A
+/// default-constructed Tracer is disabled and its emit() is a single
+/// branch — the zero-overhead-when-disabled contract the engine's hot
+/// paths rely on (tested by tests/obs_test.cpp with an allocation
+/// counter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_OBS_TRACESINK_H
+#define MDABT_OBS_TRACESINK_H
+
+#include "obs/TraceEvent.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace obs {
+
+/// Receives trace events.  Implementations must tolerate events arriving
+/// in any order of kinds but may assume VirtualTime is non-decreasing
+/// within one run.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Record one event.
+  virtual void emit(const TraceEvent &Event) = 0;
+
+  /// Force buffered output to its backing store (no-op by default).
+  virtual void flush() {}
+};
+
+/// Discards every event.
+class NullTraceSink final : public TraceSink {
+public:
+  void emit(const TraceEvent &) override {}
+};
+
+/// Flight recorder: keeps the most recent \p Capacity events in a ring
+/// pre-allocated at construction.  Older events are overwritten and
+/// counted in dropped().
+class RingBufferTraceSink final : public TraceSink {
+public:
+  explicit RingBufferTraceSink(size_t Capacity);
+
+  void emit(const TraceEvent &Event) override;
+
+  /// Number of events currently retained (<= capacity).
+  size_t size() const { return Count; }
+  size_t capacity() const { return Ring.size(); }
+  /// Events overwritten by wraparound.
+  uint64_t dropped() const { return Dropped; }
+  /// Total events ever emitted into this sink.
+  uint64_t total() const { return Total; }
+
+  /// The \p I-th retained event, oldest first (0 <= I < size()).
+  const TraceEvent &at(size_t I) const;
+
+  /// Retained events oldest-first, as a fresh vector (test/tool helper).
+  std::vector<TraceEvent> snapshot() const;
+
+private:
+  std::vector<TraceEvent> Ring;
+  size_t Head = 0; ///< next write position
+  size_t Count = 0;
+  uint64_t Dropped = 0;
+  uint64_t Total = 0;
+};
+
+/// Appends events to \p Path as JSON Lines, one object per event:
+///   {"ev":"block.translated","t":1234,"pc":4096,"block":4096,"a":9,"b":0}
+/// The file is opened at construction (truncating) and closed at
+/// destruction; ok() reports whether the open succeeded.
+class JsonlTraceSink final : public TraceSink {
+public:
+  explicit JsonlTraceSink(const std::string &Path);
+  ~JsonlTraceSink() override;
+
+  void emit(const TraceEvent &Event) override;
+  void flush() override;
+
+  bool ok() const { return File != nullptr; }
+  uint64_t written() const { return Written; }
+
+private:
+  std::FILE *File = nullptr;
+  uint64_t Written = 0;
+};
+
+/// Serialize one event to its JSONL form (no trailing newline).
+std::string traceEventToJson(const TraceEvent &Event);
+
+/// Parse one JSONL line produced by traceEventToJson / JsonlTraceSink.
+/// Returns false on malformed input or an unknown event name.
+bool traceEventFromJson(const char *Line, TraceEvent &Out);
+
+/// Load a whole JSONL trace file.  Returns false (and leaves \p Out in
+/// an unspecified state) if the file cannot be read or any line fails to
+/// parse; \p BadLine (optional) receives the 1-based offending line.
+bool readJsonlTrace(const std::string &Path, std::vector<TraceEvent> &Out,
+                    size_t *BadLine = nullptr);
+
+/// Source of the monotonic virtual-time stamp: the engine implements
+/// this over its cycle accounting.
+class TraceClock {
+public:
+  virtual ~TraceClock();
+  /// Current modeled cycle count.
+  virtual uint64_t now() const = 0;
+};
+
+/// The handle instrumented components hold.  Disabled (default) means
+/// emit() is one predictable branch; enabled means one virtual call per
+/// event.  Copyable by value: two pointers.
+class Tracer {
+public:
+  Tracer() = default;
+  Tracer(TraceSink *Sink, const TraceClock *Clock)
+      : Sink(Sink), Clock(Clock) {}
+
+  bool enabled() const { return Sink != nullptr; }
+
+  void emit(TraceEventKind Kind, uint32_t GuestPc, uint32_t BlockPc,
+            uint64_t A = 0, uint64_t B = 0) const {
+    if (!Sink)
+      return;
+    TraceEvent E;
+    E.Kind = Kind;
+    E.VirtualTime = Clock ? Clock->now() : 0;
+    E.GuestPc = GuestPc;
+    E.BlockPc = BlockPc;
+    E.A = A;
+    E.B = B;
+    Sink->emit(E);
+  }
+
+private:
+  TraceSink *Sink = nullptr;
+  const TraceClock *Clock = nullptr;
+};
+
+} // namespace obs
+} // namespace mdabt
+
+#endif // MDABT_OBS_TRACESINK_H

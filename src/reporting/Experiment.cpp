@@ -9,6 +9,7 @@
 #include "guest/GuestCPU.h"
 #include "guest/GuestMemory.h"
 #include "guest/Interpreter.h"
+#include "support/Format.h"
 #include "support/Stats.h"
 
 #include <cstdio>
@@ -75,6 +76,23 @@ CensusResult mdabt::reporting::runCensus(const guest::GuestImage &Image) {
 }
 
 double NormalizedSeries::geomean() const { return geometricMean(Values); }
+
+bool mdabt::reporting::writeMetricsJson(const dbt::RunResult &R,
+                                        const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Body = format(
+      "{\"status\":\"%s\",\"cycles\":%llu,\"checksum\":%llu,"
+      "\"metrics\":%s}\n",
+      dbt::runErrorName(R.Error), static_cast<unsigned long long>(R.Cycles),
+      static_cast<unsigned long long>(R.Checksum),
+      R.Metrics.toJson().c_str());
+  bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) == Body.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
+}
 
 double mdabt::reporting::gainOver(uint64_t BaselineCycles,
                                   uint64_t ImprovedCycles) {

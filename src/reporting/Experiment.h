@@ -72,6 +72,12 @@ struct NormalizedSeries {
 /// format of the paper's gain/loss figures (Fig. 11-14).
 double gainOver(uint64_t BaselineCycles, uint64_t ImprovedCycles);
 
+/// Serialize \p R's MetricsRegistry (plus run status and checksum) as a
+/// JSON object to \p Path — the machine-readable run artifact written
+/// next to the tables under results/ (schema in docs/TELEMETRY.md).
+/// Returns false if the file cannot be written.
+bool writeMetricsJson(const dbt::RunResult &R, const std::string &Path);
+
 } // namespace reporting
 } // namespace mdabt
 

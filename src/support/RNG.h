@@ -8,9 +8,11 @@
 ///
 /// \file
 /// A small deterministic PRNG (SplitMix64-seeded xoshiro256**) used by the
-/// workload generators.  Determinism matters: every synthetic benchmark must
-/// produce the same guest binary and the same access stream on every run so
-/// that experiments are exactly repeatable.
+/// workload generators and the chaos fault injector.  Determinism matters:
+/// every synthetic benchmark must produce the same guest binary and the
+/// same access stream on every run, and every fault-injection campaign
+/// must fire at the same points, so that experiments (and failures) are
+/// exactly repeatable from a seed.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -29,6 +29,14 @@ double arithmeticMean(const std::vector<double> &Values);
 
 /// A named event counter bag.  Deterministic iteration order (insertion
 /// order) so that reports are stable.
+///
+/// This is the flat, legacy view of a run's statistics; since the obs
+/// layer landed it is derived from the structured
+/// obs::MetricsRegistry at end of run (fillCounterBag), so the two
+/// views always agree.  New consumers should prefer
+/// RunResult::Metrics (typed counters/gauges/histograms, JSON
+/// serialization — see docs/TELEMETRY.md); CounterBag remains for the
+/// table printers and for merge/maxWith aggregation across runs.
 class CounterBag {
 public:
   /// Add \p Delta to counter \p Name, creating it at zero if absent.

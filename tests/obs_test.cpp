@@ -1,0 +1,449 @@
+//===- tests/obs_test.cpp - Observability layer tests ---------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for src/obs: ring-buffer wraparound semantics, JSONL round-trip
+/// of every event kind, the zero-allocation guarantee of the disabled
+/// (null) tracing path, MetricsRegistry JSON serialization, and an
+/// end-to-end check that an EH-policy engine run emits the full block
+/// lifecycle (heat -> translate -> trap -> stub patch) with monotonic
+/// virtual time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/TraceSink.h"
+
+#include "TestUtil.h"
+#include "mda/Policies.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+using namespace mdabt;
+using namespace mdabt::obs;
+
+// Global allocation counter for the zero-allocation tests.  Counting
+// operator new/delete replacements are per-binary, so this observes
+// every heap allocation made anywhere in this test process.
+static std::atomic<uint64_t> GAllocs{0};
+
+void *operator new(size_t Size) {
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+// GCC warns that free() here mismatches operator new, but our
+// replacement operator new above is malloc-based, so the pairing is
+// correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete(void *P, size_t) noexcept { std::free(P); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+TraceEvent makeEvent(TraceEventKind K, uint64_t I) {
+  TraceEvent E;
+  E.Kind = K;
+  E.VirtualTime = 1000 + I;
+  E.GuestPc = static_cast<uint32_t>(0x1000 + I);
+  E.BlockPc = static_cast<uint32_t>(0x2000 + I);
+  E.A = 0xA0 + I;
+  E.B = 0xB0 + I;
+  return E;
+}
+
+std::string tempPath(const char *Name) {
+  const char *Dir = std::getenv("TMPDIR");
+  return std::string(Dir ? Dir : "/tmp") + "/" + Name;
+}
+
+// ---- event names ----------------------------------------------------------
+
+TEST(TraceEventTest, NamesRoundTripThroughParser) {
+  for (unsigned I = 0; I != NumTraceEventKinds; ++I) {
+    TraceEventKind K = static_cast<TraceEventKind>(I);
+    TraceEventKind Parsed;
+    ASSERT_TRUE(traceEventKindFromName(traceEventName(K), Parsed))
+        << traceEventName(K);
+    EXPECT_EQ(Parsed, K);
+  }
+  TraceEventKind Unused;
+  EXPECT_FALSE(traceEventKindFromName("no.such.event", Unused));
+  EXPECT_FALSE(traceEventKindFromName("", Unused));
+}
+
+// ---- ring buffer ----------------------------------------------------------
+
+TEST(RingBufferTest, FillsWithoutWraparound) {
+  RingBufferTraceSink Sink(8);
+  for (uint64_t I = 0; I != 5; ++I)
+    Sink.emit(makeEvent(TraceEventKind::TrapTaken, I));
+  EXPECT_EQ(Sink.size(), 5u);
+  EXPECT_EQ(Sink.capacity(), 8u);
+  EXPECT_EQ(Sink.dropped(), 0u);
+  EXPECT_EQ(Sink.total(), 5u);
+  for (size_t I = 0; I != 5; ++I)
+    EXPECT_EQ(Sink.at(I).VirtualTime, 1000 + I);
+}
+
+TEST(RingBufferTest, WraparoundKeepsNewestAndCountsDropped) {
+  RingBufferTraceSink Sink(4);
+  for (uint64_t I = 0; I != 11; ++I)
+    Sink.emit(makeEvent(TraceEventKind::TrapTaken, I));
+  EXPECT_EQ(Sink.size(), 4u);
+  EXPECT_EQ(Sink.dropped(), 7u);
+  EXPECT_EQ(Sink.total(), 11u);
+  // The four newest events (7..10), oldest first.
+  for (size_t I = 0; I != 4; ++I) {
+    EXPECT_EQ(Sink.at(I).VirtualTime, 1000 + 7 + I);
+    EXPECT_EQ(Sink.at(I).A, 0xA0 + 7 + I);
+  }
+  std::vector<TraceEvent> Snap = Sink.snapshot();
+  ASSERT_EQ(Snap.size(), 4u);
+  EXPECT_EQ(Snap.front().VirtualTime, 1007u);
+  EXPECT_EQ(Snap.back().VirtualTime, 1010u);
+}
+
+TEST(RingBufferTest, ExactCapacityBoundary) {
+  RingBufferTraceSink Sink(3);
+  for (uint64_t I = 0; I != 3; ++I)
+    Sink.emit(makeEvent(TraceEventKind::CacheFlush, I));
+  EXPECT_EQ(Sink.size(), 3u);
+  EXPECT_EQ(Sink.dropped(), 0u);
+  EXPECT_EQ(Sink.at(0).VirtualTime, 1000u);
+  // One more drops exactly the oldest.
+  Sink.emit(makeEvent(TraceEventKind::CacheFlush, 3));
+  EXPECT_EQ(Sink.size(), 3u);
+  EXPECT_EQ(Sink.dropped(), 1u);
+  EXPECT_EQ(Sink.at(0).VirtualTime, 1001u);
+  EXPECT_EQ(Sink.at(2).VirtualTime, 1003u);
+}
+
+TEST(RingBufferTest, ZeroCapacityIsClampedNotUB) {
+  RingBufferTraceSink Sink(0);
+  Sink.emit(makeEvent(TraceEventKind::RunBegin, 0));
+  Sink.emit(makeEvent(TraceEventKind::RunEnd, 1));
+  EXPECT_EQ(Sink.capacity(), 1u);
+  EXPECT_EQ(Sink.size(), 1u);
+  EXPECT_EQ(Sink.at(0).Kind, TraceEventKind::RunEnd);
+}
+
+// ---- JSONL round-trip -----------------------------------------------------
+
+TEST(JsonlTest, EveryEventKindRoundTrips) {
+  std::string Path = tempPath("mdabt_obs_roundtrip.jsonl");
+  std::vector<TraceEvent> Written;
+  {
+    JsonlTraceSink Sink(Path);
+    ASSERT_TRUE(Sink.ok());
+    for (unsigned I = 0; I != NumTraceEventKinds; ++I) {
+      TraceEvent E = makeEvent(static_cast<TraceEventKind>(I), I);
+      Written.push_back(E);
+      Sink.emit(E);
+    }
+    EXPECT_EQ(Sink.written(), NumTraceEventKinds);
+  }
+  std::vector<TraceEvent> Read;
+  ASSERT_TRUE(readJsonlTrace(Path, Read));
+  ASSERT_EQ(Read.size(), Written.size());
+  for (size_t I = 0; I != Written.size(); ++I)
+    EXPECT_TRUE(Read[I] == Written[I])
+        << "event " << I << " (" << traceEventName(Written[I].Kind)
+        << ") did not round-trip";
+  std::remove(Path.c_str());
+}
+
+TEST(JsonlTest, ExtremeValuesRoundTrip) {
+  TraceEvent E;
+  E.Kind = TraceEventKind::RunEnd;
+  E.VirtualTime = ~0ULL;
+  E.GuestPc = ~0u;
+  E.BlockPc = 0;
+  E.A = ~0ULL;
+  E.B = 1;
+  TraceEvent Back;
+  ASSERT_TRUE(traceEventFromJson(traceEventToJson(E).c_str(), Back));
+  EXPECT_TRUE(Back == E);
+}
+
+TEST(JsonlTest, MalformedLinesAreRejected) {
+  TraceEvent E;
+  EXPECT_FALSE(traceEventFromJson("", E));
+  EXPECT_FALSE(traceEventFromJson("{}", E));
+  EXPECT_FALSE(traceEventFromJson("{\"ev\":\"bogus.kind\",\"t\":1,"
+                                  "\"pc\":2,\"block\":3,\"a\":4,\"b\":5}",
+                                  E));
+  // Missing field.
+  EXPECT_FALSE(traceEventFromJson(
+      "{\"ev\":\"trap.taken\",\"t\":1,\"pc\":2,\"block\":3,\"a\":4}", E));
+}
+
+TEST(JsonlTest, ReadReportsOffendingLine) {
+  std::string Path = tempPath("mdabt_obs_badline.jsonl");
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs(traceEventToJson(makeEvent(TraceEventKind::RunBegin, 0))
+                 .c_str(),
+             F);
+  std::fputs("\nthis is not json\n", F);
+  std::fclose(F);
+  std::vector<TraceEvent> Events;
+  size_t BadLine = 0;
+  EXPECT_FALSE(readJsonlTrace(Path, Events, &BadLine));
+  EXPECT_EQ(BadLine, 2u);
+  std::remove(Path.c_str());
+}
+
+// ---- zero allocation on the disabled path ---------------------------------
+
+TEST(TracerTest, DisabledTracerAllocatesNothing) {
+  Tracer T; // no sink bound: the engine-default "tracing off" state
+  uint64_t Before = GAllocs.load(std::memory_order_relaxed);
+  for (uint64_t I = 0; I != 100000; ++I)
+    T.emit(TraceEventKind::TrapTaken, 0x1000, 0x2000, I, I);
+  EXPECT_EQ(GAllocs.load(std::memory_order_relaxed), Before)
+      << "disabled Tracer::emit allocated on the hot path";
+}
+
+TEST(TracerTest, NullSinkAllocatesNothingPerEvent) {
+  NullTraceSink Sink;
+  Tracer T(&Sink, nullptr);
+  EXPECT_TRUE(T.enabled());
+  uint64_t Before = GAllocs.load(std::memory_order_relaxed);
+  for (uint64_t I = 0; I != 100000; ++I)
+    T.emit(TraceEventKind::PatchApplied, 1, 2, 3, 4);
+  EXPECT_EQ(GAllocs.load(std::memory_order_relaxed), Before)
+      << "NullTraceSink::emit allocated";
+}
+
+TEST(TracerTest, RingSinkAllocatesOnlyAtConstruction) {
+  RingBufferTraceSink Sink(1024);
+  Tracer T(&Sink, nullptr);
+  uint64_t Before = GAllocs.load(std::memory_order_relaxed);
+  for (uint64_t I = 0; I != 100000; ++I)
+    T.emit(TraceEventKind::TrapTaken, 1, 2, I, I);
+  EXPECT_EQ(GAllocs.load(std::memory_order_relaxed), Before)
+      << "RingBufferTraceSink::emit allocated after construction";
+}
+
+// ---- metrics registry -----------------------------------------------------
+
+TEST(MetricsTest, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry Reg;
+  Reg.addCounter("a.count", 2);
+  Reg.addCounter("a.count", 3);
+  Reg.setGauge("a.gauge", 7);
+  Reg.setGauge("a.gauge", 4);
+  EXPECT_EQ(Reg.counter("a.count"), 5u);
+  EXPECT_EQ(Reg.gauge("a.gauge"), 4u);
+  EXPECT_EQ(Reg.counter("missing"), 0u);
+  EXPECT_EQ(Reg.gauge("missing"), 0u);
+  // Counter and gauge namespaces are distinct kinds: same name, no
+  // collision.
+  Reg.addCounter("dual", 9);
+  Reg.setGauge("dual", 1);
+  EXPECT_EQ(Reg.counter("dual"), 9u);
+  EXPECT_EQ(Reg.gauge("dual"), 1u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  MetricsRegistry Reg;
+  Histogram &H = Reg.histogram("sizes");
+  EXPECT_EQ(&H, &Reg.histogram("sizes")) << "histogram not stable";
+  H.record(0);
+  H.record(1);
+  H.record(2);
+  H.record(3);
+  H.record(1000);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1006u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_EQ(H.bucket(0), 1u); // value 0
+  EXPECT_EQ(H.bucket(1), 1u); // value 1
+  EXPECT_EQ(H.bucket(2), 2u); // values 2,3
+  EXPECT_EQ(H.bucket(Histogram::bucketOf(1000)), 1u);
+  // Huge values clamp into the last bucket instead of indexing out.
+  EXPECT_EQ(Histogram::bucketOf(~0ULL), Histogram::NumBuckets - 1);
+}
+
+TEST(MetricsTest, JsonSerialization) {
+  MetricsRegistry Reg;
+  Reg.addCounter("x.events", 3);
+  Reg.setGauge("x.level", 9);
+  Reg.histogram("x.dist").record(4);
+  std::string Json = Reg.toJson();
+  EXPECT_EQ(Json.find("{\"counters\":{\"x.events\":3}"), 0u) << Json;
+  EXPECT_NE(Json.find("\"gauges\":{\"x.level\":9}"), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"x.dist\":{\"count\":1,\"sum\":4,\"min\":4,"
+                      "\"max\":4,\"buckets\":[0,0,0,1,"),
+            std::string::npos)
+      << Json;
+  // Empty registry still produces the three sections.
+  MetricsRegistry Empty;
+  EXPECT_EQ(Empty.toJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsTest, FillCounterBagPreservesOrderAndKinds) {
+  MetricsRegistry Reg;
+  Reg.addCounter("first", 1);
+  Reg.setGauge("second", 2);
+  Reg.histogram("third").record(5);
+  Reg.addCounter("fourth", 4);
+  CounterBag Bag;
+  Reg.fillCounterBag(Bag);
+  ASSERT_EQ(Bag.entries().size(), 4u);
+  EXPECT_EQ(Bag.entries()[0].first, "first");
+  EXPECT_EQ(Bag.entries()[1].first, "second");
+  EXPECT_EQ(Bag.entries()[2].first, "third.count");
+  EXPECT_EQ(Bag.entries()[3].first, "fourth");
+  EXPECT_EQ(Bag.get("third.count"), 1u);
+}
+
+// ---- engine integration ---------------------------------------------------
+
+TEST(EngineTraceTest, EhRunEmitsFullBlockLifecycle) {
+  guest::GuestImage Image = testutil::misalignedSumProgram(4000);
+  mda::ExceptionHandlingPolicy Policy(/*Threshold=*/50);
+  RingBufferTraceSink Sink(1 << 18);
+  dbt::EngineConfig Config;
+  Config.Trace = &Sink;
+  dbt::Engine Engine(Image, Policy, Config);
+  dbt::RunResult R = Engine.run();
+  ASSERT_TRUE(R.completed());
+  EXPECT_EQ(Sink.dropped(), 0u) << "ring too small for this workload";
+
+  std::vector<TraceEvent> Events = Sink.snapshot();
+  ASSERT_FALSE(Events.empty());
+  EXPECT_EQ(Events.front().Kind, TraceEventKind::RunBegin);
+  EXPECT_EQ(Events.back().Kind, TraceEventKind::RunEnd);
+  EXPECT_EQ(Events.back().A, 0u) << "RunEnd should carry RunError::None";
+  EXPECT_EQ(Events.back().B, R.Cycles);
+
+  // Virtual time is monotonic non-decreasing across the whole run.
+  for (size_t I = 1; I != Events.size(); ++I)
+    ASSERT_GE(Events[I].VirtualTime, Events[I - 1].VirtualTime)
+        << "virtual time went backwards at event " << I;
+
+  // The EH lifecycle: the hot block heats, transitions, translates,
+  // traps, gets a stub emitted and the fault site patched — in order.
+  uint64_t TInterp = ~0ULL, TPhase = ~0ULL, TTrans = ~0ULL,
+           TTrap = ~0ULL, TStub = ~0ULL, TPatch = ~0ULL;
+  uint32_t HotBlock = 0;
+  for (const TraceEvent &E : Events)
+    if (E.Kind == TraceEventKind::TrapTaken) {
+      HotBlock = E.BlockPc;
+      break;
+    }
+  ASSERT_NE(HotBlock, 0u) << "EH run on an all-MDA kernel must trap";
+  auto First = [&](TraceEventKind K, uint64_t &Slot) {
+    for (size_t I = 0; I != Events.size(); ++I)
+      if (Events[I].Kind == K && Events[I].BlockPc == HotBlock) {
+        Slot = I;
+        return;
+      }
+  };
+  First(TraceEventKind::BlockInterpreted, TInterp);
+  First(TraceEventKind::PhaseTransition, TPhase);
+  First(TraceEventKind::BlockTranslated, TTrans);
+  First(TraceEventKind::TrapTaken, TTrap);
+  First(TraceEventKind::StubEmitted, TStub);
+  First(TraceEventKind::PatchApplied, TPatch);
+  ASSERT_NE(TInterp, ~0ULL);
+  ASSERT_NE(TPhase, ~0ULL);
+  ASSERT_NE(TTrans, ~0ULL);
+  ASSERT_NE(TTrap, ~0ULL);
+  ASSERT_NE(TStub, ~0ULL);
+  ASSERT_NE(TPatch, ~0ULL);
+  EXPECT_LT(TInterp, TPhase);
+  EXPECT_LT(TPhase, TTrans);
+  EXPECT_LT(TTrans, TTrap);
+  EXPECT_LT(TTrap, TStub);
+  EXPECT_LT(TStub, TPatch);
+
+  // Trace counts agree with the metrics registry.
+  uint64_t Translates = 0, Patches = 0;
+  for (const TraceEvent &E : Events) {
+    Translates += E.Kind == TraceEventKind::BlockTranslated;
+    Patches += E.Kind == TraceEventKind::PatchApplied;
+  }
+  EXPECT_EQ(Translates, R.Metrics.counter("dbt.translations"));
+  EXPECT_EQ(Patches, R.Metrics.counter("dbt.patches"));
+}
+
+TEST(EngineTraceTest, MetricsMatchLegacyCounterBag) {
+  guest::GuestImage Image = testutil::misalignedSumProgram(2000);
+  mda::DpehPolicy Policy(/*Threshold=*/50);
+  dbt::Engine Engine(Image, Policy);
+  dbt::RunResult R = Engine.run();
+  ASSERT_TRUE(R.completed());
+  // Every legacy counter is derived from the registry: spot-check the
+  // invariant across kinds.
+  EXPECT_EQ(R.Counters.get("cycles.total"),
+            R.Metrics.counter("cycles.total"));
+  EXPECT_EQ(R.Counters.get("dbt.patches"), R.Metrics.counter("dbt.patches"));
+  EXPECT_EQ(R.Counters.get("run.error"), R.Metrics.gauge("run.error"));
+  EXPECT_EQ(R.Counters.get("dbt.code_words"),
+            R.Metrics.gauge("dbt.code_words"));
+  // Histograms observed the run.
+  const Histogram *H = R.Metrics.findHistogram("translate.block_insts");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->count(), R.Metrics.counter("dbt.translations"));
+  const Histogram *HI = R.Metrics.findHistogram("interp.block_insts");
+  ASSERT_NE(HI, nullptr);
+  EXPECT_EQ(HI->count(), R.Metrics.counter("interp.blocks"));
+  EXPECT_EQ(HI->sum(), R.Metrics.counter("interp.insts"));
+  EXPECT_EQ(R.Counters.get("interp.block_insts.count"), HI->count());
+}
+
+TEST(EngineTraceTest, DisabledTraceMatchesEnabledRunResults) {
+  guest::GuestImage Image = testutil::misalignedSumProgram(1500);
+  dbt::RunResult Plain, Traced;
+  {
+    mda::ExceptionHandlingPolicy Policy(50);
+    dbt::Engine Engine(Image, Policy);
+    Plain = Engine.run();
+  }
+  {
+    mda::ExceptionHandlingPolicy Policy(50);
+    RingBufferTraceSink Sink(4096);
+    dbt::EngineConfig Config;
+    Config.Trace = &Sink;
+    dbt::Engine Engine(Image, Policy, Config);
+    Traced = Engine.run();
+  }
+  // Observation must never perturb the run.
+  EXPECT_EQ(Plain.Cycles, Traced.Cycles);
+  EXPECT_EQ(Plain.Checksum, Traced.Checksum);
+  EXPECT_EQ(Plain.MemoryHash, Traced.MemoryHash);
+  ASSERT_EQ(Plain.Counters.entries().size(),
+            Traced.Counters.entries().size());
+  for (size_t I = 0; I != Plain.Counters.entries().size(); ++I) {
+    EXPECT_EQ(Plain.Counters.entries()[I].first,
+              Traced.Counters.entries()[I].first);
+    EXPECT_EQ(Plain.Counters.entries()[I].second,
+              Traced.Counters.entries()[I].second)
+        << Plain.Counters.entries()[I].first;
+  }
+}
+
+} // namespace

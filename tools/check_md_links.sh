@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Check that every relative markdown link in the repo's documentation
+# points at a file that exists.  External (http/https/mailto) links and
+# pure in-page anchors are skipped.  Run from anywhere in the repo.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+checked=0
+
+check_file() {
+  local md="$1"
+  local dir
+  dir="$(dirname "$md")"
+  # Pull out every (target) of an inline [text](target) link.
+  grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+    sed 's/.*(\([^)]*\))/\1/' |
+    while IFS= read -r target; do
+      case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+      esac
+      local path="${target%%#*}" # strip in-page anchor
+      [ -z "$path" ] && continue
+      if [ ! -e "$dir/$path" ]; then
+        echo "check_md_links: $md: broken link -> $target" >&2
+        # Propagate failure out of the pipeline subshell via a marker.
+        touch "$ROOT/.md_links_failed"
+      fi
+    done
+}
+
+rm -f "$ROOT/.md_links_failed"
+for md in "$ROOT"/README.md "$ROOT"/DESIGN.md "$ROOT"/ROADMAP.md \
+  "$ROOT"/docs/*.md; do
+  [ -f "$md" ] || continue
+  checked=$((checked + 1))
+  check_file "$md"
+done
+
+if [ -f "$ROOT/.md_links_failed" ]; then
+  rm -f "$ROOT/.md_links_failed"
+  echo "check_md_links: FAILED" >&2
+  exit 1
+fi
+echo "check_md_links: OK ($checked files checked)"
