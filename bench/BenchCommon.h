@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the per-table/per-figure bench binaries: the
-/// standard scale (overridable via MDABT_REFS for quick runs), and
-/// uniform printing.
+/// Helpers shared by the per-table/per-figure bench binaries: uniform
+/// CLI parsing (--jobs/--seed/--refs — every bench binary accepts the
+/// same flags), the standard scale (overridable via --refs or
+/// MDABT_REFS for quick runs), and uniform printing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,16 +19,86 @@
 #include "support/Format.h"
 #include "support/Stats.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace mdabt {
 namespace bench {
 
-/// The scale every experiment uses.  Set MDABT_REFS to shrink runs
-/// (e.g. MDABT_REFS=200000 for a smoke pass).
-inline workloads::ScaleConfig stdScale() {
+/// CLI options shared by every bench binary.
+struct Options {
+  /// Worker threads for the experiment matrix; 0 = hardware
+  /// concurrency.  Results are bit-identical for every value.
+  unsigned Jobs = 0;
+  /// Base seed for randomized campaigns (chaos_soak).
+  uint64_t Seed = 0xC0FFEE;
+  /// Per-run memory-reference target; 0 = default (MDABT_REFS or the
+  /// standard 1.5M).
+  uint64_t Refs = 0;
+};
+
+/// Parse the shared flags (--jobs N, --seed S, --refs R; both
+/// "--flag N" and "--flag=N" spellings).  Recognized flags are removed
+/// from argv so binaries with their own argument consumers
+/// (micro_components hands the remainder to google-benchmark) can layer
+/// on top.  Unknown arguments are left in place.  Exits with a usage
+/// message on a malformed value.
+inline Options parseArgs(int &Argc, char **Argv) {
+  Options Opt;
+  auto Fail = [&](const char *Flag) {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--seed S] [--refs R]\n"
+                 "error: bad value for %s\n",
+                 Argv[0], Flag);
+    std::exit(2);
+  };
+  auto TakeValue = [&](const char *Flag, int &I,
+                       const char *&Value) -> bool {
+    size_t Len = std::strlen(Flag);
+    if (std::strncmp(Argv[I], Flag, Len) != 0)
+      return false;
+    if (Argv[I][Len] == '=') {
+      Value = Argv[I] + Len + 1;
+      return true;
+    }
+    if (Argv[I][Len] == '\0') {
+      if (I + 1 >= Argc)
+        Fail(Flag);
+      Value = Argv[++I];
+      return true;
+    }
+    return false;
+  };
+  int Out = 1;
+  for (int I = 1; I < Argc; ++I) {
+    const char *Value = nullptr;
+    if (TakeValue("--jobs", I, Value)) {
+      long long V = std::atoll(Value);
+      if (V < 0 || V > 4096)
+        Fail("--jobs");
+      Opt.Jobs = static_cast<unsigned>(V);
+    } else if (TakeValue("--seed", I, Value)) {
+      Opt.Seed = std::strtoull(Value, nullptr, 0);
+    } else if (TakeValue("--refs", I, Value)) {
+      long long V = std::atoll(Value);
+      if (V <= 10000)
+        Fail("--refs");
+      Opt.Refs = static_cast<uint64_t>(V);
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  Argv[Argc] = nullptr;
+  return Opt;
+}
+
+/// The scale every experiment uses.  --refs wins over the MDABT_REFS
+/// environment override (e.g. MDABT_REFS=200000 for a smoke pass).
+inline workloads::ScaleConfig stdScale(const Options &Opt = Options()) {
   workloads::ScaleConfig Scale;
   Scale.TotalRefs = 1'500'000;
   if (const char *Env = std::getenv("MDABT_REFS")) {
@@ -35,6 +106,8 @@ inline workloads::ScaleConfig stdScale() {
     if (V > 10000)
       Scale.TotalRefs = static_cast<uint64_t>(V);
   }
+  if (Opt.Refs != 0)
+    Scale.TotalRefs = Opt.Refs;
   return Scale;
 }
 

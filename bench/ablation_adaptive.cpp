@@ -31,42 +31,62 @@ dbt::RunResult runDpehVariant(const workloads::BenchmarkInfo &Info,
       workloads::buildBenchmark(Info, workloads::InputKind::Ref, Scale);
   mda::DpehPolicy Policy(50, Opts);
   dbt::Engine Engine(Image, Policy);
-  dbt::RunResult R = Engine.run();
-  reporting::checkRunCompleted(R, Info.Name);
-  return R;
+  return Engine.run();
+}
+
+reporting::MatrixCell dpehCell(const workloads::BenchmarkInfo *Info,
+                               const mda::DpehOptions &Opts,
+                               const char *Variant,
+                               const workloads::ScaleConfig &Scale) {
+  return {.Info = Info,
+          .Label = std::string(Info->Name) + " (" + Variant + ")",
+          .Run = [Info, Opts, Scale] {
+            return runDpehVariant(*Info, Opts, Scale);
+          }};
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Ablation (beyond the paper): Fig. 8's truly-adaptive revertible "
          "stubs vs multi-version code (baseline: DPEH)",
          "the paper predicts the adaptive method's ~10 bookkeeping "
          "instructions make it no better than multi-version code");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  mda::DpehOptions MvOpts;
+  MvOpts.MultiVersion = true;
+  mda::DpehOptions AdOpts;
+  AdOpts.AdaptiveRevert = true;
+  AdOpts.RevertThreshold = 64;
+
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks) {
+    Cells.push_back(dpehCell(Info, mda::DpehOptions(), "DPEH", Scale));
+    Cells.push_back(dpehCell(Info, MvOpts, "multi-version", Scale));
+    Cells.push_back(dpehCell(Info, AdOpts, "adaptive", Scale));
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T({"Benchmark", "DPEH", "+multi-version", "+adaptive",
                   "MV gain", "Adaptive gain", "reverts"});
   std::vector<double> MvGains, AdGains;
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    dbt::RunResult Base =
-        runDpehVariant(*Info, mda::DpehOptions(), Scale);
-    mda::DpehOptions MvOpts;
-    MvOpts.MultiVersion = true;
-    dbt::RunResult Mv = runDpehVariant(*Info, MvOpts, Scale);
-    mda::DpehOptions AdOpts;
-    AdOpts.AdaptiveRevert = true;
-    AdOpts.RevertThreshold = 64;
-    dbt::RunResult Ad = runDpehVariant(*Info, AdOpts, Scale);
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult &Base = Results[B * 3];
+    const dbt::RunResult &Mv = Results[B * 3 + 1];
+    const dbt::RunResult &Ad = Results[B * 3 + 2];
 
     double MvGain = reporting::gainOver(Base.Cycles, Mv.Cycles);
     double AdGain = reporting::gainOver(Base.Cycles, Ad.Cycles);
     MvGains.push_back(MvGain);
     AdGains.push_back(AdGain);
-    T.addRow({Info->Name, withCommas(Base.Cycles), withCommas(Mv.Cycles),
-              withCommas(Ad.Cycles), signedPercent(MvGain),
-              signedPercent(AdGain),
+    T.addRow({Benchmarks[B]->Name, withCommas(Base.Cycles),
+              withCommas(Mv.Cycles), withCommas(Ad.Cycles),
+              signedPercent(MvGain), signedPercent(AdGain),
               withCommas(Ad.Counters.get("dbt.reverts"))});
   }
   T.addRow({"Average", "", "", "",

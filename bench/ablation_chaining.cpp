@@ -17,26 +17,35 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Ablation (beyond the paper): block chaining on/off under DPEH",
          "chaining removes nearly all monitor dispatches; speedup "
          "bounded by the monitor-dispatch share of runtime");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
   const char *Subset[] = {"164.gzip", "179.art",    "410.bwaves",
                           "433.milc", "453.povray", "482.sphinx3"};
 
-  TablePrinter T({"Benchmark", "chained", "unchained", "Speedup",
-                  "dispatches(chained)", "dispatches(unchained)"});
   mda::PolicySpec Spec{mda::MechanismKind::Dpeh, 50, false, 0, false};
+  dbt::EngineConfig On;
+  dbt::EngineConfig Off;
+  Off.EnableChaining = false;
+  std::vector<reporting::MatrixCell> Cells;
   for (const char *Name : Subset) {
     const workloads::BenchmarkInfo *Info = workloads::findBenchmark(Name);
-    dbt::EngineConfig On;
-    dbt::EngineConfig Off;
-    Off.EnableChaining = false;
-    dbt::RunResult ROn = reporting::runPolicyChecked(*Info, Spec, Scale, On);
-    dbt::RunResult ROff = reporting::runPolicyChecked(*Info, Spec, Scale, Off);
-    T.addRow({Name, withCommas(ROn.Cycles), withCommas(ROff.Cycles),
+    Cells.push_back({.Info = Info, .Spec = Spec, .Config = On});
+    Cells.push_back({.Info = Info, .Spec = Spec, .Config = Off});
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
+  TablePrinter T({"Benchmark", "chained", "unchained", "Speedup",
+                  "dispatches(chained)", "dispatches(unchained)"});
+  for (size_t B = 0; B != std::size(Subset); ++B) {
+    const dbt::RunResult &ROn = Results[B * 2];
+    const dbt::RunResult &ROff = Results[B * 2 + 1];
+    T.addRow({Subset[B], withCommas(ROn.Cycles), withCommas(ROff.Cycles),
               signedPercent(reporting::gainOver(ROff.Cycles, ROn.Cycles)),
               withCommas(ROn.Counters.get("dbt.native_entries")),
               withCommas(ROff.Counters.get("dbt.native_entries"))});

@@ -20,45 +20,54 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Ablation (beyond the paper): block-granularity invalidation vs "
          "Dynamo-style full flush (DPEH + retranslation@4)",
          "full flush re-pays translation for untouched blocks, so block "
          "granularity should win wherever retranslation triggers");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
   const char *Subset[] = {"164.gzip", "179.art",    "410.bwaves",
                           "483.xalancbmk", "450.soplex", "453.povray"};
+
+  // Each cell rebuilds its own guest image so runs stay shared-nothing
+  // under --jobs; image construction is deterministic, so results match
+  // the old build-once-run-twice loop exactly.
+  std::vector<reporting::MatrixCell> Cells;
+  for (const char *Name : Subset) {
+    const workloads::BenchmarkInfo *Info = workloads::findBenchmark(Name);
+    for (bool FullFlush : {false, true}) {
+      Cells.push_back(
+          {.Info = Info,
+           .Label = std::string(Name) +
+                    (FullFlush ? " (full-flush)" : " (block-granular)"),
+           .Run = [Info, FullFlush, Scale] {
+             guest::GuestImage Image = workloads::buildBenchmark(
+                 *Info, workloads::InputKind::Ref, Scale);
+             mda::DpehOptions Opts;
+             Opts.RetranslateThreshold = 4;
+             dbt::EngineConfig Config;
+             Config.FlushOnSupersede = FullFlush;
+             mda::DpehPolicy Policy(50, Opts);
+             dbt::Engine Engine(Image, Policy, Config);
+             return Engine.run();
+           }});
+    }
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
 
   TablePrinter T({"Benchmark", "block-granular", "full-flush", "Gain",
                   "flushes", "translations(flush)"});
   std::vector<double> Gains;
-  for (const char *Name : Subset) {
-    const workloads::BenchmarkInfo *Info = workloads::findBenchmark(Name);
-    guest::GuestImage Image =
-        workloads::buildBenchmark(*Info, workloads::InputKind::Ref, Scale);
-
-    mda::DpehOptions Opts;
-    Opts.RetranslateThreshold = 4;
-
-    mda::DpehPolicy PolicyA(50, Opts);
-    dbt::Engine EngineA(Image, PolicyA);
-    dbt::RunResult Block = EngineA.run();
-    reporting::checkRunCompleted(Block,
-                                 std::string(Name) + " (block-granular)");
-
-    dbt::EngineConfig Dynamo;
-    Dynamo.FlushOnSupersede = true;
-    mda::DpehPolicy PolicyB(50, Opts);
-    dbt::Engine EngineB(Image, PolicyB, Dynamo);
-    dbt::RunResult Flush = EngineB.run();
-    reporting::checkRunCompleted(Flush,
-                                 std::string(Name) + " (full-flush)");
-
+  for (size_t B = 0; B != std::size(Subset); ++B) {
+    const dbt::RunResult &Block = Results[B * 2];
+    const dbt::RunResult &Flush = Results[B * 2 + 1];
     double Gain = reporting::gainOver(Flush.Cycles, Block.Cycles);
     Gains.push_back(Gain);
-    T.addRow({Name, withCommas(Block.Cycles), withCommas(Flush.Cycles),
-              signedPercent(Gain),
+    T.addRow({Subset[B], withCommas(Block.Cycles),
+              withCommas(Flush.Cycles), signedPercent(Gain),
               withCommas(Flush.Counters.get("dbt.flushes")),
               withCommas(Flush.Counters.get("dbt.translations"))});
   }

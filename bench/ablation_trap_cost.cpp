@@ -19,12 +19,13 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Ablation (beyond the paper): Fig. 16 geomeans vs trap cost",
          "rankings stable across trap costs; profiling-method penalties "
          "scale with the cost, the Direct method's do not");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
   const char *Subset[] = {"164.gzip",      "252.eon",   "179.art",
                           "483.xalancbmk", "410.bwaves", "433.milc",
                           "450.soplex",    "453.povray"};
@@ -43,25 +44,35 @@ int main() {
       {"Direct", {MechanismKind::Direct, 0, false, 0, false}},
   };
 
-  TablePrinter T({"TrapCycles", "EH", "DPEH", "DynProf", "Static",
-                  "Direct"});
+  // One flat matrix over (trap cost x benchmark x policy); the per-cell
+  // EngineConfig carries the swept trap cost.
+  std::vector<reporting::MatrixCell> Cells;
   for (uint32_t Trap : TrapCosts) {
     dbt::EngineConfig Config;
     Config.Cost.TrapCycles = Trap;
-    std::vector<double> Norm[5];
     for (const char *Name : Subset) {
       const workloads::BenchmarkInfo *Info =
           workloads::findBenchmark(Name);
-      uint64_t Cycles[5];
       for (int C = 0; C != 5; ++C)
-        Cycles[C] =
-            reporting::runPolicyChecked(*Info, Columns[C].Spec, Scale, Config)
-                .Cycles;
-      for (int C = 0; C != 5; ++C)
-        Norm[C].push_back(static_cast<double>(Cycles[C]) /
-                          static_cast<double>(Cycles[0]));
+        Cells.push_back(
+            {.Info = Info, .Spec = Columns[C].Spec, .Config = Config});
     }
-    std::vector<std::string> Row = {std::to_string(Trap)};
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
+  TablePrinter T({"TrapCycles", "EH", "DPEH", "DynProf", "Static",
+                  "Direct"});
+  const size_t NumSubset = std::size(Subset);
+  for (size_t TI = 0; TI != std::size(TrapCosts); ++TI) {
+    std::vector<double> Norm[5];
+    for (size_t B = 0; B != NumSubset; ++B) {
+      const dbt::RunResult *Row0 = &Results[(TI * NumSubset + B) * 5];
+      for (int C = 0; C != 5; ++C)
+        Norm[C].push_back(static_cast<double>(Row0[C].Cycles) /
+                          static_cast<double>(Row0[0].Cycles));
+    }
+    std::vector<std::string> Row = {std::to_string(TrapCosts[TI])};
     for (auto &Series : Norm)
       Row.push_back(format("%.2f", geometricMean(Series)));
     T.addRow(Row);

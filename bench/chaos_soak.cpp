@@ -55,7 +55,8 @@ struct PolicyTally {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Chaos soak: seeded fault-injection campaigns against every MDA "
          "policy",
          "every campaign either survives bit-exactly or aborts with a "
@@ -100,11 +101,17 @@ int main() {
     uint64_t Checksum = 0;
     uint64_t MemoryHash = 0;
   };
+  // The baseline runs are themselves independent; fan them out too.
+  std::vector<dbt::RunResult> BaseRuns(NumProgs * NumCases);
+  parallelFor(Opt.Jobs, BaseRuns.size(), [&](size_t I) {
+    size_t P = I / NumCases;
+    size_t C = I % NumCases;
+    BaseRuns[I] = reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale);
+  });
   Baseline Base[NumProgs];
   for (size_t P = 0; P != NumProgs; ++P) {
     for (size_t C = 0; C != NumCases; ++C) {
-      dbt::RunResult R =
-          reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale);
+      const dbt::RunResult &R = BaseRuns[P * NumCases + C];
       reporting::checkRunCompleted(
           R, std::string(Progs[P]->Name) + " fault-free baseline (" +
                  Cases[C].Label + ")");
@@ -121,14 +128,16 @@ int main() {
     }
   }
 
-  PolicyTally Tally[NumCases];
-  uint64_t CorruptTotal = 0, WedgedTotal = 0;
-
-  for (uint64_t I = 0; I != Campaigns; ++I) {
+  // Every campaign's fault plan is derived from (base seed, index), so
+  // the campaigns are shared-nothing and can run in any order; the tally
+  // below walks the index-addressed results serially, keeping the report
+  // and every stderr diagnostic in campaign order regardless of --jobs.
+  std::vector<dbt::RunResult> Runs(Campaigns);
+  parallelFor(Opt.Jobs, Campaigns, [&](size_t I) {
     size_t P = static_cast<size_t>(I % NumProgs);
     size_t C = static_cast<size_t>((I / NumProgs) % NumCases);
     chaos::FaultPlan Plan =
-        chaos::FaultPlan::randomized(0xC0FFEEULL * 1000003 + I);
+        chaos::FaultPlan::randomized(Opt.Seed * 1000003 + I);
 
     dbt::EngineConfig Config;
     // A wedge (uncontained livelock) must surface quickly as
@@ -160,8 +169,16 @@ int main() {
       Config.Hardening.MaxWatchdogTrips = 64;
     }
 
-    dbt::RunResult R =
-        reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, Config);
+    Runs[I] = reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, Config);
+  });
+
+  PolicyTally Tally[NumCases];
+  uint64_t CorruptTotal = 0, WedgedTotal = 0;
+
+  for (uint64_t I = 0; I != Campaigns; ++I) {
+    size_t P = static_cast<size_t>(I % NumProgs);
+    size_t C = static_cast<size_t>((I / NumProgs) % NumCases);
+    const dbt::RunResult &R = Runs[I];
 
     PolicyTally &T = Tally[C];
     ++T.Campaigns;

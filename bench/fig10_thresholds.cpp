@@ -16,33 +16,37 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Figure 10: performance with different thresholds (baseline "
          "TH=10)",
          "TH=50 best on average; TH=10 insufficient for "
          "400.perlbench-like programs; TH>=500 pays profiling overhead "
          "(gzip/eon/galgel/sixtrack/tonto)");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
   const uint32_t Thresholds[] = {10, 50, 500, 5000};
+
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks)
+    for (int I = 0; I != 4; ++I)
+      Cells.push_back(
+          {.Info = Info,
+           .Spec = {mda::MechanismKind::DynamicProfiling, Thresholds[I],
+                    false, 0, false}});
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
 
   TablePrinter T({"Benchmark", "TH=10", "TH=50", "TH=500", "TH=5000"});
   std::vector<double> Norm[4];
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    uint64_t Cycles[4];
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult *Row0 = &Results[B * 4];
+    std::vector<std::string> Row = {Benchmarks[B]->Name};
     for (int I = 0; I != 4; ++I) {
-      dbt::RunResult R = reporting::runPolicyChecked(
-          *Info,
-          {mda::MechanismKind::DynamicProfiling, Thresholds[I], false, 0,
-           false},
-          Scale);
-      Cycles[I] = R.Cycles;
-    }
-    std::vector<std::string> Row = {Info->Name};
-    for (int I = 0; I != 4; ++I) {
-      double V = static_cast<double>(Cycles[I]) /
-                 static_cast<double>(Cycles[0]);
+      double V = static_cast<double>(Row0[I].Cycles) /
+                 static_cast<double>(Row0[0].Cycles);
       Row.push_back(format("%.3f", V));
       Norm[I].push_back(V);
     }

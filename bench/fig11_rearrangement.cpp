@@ -16,26 +16,38 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Figure 11: performance gain/loss with code rearrangement "
          "(baseline: Exception Handling)",
          "up to ~11% on h264ref-like programs, 4-5% on galgel/ammp; "
          "overall mean only ~1.5%");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks) {
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::ExceptionHandling, 50, false, 0,
+                  false}});
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::ExceptionHandling, 50, true, 0,
+                  false}});
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T({"Benchmark", "EH cycles", "EH+rearr cycles", "Gain"});
   std::vector<double> Gains;
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    dbt::RunResult Base = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::ExceptionHandling, 50, false, 0, false},
-        Scale);
-    dbt::RunResult Rearr = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::ExceptionHandling, 50, true, 0, false},
-        Scale);
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult &Base = Results[B * 2];
+    const dbt::RunResult &Rearr = Results[B * 2 + 1];
     double Gain = reporting::gainOver(Base.Cycles, Rearr.Cycles);
     Gains.push_back(Gain);
-    T.addRow({Info->Name, withCommas(Base.Cycles),
+    T.addRow({Benchmarks[B]->Name, withCommas(Base.Cycles),
               withCommas(Rearr.Cycles), signedPercent(Gain)});
   }
   T.addRow({"Average", "", "", signedPercent(arithmeticMean(Gains))});

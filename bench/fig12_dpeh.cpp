@@ -15,26 +15,38 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Figure 12: performance gain/loss with dynamic profiling "
          "(DPEH vs Exception Handling)",
          ">8% on h264ref/omnetpp/milc-like programs; overall ~2%: plain "
          "exception handling already works well");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks) {
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::ExceptionHandling, 50, false, 0,
+                  false}});
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::Dpeh, 50, false, 0, false}});
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T({"Benchmark", "EH cycles", "DPEH cycles", "Gain"});
   std::vector<double> Gains;
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    dbt::RunResult Eh = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::ExceptionHandling, 50, false, 0, false},
-        Scale);
-    dbt::RunResult Dpeh = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult &Eh = Results[B * 2];
+    const dbt::RunResult &Dpeh = Results[B * 2 + 1];
     double Gain = reporting::gainOver(Eh.Cycles, Dpeh.Cycles);
     Gains.push_back(Gain);
-    T.addRow({Info->Name, withCommas(Eh.Cycles), withCommas(Dpeh.Cycles),
-              signedPercent(Gain)});
+    T.addRow({Benchmarks[B]->Name, withCommas(Eh.Cycles),
+              withCommas(Dpeh.Cycles), signedPercent(Gain)});
   }
   T.addRow({"Average", "", "", signedPercent(arithmeticMean(Gains))});
   printTable(T, "fig12_dpeh");

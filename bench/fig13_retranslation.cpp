@@ -16,26 +16,38 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Figure 13: performance gain/loss with retranslation "
          "(baseline: DPEH; trigger: 4 traps per block)",
          "some benchmarks benefit, some degrade slightly; overall not "
          "substantial");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks) {
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::Dpeh, 50, false, 0, false}});
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::Dpeh, 50, false, 4, false}});
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T(
       {"Benchmark", "DPEH cycles", "DPEH+retrans cycles", "Gain"});
   std::vector<double> Gains;
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    dbt::RunResult Base = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
-    dbt::RunResult Retr = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::Dpeh, 50, false, 4, false}, Scale);
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult &Base = Results[B * 2];
+    const dbt::RunResult &Retr = Results[B * 2 + 1];
     double Gain = reporting::gainOver(Base.Cycles, Retr.Cycles);
     Gains.push_back(Gain);
-    T.addRow({Info->Name, withCommas(Base.Cycles), withCommas(Retr.Cycles),
-              signedPercent(Gain)});
+    T.addRow({Benchmarks[B]->Name, withCommas(Base.Cycles),
+              withCommas(Retr.Cycles), signedPercent(Gain)});
   }
   T.addRow({"Average", "", "", signedPercent(arithmeticMean(Gains))});
   printTable(T, "fig13_retranslation");

@@ -16,25 +16,37 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Figure 14: performance gain/loss with multi-version code "
          "(baseline: DPEH)",
          "~1.1% mean, up to ~4.7%: MDA instructions are mostly biased "
          "(Fig. 15), so the checks rarely pay");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks) {
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::Dpeh, 50, false, 0, false}});
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::Dpeh, 50, false, 0, true}});
+  }
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T({"Benchmark", "DPEH cycles", "DPEH+MV cycles", "Gain"});
   std::vector<double> Gains;
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    dbt::RunResult Base = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, false}, Scale);
-    dbt::RunResult Mv = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::Dpeh, 50, false, 0, true}, Scale);
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult &Base = Results[B * 2];
+    const dbt::RunResult &Mv = Results[B * 2 + 1];
     double Gain = reporting::gainOver(Base.Cycles, Mv.Cycles);
     Gains.push_back(Gain);
-    T.addRow({Info->Name, withCommas(Base.Cycles), withCommas(Mv.Cycles),
-              signedPercent(Gain)});
+    T.addRow({Benchmarks[B]->Name, withCommas(Base.Cycles),
+              withCommas(Mv.Cycles), signedPercent(Gain)});
   }
   T.addRow({"Average", "", "", signedPercent(arithmeticMean(Gains))});
   printTable(T, "fig14_multiversion");

@@ -16,7 +16,8 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Figure 16: performance of the MDA handling mechanisms "
          "(normalized to Exception Handling)",
          "DPEH best (~4.5% over EH); Dynamic Profiling collapses on "
@@ -24,7 +25,7 @@ int main() {
          "Static Profiling collapses on eon/art/soplex (Table IV); "
          "Direct Method worst overall (~+68%)");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
   using mda::MechanismKind;
   struct Column {
     const char *Name;
@@ -39,19 +40,24 @@ int main() {
   };
   constexpr int NumCols = 5;
 
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks)
+    for (int C = 0; C != NumCols; ++C)
+      Cells.push_back({.Info = Info, .Spec = Columns[C].Spec});
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T({"Benchmark", "EH", "DPEH", "DynProf", "Static",
                   "Direct"});
   std::vector<double> Norm[NumCols];
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    uint64_t Cycles[NumCols];
-    for (int C = 0; C != NumCols; ++C)
-      Cycles[C] =
-          reporting::runPolicyChecked(*Info, Columns[C].Spec, Scale).Cycles;
-    std::vector<std::string> Row = {Info->Name};
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    const dbt::RunResult *Row0 = &Results[B * NumCols];
+    std::vector<std::string> Row = {Benchmarks[B]->Name};
     for (int C = 0; C != NumCols; ++C) {
-      double V = static_cast<double>(Cycles[C]) /
-                 static_cast<double>(Cycles[0]);
+      double V = static_cast<double>(Row0[C].Cycles) /
+                 static_cast<double>(Row0[0].Cycles);
       Row.push_back(format("%.2f", V));
       Norm[C].push_back(V);
     }

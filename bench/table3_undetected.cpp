@@ -17,22 +17,31 @@
 using namespace mdabt;
 using namespace mdabt::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
   banner("Table III: MDAs not detected by dynamic profiling "
          "(heating threshold = 50)",
          "huge for gzip/art/xalancbmk/bwaves/milc/povray/soplex; zero or "
          "near-zero for ammp/lbm/sphinx3");
 
-  workloads::ScaleConfig Scale = stdScale();
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  std::vector<const workloads::BenchmarkInfo *> Benchmarks =
+      workloads::selectedBenchmarks();
+  std::vector<reporting::MatrixCell> Cells;
+  for (const workloads::BenchmarkInfo *Info : Benchmarks)
+    Cells.push_back(
+        {.Info = Info,
+         .Spec = {mda::MechanismKind::DynamicProfiling, 50, false, 0,
+                  false}});
+  std::vector<dbt::RunResult> Results =
+      reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
+
   TablePrinter T({"Benchmark", "Paper", "Measured (scaled)"});
-  for (const workloads::BenchmarkInfo *Info :
-       workloads::selectedBenchmarks()) {
-    dbt::RunResult R = reporting::runPolicyChecked(
-        *Info, {mda::MechanismKind::DynamicProfiling, 50, false, 0, false},
-        Scale);
-    T.addRow({Info->Name,
-              paperCount(static_cast<uint64_t>(Info->PaperDynUndetected)),
-              withCommas(R.Counters.get("dbt.fault_traps"))});
+  for (size_t B = 0; B != Benchmarks.size(); ++B) {
+    T.addRow({Benchmarks[B]->Name,
+              paperCount(static_cast<uint64_t>(
+                  Benchmarks[B]->PaperDynUndetected)),
+              withCommas(Results[B].Counters.get("dbt.fault_traps"))});
   }
   printTable(T, "table3_undetected");
   return 0;

@@ -11,7 +11,9 @@
 #include "guest/Interpreter.h"
 #include "support/Format.h"
 #include "support/Stats.h"
+#include "support/ThreadPool.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
@@ -55,6 +57,41 @@ dbt::RunResult mdabt::reporting::runPolicyChecked(
   return R;
 }
 
+std::string MatrixCell::label() const {
+  if (!Label.empty())
+    return Label;
+  std::string Name = Info ? Info->Name : "<custom>";
+  return Name + " under " + mda::policySpecName(Spec);
+}
+
+std::vector<dbt::RunResult>
+mdabt::reporting::runMatrix(const std::vector<MatrixCell> &Cells,
+                            const workloads::ScaleConfig &Scale,
+                            unsigned Jobs) {
+  std::vector<dbt::RunResult> Results(Cells.size());
+  // Every task touches only its own result slot; the pool imposes no
+  // ordering, the index does.
+  parallelFor(Jobs, Cells.size(), [&](size_t I) {
+    const MatrixCell &Cell = Cells[I];
+    if (Cell.Run) {
+      Results[I] = Cell.Run();
+      return;
+    }
+    assert(Cell.Info && "matrix cell needs a benchmark or a Run closure");
+    Results[I] = runPolicy(*Cell.Info, Cell.Spec, Scale, Cell.Config);
+  });
+  return Results;
+}
+
+std::vector<dbt::RunResult> mdabt::reporting::runPolicyMatrixChecked(
+    const std::vector<MatrixCell> &Cells,
+    const workloads::ScaleConfig &Scale, unsigned Jobs) {
+  std::vector<dbt::RunResult> Results = runMatrix(Cells, Scale, Jobs);
+  for (size_t I = 0; I != Cells.size(); ++I)
+    checkRunCompleted(Results[I], Cells[I].label());
+  return Results;
+}
+
 CensusResult mdabt::reporting::runCensus(const guest::GuestImage &Image) {
   guest::GuestMemory Mem;
   Mem.loadImage(Image);
@@ -77,17 +114,21 @@ CensusResult mdabt::reporting::runCensus(const guest::GuestImage &Image) {
 
 double NormalizedSeries::geomean() const { return geometricMean(Values); }
 
-bool mdabt::reporting::writeMetricsJson(const dbt::RunResult &R,
-                                        const std::string &Path) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F)
-    return false;
-  std::string Body = format(
+std::string mdabt::reporting::metricsJsonString(const dbt::RunResult &R) {
+  return format(
       "{\"status\":\"%s\",\"cycles\":%llu,\"checksum\":%llu,"
       "\"metrics\":%s}\n",
       dbt::runErrorName(R.Error), static_cast<unsigned long long>(R.Cycles),
       static_cast<unsigned long long>(R.Checksum),
       R.Metrics.toJson().c_str());
+}
+
+bool mdabt::reporting::writeMetricsJson(const dbt::RunResult &R,
+                                        const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Body = metricsJsonString(R);
   bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) == Body.size();
   if (std::fclose(F) != 0)
     Ok = false;

@@ -20,6 +20,7 @@
 #include "mda/PolicyFactory.h"
 #include "workloads/SpecPrograms.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,43 @@ dbt::RunResult runPolicyChecked(const workloads::BenchmarkInfo &Info,
 /// \p What names the run (benchmark/policy) for the diagnostic.
 void checkRunCompleted(const dbt::RunResult &R, const std::string &What);
 
+/// One cell of a (benchmark × policy) experiment matrix.  The default
+/// runner is runPolicy(*Info, Spec, Scale, Config); a cell may instead
+/// carry its own Run closure (ablations whose policy options are not
+/// expressible as a PolicySpec, chaos campaigns carrying a FaultPlan).
+struct MatrixCell {
+  const workloads::BenchmarkInfo *Info = nullptr;
+  mda::PolicySpec Spec;
+  dbt::EngineConfig Config;
+  /// Label for failure diagnostics; defaults to "<bench> under <policy>".
+  std::string Label;
+  /// Custom runner overriding the default runPolicy path.  Must be
+  /// self-contained: it executes on a worker thread, concurrently with
+  /// other cells.
+  std::function<dbt::RunResult()> Run;
+
+  std::string label() const;
+};
+
+/// Run every cell of \p Cells, fanned across \p Jobs worker threads
+/// (0 = hardware concurrency, 1 = inline serial execution).  Each cell
+/// is an independent deterministic simulation — an Engine owns all of
+/// its mutable state — so the result vector, returned in matrix order,
+/// is bit-identical for every job count; only wall-clock time changes.
+std::vector<dbt::RunResult> runMatrix(const std::vector<MatrixCell> &Cells,
+                                      const workloads::ScaleConfig &Scale =
+                                          workloads::ScaleConfig(),
+                                      unsigned Jobs = 0);
+
+/// runMatrix, then checkRunCompleted on every cell in matrix order (so
+/// the failing-cell diagnostic is deterministic too).  Bench binaries
+/// use this: truncated runs can never publish figures.
+std::vector<dbt::RunResult>
+runPolicyMatrixChecked(const std::vector<MatrixCell> &Cells,
+                       const workloads::ScaleConfig &Scale =
+                           workloads::ScaleConfig(),
+                       unsigned Jobs = 0);
+
 /// Census of one image (interpreted to completion).
 struct CensusResult {
   uint32_t Nmi = 0;
@@ -71,6 +109,11 @@ struct NormalizedSeries {
 /// Percent gain of B over A: (A - B) / A (positive = B faster), the
 /// format of the paper's gain/loss figures (Fig. 11-14).
 double gainOver(uint64_t BaselineCycles, uint64_t ImprovedCycles);
+
+/// The exact byte content writeMetricsJson emits for \p R (exposed so
+/// the determinism tests can compare serial and parallel artifacts
+/// without touching the filesystem).
+std::string metricsJsonString(const dbt::RunResult &R);
 
 /// Serialize \p R's MetricsRegistry (plus run status and checksum) as a
 /// JSON object to \p Path — the machine-readable run artifact written

@@ -1,0 +1,83 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace mdabt;
+
+unsigned ThreadPool::defaultJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = defaultJobs();
+  Workers.reserve(Jobs);
+  for (unsigned I = 0; I != Jobs; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+    ++Unfinished;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Unfinished == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      if (--Unfinished == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void mdabt::parallelFor(unsigned Jobs, size_t N,
+                        const std::function<void(size_t)> &Body) {
+  if (Jobs == 0)
+    Jobs = ThreadPool::defaultJobs();
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  ThreadPool Pool(std::min<size_t>(Jobs, N));
+  for (size_t I = 0; I != N; ++I)
+    Pool.submit([&Body, I] { Body(I); });
+  Pool.wait();
+}

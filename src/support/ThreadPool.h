@@ -1,0 +1,81 @@
+//===- support/ThreadPool.h - Worker pool for experiment fan-out -*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool used to fan the (benchmark × policy)
+/// experiment matrix across cores.  Every simulated run is deterministic
+/// and shares no mutable state with any other run (an Engine builds its
+/// own guest memory, code cache and metrics registry), so parallelism
+/// here is pure scheduling: tasks write results into caller-owned,
+/// index-addressed slots and the printed tables are assembled after
+/// wait(), in matrix order — byte-identical to a serial run by
+/// construction.
+///
+/// Tasks must not throw: the simulation libraries report failure through
+/// typed RunErrors and asserts, never exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_SUPPORT_THREADPOOL_H
+#define MDABT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mdabt {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// \p Jobs worker threads; 0 selects defaultJobs().
+  explicit ThreadPool(unsigned Jobs = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueue one task.
+  void submit(std::function<void()> Task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  unsigned threads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// hardware_concurrency, clamped to at least 1 (the standard permits
+  /// hardware_concurrency() == 0 when the count is unknowable).
+  static unsigned defaultJobs();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable AllDone;
+  size_t Unfinished = 0; ///< queued + currently executing
+  bool Stopping = false;
+};
+
+/// Run Body(I) for every I in [0, N), fanned across \p Jobs workers
+/// (0 = defaultJobs()); returns after all iterations complete.  With
+/// Jobs <= 1 the loop runs inline on the calling thread — no pool, no
+/// thread startup cost, and trivially the same results, which is what
+/// makes `--jobs 1` an exact oracle for the parallel path.
+void parallelFor(unsigned Jobs, size_t N,
+                 const std::function<void(size_t)> &Body);
+
+} // namespace mdabt
+
+#endif // MDABT_SUPPORT_THREADPOOL_H

@@ -132,6 +132,41 @@ TEST(ChaosEngineTest, TornPatchesAreRepairedOrRolledBack) {
             0u);
 }
 
+TEST(ChaosEngineTest, TornAndDroppedPatchSoakNeverExecutesStaleCode) {
+  // Combined high-rate drop+tear campaigns across the patch-heavy
+  // policies.  The engine executes out of the predecoded code-cache
+  // view, so any mutation path that failed to refresh it — stub
+  // patches, chain/unchain, adaptive reverts, capacity flushes, torn
+  // words rolled back by the repair path — would execute a stale
+  // instruction and diverge from the oracle.
+  guest::GuestImage Image = lateOnsetProgram(600, 150);
+  Oracle O = interpretOracle(Image);
+  const mda::PolicySpec Specs[] = {
+      {mda::MechanismKind::ExceptionHandling, 10, false, 0, false},
+      {mda::MechanismKind::Dpeh, 10, false, 2, false},
+  };
+  for (uint64_t Seed = 0; Seed != 12; ++Seed) {
+    chaos::FaultPlan Plan;
+    Plan.Seed = 7000 + Seed;
+    Plan.PatchDropRate = 0.5;
+    Plan.PatchTornRate = 0.5;
+    Plan.MaxInjections = 96;
+    std::unique_ptr<dbt::MdaPolicy> Policy =
+        mda::makePolicy(Specs[Seed % 2]);
+    dbt::EngineConfig Config;
+    if (Seed % 3 == 1)
+      Config.CodeCacheLimitWords = 200; // capacity flushes in the mix
+    dbt::RunResult R = runChaos(Image, *Policy, Plan, Config);
+    if (R.completed()) {
+      expectMatchesOracle(
+          R, O, ("patch soak seed " + std::to_string(Seed)).c_str());
+    } else {
+      EXPECT_NE(R.Error, dbt::RunError::MonitorStepLimit)
+          << "patch soak " << Seed << " wedged";
+    }
+  }
+}
+
 TEST(ChaosEngineTest, LostTrapStormIsContainedByWatchdog) {
   guest::GuestImage Image = misalignedSumProgram(600);
   Oracle O = interpretOracle(Image);

@@ -16,6 +16,8 @@
 #include "TestUtil.h"
 
 #include "host/CodeSpace.h"
+#include "host/HostAssembler.h"
+#include "host/HostMachine.h"
 #include "mda/Policies.h"
 
 #include <gtest/gtest.h>
@@ -290,4 +292,142 @@ TEST(CodeCacheTest, ClearEmptiesArena) {
   Code.clear();
   EXPECT_EQ(Code.size(), 0u);
   EXPECT_EQ(Code.append(3), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Predecoded-view coherence: Decoded[i] == decodeHost(Words[i]) after
+// every mutation path (the invariant documented in CodeSpace.h).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// An opcode value outside every HostOp range (12..15 are unassigned).
+constexpr uint32_t InvalidWord = 12u << 26;
+
+void expectPredecodeCoherent(const host::CodeSpace &Code) {
+  for (uint32_t I = 0; I != Code.size(); ++I) {
+    host::HostInst Fresh;
+    bool Ok = host::decodeHost(Code.word(I), Fresh);
+    const host::CodeSpace::DecodedWord &D = Code.decodedWord(I);
+    ASSERT_EQ(D.Valid, Ok) << "stale validity at word " << I;
+    if (Ok)
+      EXPECT_EQ(host::encodeHost(D.Inst), host::encodeHost(Fresh))
+          << "stale instruction at word " << I;
+  }
+}
+
+} // namespace
+
+TEST(CodeCacheTest, PredecodeCoherentAfterAppendAndPatch) {
+  host::CodeSpace Code;
+  Code.append(host::encodeHost(host::opInstLit(host::HostOp::Addq, 1, 7, 2)));
+  Code.append(host::encodeHost(host::memInst(host::HostOp::Ldl, 3, -8, 4)));
+  Code.append(host::encodeHost(host::brInst(host::HostOp::Bne, 5, -2)));
+  Code.append(host::encodeHost(host::srvInst(host::SrvFunc::Halt)));
+  Code.append(InvalidWord); // undecodable words carry Valid = false
+  expectPredecodeCoherent(Code);
+  EXPECT_FALSE(Code.decodedWord(4).Valid);
+
+  // Patching flips words between every format, including to and from
+  // undecodable; the view must track each store.
+  Code.patch(0, host::encodeHost(host::memInst(host::HostOp::LdqU, 3, 0, 4)));
+  Code.patch(1, InvalidWord);
+  Code.patch(4, host::encodeHost(host::brInst(host::HostOp::Br, 31, 3)));
+  expectPredecodeCoherent(Code);
+  EXPECT_FALSE(Code.decodedWord(1).Valid);
+  EXPECT_TRUE(Code.decodedWord(4).Valid);
+}
+
+TEST(CodeCacheTest, PredecodeCoherentUnderTornAndDroppedWrites) {
+  host::CodeSpace Code;
+  uint32_t Original =
+      host::encodeHost(host::opInstLit(host::HostOp::Addq, 1, 1, 1));
+  Code.append(Original);
+  Code.append(Original);
+
+  // A torn write stores a different word than requested; the predecoded
+  // view must follow the word actually stored, not the requested one.
+  uint32_t Torn = host::encodeHost(host::memInst(host::HostOp::Stq, 2, 4, 3));
+  Code.setPatchHook([&](uint32_t, uint32_t &Word) {
+    Word = Torn;
+    return true;
+  });
+  Code.patch(0, host::encodeHost(host::srvInst(host::SrvFunc::Exit)));
+  EXPECT_EQ(Code.word(0), Torn);
+  expectPredecodeCoherent(Code);
+
+  // A dropped write leaves the old word; the view must not move either.
+  Code.setPatchHook([](uint32_t, uint32_t &) { return false; });
+  Code.patch(1, InvalidWord);
+  EXPECT_EQ(Code.word(1), Original);
+  expectPredecodeCoherent(Code);
+
+  // Torn to an undecodable word: the entry must go invalid, because
+  // executing it would run a stale instruction for a garbage word.
+  Code.setPatchHook([&](uint32_t, uint32_t &Word) {
+    Word = InvalidWord;
+    return true;
+  });
+  Code.patch(1, Original);
+  EXPECT_FALSE(Code.decodedWord(1).Valid);
+  expectPredecodeCoherent(Code);
+}
+
+TEST(CodeCacheTest, PredecodeCoherentAcrossClear) {
+  host::CodeSpace Code;
+  Code.append(host::encodeHost(host::srvInst(host::SrvFunc::Halt)));
+  Code.clear();
+  Code.append(host::encodeHost(host::opInstLit(host::HostOp::Subq, 6, 1, 6)));
+  expectPredecodeCoherent(Code);
+  EXPECT_EQ(Code.decodedWord(0).Inst.Op, host::HostOp::Subq);
+}
+
+TEST(CodeCacheTest, PredecodeBitIdenticalUnderRetryPatching) {
+  // The exception-handler path: a misaligned Ldl traps, the handler
+  // patches the faulting word to the never-trapping LdqU and retries —
+  // the patched word must execute on the very next fetch.  Running the
+  // same program with and without predecode must agree on every
+  // architectural and accounting observable.
+  struct Outcome {
+    uint64_t R3 = 0, R4 = 0;
+    uint64_t Cycles = 0, Instructions = 0, Faults = 0;
+  };
+  Outcome Out[2];
+  for (int Predecode = 0; Predecode != 2; ++Predecode) {
+    host::CodeSpace Code;
+    {
+      host::HostAssembler Asm(Code);
+      Asm.materialize32(1, 64);   // loop counter
+      Asm.materialize32(2, 4097); // misaligned address
+      host::HostAssembler::Label Loop = Asm.newLabel();
+      Asm.bind(Loop);
+      Asm.mem(host::HostOp::Ldl, 3, 0, 2); // traps on first execution
+      Asm.op(host::HostOp::Addq, 4, 3, 4);
+      Asm.opl(host::HostOp::Subq, 1, 1, 1);
+      Asm.bne(1, Loop);
+      Asm.srv(host::SrvFunc::Halt);
+    }
+    guest::GuestMemory Mem;
+    MemoryHierarchy Hier;
+    host::CostModel Cost;
+    host::HostMachine Machine(Code, Mem, Hier, Cost);
+    Machine.UsePredecode = Predecode != 0;
+    Machine.setFaultHandler([&](const host::FaultInfo &FI) {
+      Code.patch(FI.HostPc,
+                 host::encodeHost(host::memInst(
+                     host::HostOp::LdqU, FI.Inst.Ra, FI.Inst.Disp,
+                     FI.Inst.Rb)));
+      return host::FaultAction::Retry;
+    });
+    host::ExitInfo E = Machine.run(0);
+    ASSERT_EQ(E.K, host::ExitInfo::Halt);
+    expectPredecodeCoherent(Code);
+    Out[Predecode] = {Machine.R[3], Machine.R[4], Machine.Cycles,
+                      Machine.Instructions, Machine.Faults};
+  }
+  EXPECT_EQ(Out[0].R3, Out[1].R3);
+  EXPECT_EQ(Out[0].R4, Out[1].R4);
+  EXPECT_EQ(Out[0].Cycles, Out[1].Cycles);
+  EXPECT_EQ(Out[0].Instructions, Out[1].Instructions);
+  EXPECT_EQ(Out[1].Faults, 1u); // patched after the first trap
 }

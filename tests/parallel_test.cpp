@@ -1,0 +1,167 @@
+//===- tests/parallel_test.cpp - ThreadPool and matrix determinism --------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the experiment fan-out machinery: the ThreadPool/parallelFor
+/// primitives, and the contract that runMatrix at any job count produces
+/// results bit-identical to the serial run — the property every bench
+/// binary's figures depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mda/PolicyFactory.h"
+#include "reporting/Experiment.h"
+#include "support/ThreadPool.h"
+#include "workloads/SpecCatalog.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace mdabt;
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threads(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.submit([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 1);
+  Pool.submit([&] { ++Count; });
+  Pool.submit([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DefaultJobsIsPositive) {
+  EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {0u, 1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> Hits(57);
+    parallelFor(Jobs, Hits.size(), [&](size_t I) { ++Hits[I]; });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "jobs " << Jobs << " index " << I;
+  }
+}
+
+TEST(ParallelForTest, MoreJobsThanWork) {
+  std::vector<std::atomic<int>> Hits(3);
+  parallelFor(16, Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  parallelFor(4, 0, [](size_t) { FAIL() << "body ran on empty range"; });
+}
+
+namespace {
+
+/// A small (benchmark x policy) matrix covering every mechanism,
+/// including StaticProfiling (whose train-then-ref runs are the most
+/// stateful cell kind).
+std::vector<reporting::MatrixCell> testMatrix() {
+  const char *Names[] = {"164.gzip", "179.art", "470.lbm"};
+  const mda::PolicySpec Specs[] = {
+      {mda::MechanismKind::Direct, 0, false, 0, false},
+      {mda::MechanismKind::DynamicProfiling, 50, false, 0, false},
+      {mda::MechanismKind::StaticProfiling, 0, false, 0, false},
+      {mda::MechanismKind::ExceptionHandling, 50, true, 0, false},
+      {mda::MechanismKind::Dpeh, 50, false, 4, false},
+  };
+  std::vector<reporting::MatrixCell> Cells;
+  for (const char *Name : Names) {
+    const workloads::BenchmarkInfo *Info = workloads::findBenchmark(Name);
+    for (const mda::PolicySpec &Spec : Specs)
+      Cells.push_back({.Info = Info, .Spec = Spec});
+  }
+  return Cells;
+}
+
+workloads::ScaleConfig smallScale() {
+  workloads::ScaleConfig Scale;
+  Scale.TotalRefs = 40000;
+  return Scale;
+}
+
+void expectBitIdentical(const std::vector<dbt::RunResult> &A,
+                        const std::vector<dbt::RunResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].Cycles, B[I].Cycles) << "cell " << I;
+    EXPECT_EQ(A[I].Checksum, B[I].Checksum) << "cell " << I;
+    EXPECT_EQ(A[I].MemoryHash, B[I].MemoryHash) << "cell " << I;
+    EXPECT_EQ(A[I].Error, B[I].Error) << "cell " << I;
+    ASSERT_EQ(A[I].Counters.entries().size(),
+              B[I].Counters.entries().size())
+        << "cell " << I;
+    for (const auto &Entry : A[I].Counters.entries())
+      EXPECT_EQ(Entry.second, B[I].Counters.get(Entry.first))
+          << "cell " << I << " counter " << Entry.first;
+    // The strongest form of the contract: the serialized metrics
+    // artifact is byte-identical, so writeMetricsJson output cannot
+    // depend on the job count either.
+    EXPECT_EQ(reporting::metricsJsonString(A[I]),
+              reporting::metricsJsonString(B[I]))
+        << "cell " << I;
+  }
+}
+
+} // namespace
+
+TEST(RunMatrixTest, ParallelBitIdenticalToSerial) {
+  workloads::ScaleConfig Scale = smallScale();
+  std::vector<dbt::RunResult> Serial =
+      reporting::runMatrix(testMatrix(), Scale, 1);
+  std::vector<dbt::RunResult> Parallel =
+      reporting::runMatrix(testMatrix(), Scale, 4);
+  expectBitIdentical(Serial, Parallel);
+}
+
+TEST(RunMatrixTest, CheckedVariantMatchesUnchecked) {
+  workloads::ScaleConfig Scale = smallScale();
+  std::vector<dbt::RunResult> A =
+      reporting::runMatrix(testMatrix(), Scale, 2);
+  std::vector<dbt::RunResult> B =
+      reporting::runPolicyMatrixChecked(testMatrix(), Scale, 2);
+  expectBitIdentical(A, B);
+}
+
+TEST(RunMatrixTest, CustomRunCellsExecuteOnWorkers) {
+  // Cells carrying their own Run closure (the ablation benches) must go
+  // through the same deterministic slotting as spec-driven cells.
+  const workloads::BenchmarkInfo *Info = workloads::findBenchmark("470.lbm");
+  ASSERT_NE(Info, nullptr);
+  workloads::ScaleConfig Scale = smallScale();
+  std::vector<reporting::MatrixCell> Cells;
+  for (int I = 0; I != 6; ++I)
+    Cells.push_back({.Info = Info,
+                     .Label = "lbm custom " + std::to_string(I),
+                     .Run = [Info, Scale] {
+                       return reporting::runPolicy(
+                           *Info,
+                           {mda::MechanismKind::Dpeh, 50, false, 0, false},
+                           Scale);
+                     }});
+  std::vector<dbt::RunResult> Serial = reporting::runMatrix(Cells, Scale, 1);
+  std::vector<dbt::RunResult> Parallel =
+      reporting::runMatrix(Cells, Scale, 4);
+  expectBitIdentical(Serial, Parallel);
+  for (size_t I = 1; I != Serial.size(); ++I)
+    EXPECT_EQ(Serial[I].Cycles, Serial[0].Cycles); // identical cells agree
+}
