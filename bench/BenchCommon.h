@@ -38,10 +38,14 @@ struct Options {
   /// Per-run memory-reference target; 0 = default (MDABT_REFS or the
   /// standard 1.5M).
   uint64_t Refs = 0;
+  /// Enable the static alignment analysis (EngineConfig::Analysis) for
+  /// every engine run the bench performs.
+  bool Analysis = false;
 };
 
-/// Parse the shared flags (--jobs N, --seed S, --refs R; both
-/// "--flag N" and "--flag=N" spellings).  Recognized flags are removed
+/// Parse the shared flags (--jobs N, --seed S, --refs R, --analysis;
+/// value flags accept both "--flag N" and "--flag=N").  Recognized
+/// flags are removed
 /// from argv so binaries with their own argument consumers
 /// (micro_components hands the remainder to google-benchmark) can layer
 /// on top.  Unknown arguments are left in place.  Exits with a usage
@@ -50,7 +54,7 @@ inline Options parseArgs(int &Argc, char **Argv) {
   Options Opt;
   auto Fail = [&](const char *Flag) {
     std::fprintf(stderr,
-                 "usage: %s [--jobs N] [--seed S] [--refs R]\n"
+                 "usage: %s [--jobs N] [--seed S] [--refs R] [--analysis]\n"
                  "error: bad value for %s\n",
                  Argv[0], Flag);
     std::exit(2);
@@ -87,6 +91,8 @@ inline Options parseArgs(int &Argc, char **Argv) {
       if (V <= 10000)
         Fail("--refs");
       Opt.Refs = static_cast<uint64_t>(V);
+    } else if (std::strcmp(Argv[I], "--analysis") == 0) {
+      Opt.Analysis = true;
     } else {
       Argv[Out++] = Argv[I];
     }

@@ -50,7 +50,7 @@ struct PolicyTally {
   uint64_t Injected = 0;
   uint64_t WatchdogTrips = 0;
   uint64_t InterpPins = 0;
-  uint64_t ByError[6] = {0, 0, 0, 0, 0, 0};
+  uint64_t ByError[dbt::NumRunErrors] = {};
 };
 
 } // namespace
@@ -106,7 +106,12 @@ int main(int argc, char **argv) {
   parallelFor(Opt.Jobs, BaseRuns.size(), [&](size_t I) {
     size_t P = I / NumCases;
     size_t C = I % NumCases;
-    BaseRuns[I] = reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale);
+    // Fault-free baselines run with the verifier too: a verifier that
+    // flags clean runs would poison the whole soak.
+    dbt::EngineConfig BaseConfig;
+    BaseConfig.Verify = true;
+    BaseRuns[I] =
+        reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, BaseConfig);
   });
   Baseline Base[NumProgs];
   for (size_t P = 0; P != NumProgs; ++P) {
@@ -144,6 +149,10 @@ int main(int argc, char **argv) {
     // MonitorStepLimit instead of hanging the soak.
     Config.MaxMonitorSteps = 500'000;
     Config.Chaos = &Plan;
+    // The code-cache verifier runs on every campaign: injected faults
+    // that leave the cache structurally malformed must be caught as a
+    // typed VerifyFailed abort, never as silent corruption.
+    Config.Verify = true;
     // Rotate through the cache configurations that stress the flush and
     // supersede paths.
     switch (I % 4) {
@@ -226,7 +235,7 @@ int main(int argc, char **argv) {
   printTable(T, "chaos_soak");
 
   TablePrinter E({"RunError", "Count"});
-  for (size_t K = 0; K != 6; ++K) {
+  for (size_t K = 0; K != dbt::NumRunErrors; ++K) {
     uint64_t N = 0;
     for (size_t C = 0; C != NumCases; ++C)
       N += Tally[C].ByError[K];

@@ -42,10 +42,15 @@ int main(int argc, char **argv) {
 
   std::vector<const workloads::BenchmarkInfo *> Benchmarks =
       workloads::selectedBenchmarks();
+  dbt::EngineConfig Config;
+  Config.Analysis = Opt.Analysis;
+  if (Opt.Analysis)
+    std::printf("(static alignment analysis enabled for every run)\n\n");
   std::vector<reporting::MatrixCell> Cells;
   for (const workloads::BenchmarkInfo *Info : Benchmarks)
     for (int C = 0; C != NumCols; ++C)
-      Cells.push_back({.Info = Info, .Spec = Columns[C].Spec});
+      Cells.push_back(
+          {.Info = Info, .Spec = Columns[C].Spec, .Config = Config});
   std::vector<dbt::RunResult> Results =
       reporting::runPolicyMatrixChecked(Cells, Scale, Opt.Jobs);
 

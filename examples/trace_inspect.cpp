@@ -23,6 +23,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AlignmentAnalysis.h"
+#include "analysis/HostVerifier.h"
 #include "mda/PolicyFactory.h"
 #include "obs/TraceSink.h"
 #include "reporting/Experiment.h"
@@ -62,11 +64,15 @@ std::string runDemo() {
   Scale.TotalRefs = 400000;
   dbt::EngineConfig Config;
   Config.Trace = &Sink;
+  // Exercise the analysis and verifier event kinds in the demo trace.
+  Config.Analysis = true;
+  Config.Verify = true;
   dbt::RunResult R =
       reporting::runPolicyChecked(*Info, Spec, Scale, Config);
   Sink.flush();
   reporting::writeMetricsJson(R, "trace_demo.metrics.json");
-  std::printf("demo: %s under Exception Handling — %llu events -> %s, "
+  std::printf("demo: %s under Exception Handling (analysis + verifier "
+              "on) — %llu events -> %s, "
               "metrics -> trace_demo.metrics.json\n\n",
               Name, static_cast<unsigned long long>(Sink.written()),
               Path.c_str());
@@ -114,6 +120,25 @@ std::string payloadText(const obs::TraceEvent &E) {
   case K::LadderRung:
     return format("rung=%llu trips=%llu",
                   static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::AnalysisVerdict:
+    return format("verdict=%s size=%llu store=%llu",
+                  analysis::alignVerdictName(
+                      static_cast<analysis::AlignVerdict>(E.A)),
+                  static_cast<unsigned long long>(E.B & 0xff),
+                  static_cast<unsigned long long>(E.B >> 8 & 1));
+  case K::AnalysisSummary:
+    return format("aligned=%llu mis=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::VerifyPass:
+    return format("words=%llu regions=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::VerifyFail:
+    return format("issue=%s aux=%llu",
+                  analysis::verifyIssueKindName(
+                      static_cast<analysis::VerifyIssueKind>(E.A)),
                   static_cast<unsigned long long>(E.B));
   default:
     return format("a=%llu b=%llu", static_cast<unsigned long long>(E.A),

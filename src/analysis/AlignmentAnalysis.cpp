@@ -1,0 +1,631 @@
+//===- analysis/AlignmentAnalysis.cpp - Static alignment inference --------===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AlignmentAnalysis.h"
+
+#include "guest/Encoding.h"
+#include "guest/GuestISA.h"
+
+#include <array>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace mdabt {
+namespace analysis {
+
+using guest::GuestInst;
+using guest::Opcode;
+
+//===----------------------------------------------------------------------===//
+// Lattice
+//===----------------------------------------------------------------------===//
+
+AbsVal join(const AbsVal &A, const AbsVal &B) {
+  if (A.K == AbsVal::Kind::Bottom)
+    return B;
+  if (B.K == AbsVal::Kind::Bottom)
+    return A;
+  if (A.K == AbsVal::Kind::Top || B.K == AbsVal::Kind::Top)
+    return AbsVal::top();
+  if (A.K == AbsVal::Kind::Exact && B.K == AbsVal::Kind::Exact &&
+      A.Value == B.Value)
+    return A;
+  // Largest power-of-two modulus both sides are known under and agree
+  // on.  Powers of two divide each other, so agreement mod 8 implies
+  // agreement mod 4 and 2 — scan from the strongest claim down.
+  for (uint32_t M = 8; M >= 2; M /= 2)
+    if (A.knownMod() >= M && B.knownMod() >= M && A.residue(M) == B.residue(M))
+      return AbsVal::congruent(M, A.residue(M));
+  return AbsVal::top();
+}
+
+static bool anyBottom(const AbsVal &A, const AbsVal &B) {
+  return A.K == AbsVal::Kind::Bottom || B.K == AbsVal::Kind::Bottom;
+}
+static bool bothExact(const AbsVal &A, const AbsVal &B) {
+  return A.K == AbsVal::Kind::Exact && B.K == AbsVal::Kind::Exact;
+}
+static uint32_t minMod(const AbsVal &A, const AbsVal &B) {
+  return std::min(A.knownMod(), B.knownMod());
+}
+static unsigned log2Of(uint32_t M) { // M in {1,2,4,8}
+  return M >= 8 ? 3 : M >= 4 ? 2 : M >= 2 ? 1 : 0;
+}
+static unsigned trailingZeros32(uint32_t V) {
+  assert(V != 0);
+  unsigned N = 0;
+  while (!(V & 1)) {
+    V >>= 1;
+    ++N;
+  }
+  return N;
+}
+
+AbsVal absAdd(const AbsVal &A, const AbsVal &B) {
+  if (anyBottom(A, B))
+    return AbsVal::bottom();
+  if (bothExact(A, B))
+    return AbsVal::exact(A.Value + B.Value);
+  uint32_t M = minMod(A, B);
+  if (M < 2)
+    return AbsVal::top();
+  // 2^32 is a multiple of every modulus here, so 32-bit wraparound
+  // preserves the congruence.
+  return AbsVal::congruent(M, (A.residue(M) + B.residue(M)) % M);
+}
+
+AbsVal absSub(const AbsVal &A, const AbsVal &B) {
+  if (anyBottom(A, B))
+    return AbsVal::bottom();
+  if (bothExact(A, B))
+    return AbsVal::exact(A.Value - B.Value);
+  uint32_t M = minMod(A, B);
+  if (M < 2)
+    return AbsVal::top();
+  return AbsVal::congruent(M, (A.residue(M) + M - B.residue(M)) % M);
+}
+
+/// x known mod m times an exact constant V: x*V = (r + k*m)*V, so the
+/// product is known mod m * 2^tz(V) (clamped to 8).  Top counts as
+/// "known mod 1": even then the product is 0 mod 2^tz(V).
+static AbsVal mulByExact(const AbsVal &A, uint32_t V) {
+  if (V == 0)
+    return AbsVal::exact(0);
+  uint32_t M = std::max<uint32_t>(A.knownMod(), 1);
+  uint32_t MM = std::min<uint32_t>(8, M << std::min(trailingZeros32(V), 3u));
+  if (MM < 2)
+    return AbsVal::top();
+  uint32_t R = M >= 2 ? A.residue(M) : 0;
+  return AbsVal::congruent(MM, (R * V) % MM);
+}
+
+AbsVal absMul(const AbsVal &A, const AbsVal &B) {
+  if (anyBottom(A, B))
+    return AbsVal::bottom();
+  if (bothExact(A, B))
+    return AbsVal::exact(A.Value * B.Value);
+  if (A.K == AbsVal::Kind::Exact)
+    return mulByExact(B, A.Value);
+  if (B.K == AbsVal::Kind::Exact)
+    return mulByExact(A, B.Value);
+  uint32_t M = minMod(A, B);
+  if (M < 2)
+    return AbsVal::top();
+  return AbsVal::congruent(M, (A.residue(M) * B.residue(M)) % M);
+}
+
+/// Low bits an AND with this operand forces to zero: if x = r mod m and
+/// r's low z bits are zero (z capped at log2(m)), then x & y = 0 mod 2^z
+/// regardless of y.
+static unsigned andZeroBits(const AbsVal &A) {
+  uint32_t M = A.knownMod();
+  if (M < 2)
+    return 0;
+  uint32_t R = A.residue(M);
+  if (R == 0)
+    return log2Of(M);
+  return std::min(trailingZeros32(R), log2Of(M));
+}
+
+AbsVal absAnd(const AbsVal &A, const AbsVal &B) {
+  if (anyBottom(A, B))
+    return AbsVal::bottom();
+  if (bothExact(A, B))
+    return AbsVal::exact(A.Value & B.Value);
+  AbsVal Best = AbsVal::top();
+  uint32_t M = minMod(A, B);
+  if (M >= 2)
+    Best = AbsVal::congruent(M, (A.residue(M) & B.residue(M)) % M);
+  unsigned Z = std::max(andZeroBits(A), andZeroBits(B));
+  if (Z > 0 && (1u << Z) > Best.knownMod())
+    Best = AbsVal::congruent(1u << Z, 0);
+  return Best;
+}
+
+AbsVal absOr(const AbsVal &A, const AbsVal &B) {
+  if (anyBottom(A, B))
+    return AbsVal::bottom();
+  if (bothExact(A, B))
+    return AbsVal::exact(A.Value | B.Value);
+  uint32_t M = minMod(A, B);
+  if (M < 2)
+    return AbsVal::top();
+  return AbsVal::congruent(M, (A.residue(M) | B.residue(M)) % M);
+}
+
+AbsVal absXor(const AbsVal &A, const AbsVal &B) {
+  if (anyBottom(A, B))
+    return AbsVal::bottom();
+  if (bothExact(A, B))
+    return AbsVal::exact(A.Value ^ B.Value);
+  uint32_t M = minMod(A, B);
+  if (M < 2)
+    return AbsVal::top();
+  return AbsVal::congruent(M, (A.residue(M) ^ B.residue(M)) % M);
+}
+
+AbsVal absShl(const AbsVal &A, const AbsVal &Sh) {
+  if (anyBottom(A, Sh))
+    return AbsVal::bottom();
+  if (A.K == AbsVal::Kind::Exact && A.Value == 0)
+    return AbsVal::exact(0);
+  if (Sh.K != AbsVal::Kind::Exact)
+    return AbsVal::top();
+  unsigned S = Sh.Value & 31;
+  if (A.K == AbsVal::Kind::Exact)
+    return AbsVal::exact(A.Value << S);
+  if (S == 0)
+    return A;
+  uint32_t M = A.knownMod();
+  if (M >= 2) {
+    uint32_t MM = std::min<uint32_t>(8, M << std::min(S, 3u));
+    return AbsVal::congruent(MM, (A.residue(M) << S) % MM);
+  }
+  // Even a Top value shifted left by S has S low zero bits.
+  return AbsVal::congruent(1u << std::min(S, 3u), 0);
+}
+
+AbsVal absShr(const AbsVal &A, const AbsVal &Sh) {
+  if (anyBottom(A, Sh))
+    return AbsVal::bottom();
+  if (bothExact(A, Sh))
+    return AbsVal::exact(A.Value >> (Sh.Value & 31));
+  // Right shifts pull unknown high bits into the alignment-relevant low
+  // bits; no congruence survives in general.
+  return AbsVal::top();
+}
+
+AbsVal absSar(const AbsVal &A, const AbsVal &Sh) {
+  if (anyBottom(A, Sh))
+    return AbsVal::bottom();
+  if (bothExact(A, Sh))
+    return AbsVal::exact(static_cast<uint32_t>(
+        static_cast<int32_t>(A.Value) >> (Sh.Value & 31)));
+  return AbsVal::top();
+}
+
+//===----------------------------------------------------------------------===//
+// Verdicts
+//===----------------------------------------------------------------------===//
+
+const char *alignVerdictName(AlignVerdict V) {
+  switch (V) {
+  case AlignVerdict::Unknown:
+    return "unknown";
+  case AlignVerdict::Aligned:
+    return "aligned";
+  case AlignVerdict::Misaligned:
+    return "misaligned";
+  }
+  return "?";
+}
+
+AlignVerdict verdictOf(const AbsVal &Addr, unsigned Size) {
+  if (Size <= 1)
+    return AlignVerdict::Unknown;
+  switch (Addr.K) {
+  case AbsVal::Kind::Bottom:
+  case AbsVal::Kind::Top:
+    return AlignVerdict::Unknown;
+  case AbsVal::Kind::Exact:
+    return Addr.Value % Size == 0 ? AlignVerdict::Aligned
+                                  : AlignVerdict::Misaligned;
+  case AbsVal::Kind::Congruent:
+    if (Addr.Mod >= Size)
+      return Addr.Res % Size == 0 ? AlignVerdict::Aligned
+                                  : AlignVerdict::Misaligned;
+    // Mod < Size and Mod | Size: a nonzero residue mod Mod already
+    // breaks alignment mod Size; a zero residue decides nothing.
+    if (Addr.Res != 0)
+      return AlignVerdict::Misaligned;
+    return AlignVerdict::Unknown;
+  }
+  return AlignVerdict::Unknown;
+}
+
+static bool sameInst(const GuestInst &A, const GuestInst &B) {
+  return A.Op == B.Op && A.Reg1 == B.Reg1 && A.Reg2 == B.Reg2 &&
+         A.HasIndex == B.HasIndex && A.IndexReg == B.IndexReg &&
+         A.Scale == B.Scale && A.Disp == B.Disp;
+}
+
+AlignVerdict AnalysisResult::verdictFor(uint32_t Pc,
+                                        const guest::GuestInst &I) const {
+  if (Poisoned)
+    return AlignVerdict::Unknown;
+  auto It = Sites.find(Pc);
+  if (It == Sites.end())
+    return AlignVerdict::Unknown;
+  if (!sameInst(It->second.Inst, I))
+    return AlignVerdict::Unknown;
+  return It->second.Verdict;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program dataflow
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using State = std::array<AbsVal, guest::NumGPR>;
+
+/// Hard cap on distinct block nodes before the analysis gives up;
+/// far above any workload or fuzz corpus, it only guards against
+/// decode-garbage explosions.
+constexpr size_t MaxNodes = 1u << 16;
+/// Same straight-line bound the engine's block discovery uses.
+constexpr size_t MaxBlockInsts = 4096;
+
+struct Analyzer {
+  const guest::GuestMemory &Mem;
+  AnalysisResult &Result;
+
+  std::map<uint32_t, State> In;
+  std::set<uint32_t> OnWorklist;
+  std::deque<uint32_t> Worklist;
+  /// PCs following every Call seen so far — Ret flows join into all of
+  /// them (no call-stack modeling; sound, loses only cross-call
+  /// precision).
+  std::set<uint32_t> ReturnSites;
+  State RetOut; // all-Bottom until the first Ret is processed
+  bool RetOutLive = false;
+
+  Analyzer(const guest::GuestMemory &M, AnalysisResult &R) : Mem(M), Result(R) {
+    for (auto &V : RetOut)
+      V = AbsVal::bottom();
+  }
+
+  void poison() { Result.Poisoned = true; }
+
+  static State bottomState() {
+    State S;
+    for (auto &V : S)
+      V = AbsVal::bottom();
+    return S;
+  }
+
+  static State joinState(const State &A, const State &B, bool &Changed) {
+    State S;
+    for (unsigned R = 0; R < guest::NumGPR; ++R) {
+      S[R] = join(A[R], B[R]);
+      if (S[R] != A[R])
+        Changed = true;
+    }
+    return S;
+  }
+
+  void push(uint32_t Pc) {
+    if (OnWorklist.insert(Pc).second)
+      Worklist.push_back(Pc);
+  }
+
+  /// Join \p S into the in-state of the block at \p Pc, queueing it if
+  /// anything changed.
+  void propagate(uint32_t Pc, const State &S) {
+    auto It = In.find(Pc);
+    if (It == In.end()) {
+      if (In.size() >= MaxNodes) {
+        poison();
+        return;
+      }
+      In.emplace(Pc, S);
+      push(Pc);
+      return;
+    }
+    bool Changed = false;
+    State Joined = joinState(It->second, S, Changed);
+    if (Changed) {
+      It->second = Joined;
+      push(Pc);
+    }
+  }
+
+  void registerReturnSite(uint32_t Pc) {
+    if (!ReturnSites.insert(Pc).second)
+      return;
+    if (RetOutLive)
+      propagate(Pc, RetOut);
+  }
+
+  void flowIntoRetOut(const State &S) {
+    bool Changed = !RetOutLive;
+    RetOut = joinState(RetOut, S, Changed);
+    RetOutLive = true;
+    if (Changed)
+      for (uint32_t Site : ReturnSites)
+        propagate(Site, RetOut);
+  }
+
+  AbsVal addressOf(const State &S, const GuestInst &I) const {
+    AbsVal A = absAdd(S[I.Reg2], AbsVal::exact(static_cast<uint32_t>(I.Disp)));
+    if (I.HasIndex)
+      A = absAdd(A, absShl(S[I.IndexReg], AbsVal::exact(I.Scale)));
+    return A;
+  }
+
+  /// Apply one instruction to \p S.  When \p Record is set, memory
+  /// sites join their abstract address into Result.Sites.
+  void transfer(uint32_t Pc, const GuestInst &I, State &S, bool Record) {
+    auto RecordSite = [&](const AbsVal &Addr, unsigned Size, bool IsStore) {
+      if (!Record || Size < 2)
+        return;
+      auto &Site = Result.Sites[Pc];
+      Site.Inst = I;
+      Site.Size = Size;
+      Site.IsStore = IsStore;
+      Site.Addr = join(Site.Addr, Addr);
+    };
+
+    switch (I.Op) {
+    case Opcode::Ldb:
+    case Opcode::Ldw:
+    case Opcode::Ldl:
+      RecordSite(addressOf(S, I), guest::accessSize(I.Op), false);
+      // No memory modeling: a loaded value is unconstrained (stores to
+      // statically unknown addresses could have written anything).
+      S[I.Reg1] = AbsVal::top();
+      break;
+    case Opcode::Ldq:
+      RecordSite(addressOf(S, I), 8, false);
+      break; // fills a Q register; GPR state unchanged
+    case Opcode::Stb:
+    case Opcode::Stw:
+    case Opcode::Stl:
+      RecordSite(addressOf(S, I), guest::accessSize(I.Op), true);
+      break;
+    case Opcode::Stq:
+      RecordSite(addressOf(S, I), 8, true);
+      break;
+    case Opcode::Lea:
+      S[I.Reg1] = addressOf(S, I);
+      break;
+
+    case Opcode::MovRR:
+      S[I.Reg1] = S[I.Reg2];
+      break;
+    case Opcode::Add:
+      S[I.Reg1] = absAdd(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Sub:
+      S[I.Reg1] = absSub(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::And:
+      S[I.Reg1] = absAnd(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Or:
+      S[I.Reg1] = absOr(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Xor:
+      S[I.Reg1] = absXor(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Shl:
+      S[I.Reg1] = absShl(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Shr:
+      S[I.Reg1] = absShr(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Sar:
+      S[I.Reg1] = absSar(S[I.Reg1], S[I.Reg2]);
+      break;
+    case Opcode::Mul:
+      S[I.Reg1] = absMul(S[I.Reg1], S[I.Reg2]);
+      break;
+
+    case Opcode::MovRI:
+      S[I.Reg1] = AbsVal::exact(static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::AddI:
+      S[I.Reg1] =
+          absAdd(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::SubI:
+      S[I.Reg1] =
+          absSub(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::AndI:
+      S[I.Reg1] =
+          absAnd(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::OrI:
+      S[I.Reg1] =
+          absOr(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::XorI:
+      S[I.Reg1] =
+          absXor(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::ShlI:
+      S[I.Reg1] =
+          absShl(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::ShrI:
+      S[I.Reg1] =
+          absShr(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::SarI:
+      S[I.Reg1] =
+          absSar(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+    case Opcode::MulI:
+      S[I.Reg1] =
+          absMul(S[I.Reg1], AbsVal::exact(static_cast<uint32_t>(I.Imm)));
+      break;
+
+    case Opcode::QToG:
+      S[I.Reg1] = AbsVal::top();
+      break;
+
+    // Flag producers, Q-register ops, checksum folds: no GPR effect.
+    case Opcode::Cmp:
+    case Opcode::CmpI:
+    case Opcode::QMovRR:
+    case Opcode::QMovI:
+    case Opcode::QAdd:
+    case Opcode::QAddI:
+    case Opcode::QXor:
+    case Opcode::GToQ:
+    case Opcode::Chk:
+    case Opcode::QChk:
+    case Opcode::Nop:
+      break;
+
+    // Terminators are handled by the block walker.
+    case Opcode::Halt:
+    case Opcode::Jmp:
+    case Opcode::Jcc:
+    case Opcode::Call:
+    case Opcode::Ret:
+    case Opcode::JmpR:
+      break;
+    }
+  }
+
+  /// Walk one block from its in-state; \p Record controls site
+  /// recording (off during fixpoint iteration, on in the final pass).
+  /// Returns false if the walk poisoned the analysis.
+  bool walkBlock(uint32_t StartPc, State S, bool Record) {
+    uint32_t Pc = StartPc;
+    for (size_t N = 0; N < MaxBlockInsts; ++N) {
+      GuestInst I;
+      if (!guest::decode(Mem.data(), Mem.size(), Pc, I)) {
+        poison();
+        return false;
+      }
+      transfer(Pc, I, S, Record);
+
+      if (!guest::isBlockTerminator(I.Op)) {
+        Pc = I.nextPc(Pc);
+        continue;
+      }
+
+      if (Record)
+        return true; // final pass only collects sites
+      switch (I.Op) {
+      case Opcode::Halt:
+        return true;
+      case Opcode::Jmp:
+        propagate(I.branchTarget(Pc), S);
+        return true;
+      case Opcode::Jcc:
+        // Flags are not modeled: both successors are feasible.
+        propagate(I.branchTarget(Pc), S);
+        propagate(I.nextPc(Pc), S);
+        return true;
+      case Opcode::Call: {
+        // Matches the interpreter: SP -= 4, then push the return PC.
+        S[guest::RegSP] = absSub(S[guest::RegSP], AbsVal::exact(4));
+        registerReturnSite(I.nextPc(Pc));
+        propagate(I.branchTarget(Pc), S);
+        return true;
+      }
+      case Opcode::Ret:
+        S[guest::RegSP] = absAdd(S[guest::RegSP], AbsVal::exact(4));
+        flowIntoRetOut(S);
+        return true;
+      case Opcode::JmpR:
+        if (S[I.Reg1].K == AbsVal::Kind::Exact) {
+          propagate(S[I.Reg1].Value, S);
+          return true;
+        }
+        // An indirect jump to an unknown target could reach any code
+        // with any state; nothing short of poisoning stays sound.
+        poison();
+        return false;
+      default:
+        return true;
+      }
+    }
+    poison(); // runaway straight-line region
+    return false;
+  }
+
+  void run(uint32_t Entry, uint32_t StackTop) {
+    State Init;
+    for (auto &V : Init)
+      V = AbsVal::exact(0);
+    Init[guest::RegSP] = AbsVal::exact(StackTop);
+    propagate(Entry, Init);
+
+    while (!Worklist.empty() && !Result.Poisoned) {
+      uint32_t Pc = Worklist.front();
+      Worklist.pop_front();
+      OnWorklist.erase(Pc);
+      if (!walkBlock(Pc, In.at(Pc), /*Record=*/false))
+        return;
+    }
+    if (Result.Poisoned)
+      return;
+
+    Result.Blocks = In.size();
+    for (const auto &[Pc, S] : In)
+      if (!walkBlock(Pc, S, /*Record=*/true))
+        return;
+
+    for (auto &[Pc, Site] : Result.Sites) {
+      (void)Pc;
+      Site.Verdict = verdictOf(Site.Addr, Site.Size);
+      switch (Site.Verdict) {
+      case AlignVerdict::Aligned:
+        ++Result.NumAligned;
+        break;
+      case AlignVerdict::Misaligned:
+        ++Result.NumMisaligned;
+        break;
+      case AlignVerdict::Unknown:
+        ++Result.NumUnknown;
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+AnalysisResult analyzeAlignment(const guest::GuestMemory &Mem, uint32_t Entry,
+                                uint32_t StackTop) {
+  AnalysisResult Result;
+  Analyzer A(Mem, Result);
+  A.run(Entry, StackTop);
+  if (Result.Poisoned) {
+    // A poisoned run proves nothing; drop any partial site data so the
+    // counts and verdictFor() agree.
+    Result.Sites.clear();
+    Result.NumAligned = Result.NumMisaligned = Result.NumUnknown = 0;
+  }
+  return Result;
+}
+
+AnalysisResult analyzeAlignment(const guest::GuestImage &Image) {
+  guest::GuestMemory Mem(guest::layout::MemorySize);
+  Mem.loadImage(Image);
+  return analyzeAlignment(Mem, Image.Entry, Image.StackTop);
+}
+
+} // namespace analysis
+} // namespace mdabt

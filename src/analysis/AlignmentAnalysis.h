@@ -1,0 +1,167 @@
+//===- analysis/AlignmentAnalysis.h - Static alignment inference -*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program abstract interpretation that classifies every guest
+/// memory operation as provably-aligned, provably-misaligned, or
+/// unknown before the first instruction runs.
+///
+/// The domain is a congruence lattice per 32-bit register:
+///
+///   Bottom  <  Exact(v)  <  Congruent(8,r)  <  Congruent(4,r)
+///           <  Congruent(2,r)  <  Top
+///
+/// `Congruent(M, R)` means "the register's value is congruent to R
+/// modulo M" with M a power of two in {2,4,8} — exactly the precision
+/// needed to decide 2/4/8-byte access alignment.  Each per-register
+/// chain has height 5, so the fixpoint terminates without widening.
+///
+/// The analysis is *sound but incomplete*: an `Aligned` or `Misaligned`
+/// verdict is a proof (validated empirically by the differential
+/// property tests over random corpora), while `Unknown` just means the
+/// lattice could not decide and the runtime MDA machinery must handle
+/// the op as before.  Two program-level assumptions are required and
+/// shared with the translator (see DESIGN.md): the guest does not
+/// modify its own code, and no store clobbers a return-address slot on
+/// the stack.  Constructs the lattice cannot follow soundly — an
+/// indirect jump through a non-constant register, undecodable bytes, or
+/// a runaway straight-line region — *poison* the whole result, which
+/// then answers Unknown for every site.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_ANALYSIS_ALIGNMENTANALYSIS_H
+#define MDABT_ANALYSIS_ALIGNMENTANALYSIS_H
+
+#include "guest/GuestImage.h"
+#include "guest/GuestInst.h"
+#include "guest/GuestMemory.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace mdabt {
+namespace analysis {
+
+/// One point of the per-register congruence lattice.
+struct AbsVal {
+  enum class Kind : uint8_t {
+    Bottom,    ///< No value yet (unreached).
+    Exact,     ///< Known 32-bit constant.
+    Congruent, ///< Known residue `Res` modulo `Mod` (Mod in {2,4,8}).
+    Top,       ///< Anything.
+  };
+
+  Kind K = Kind::Bottom;
+  uint32_t Value = 0; ///< Exact only.
+  uint8_t Mod = 0;    ///< Congruent only: 2, 4 or 8.
+  uint8_t Res = 0;    ///< Congruent only: residue in [0, Mod).
+
+  static AbsVal bottom() { return {}; }
+  static AbsVal top() { return {Kind::Top, 0, 0, 0}; }
+  static AbsVal exact(uint32_t V) { return {Kind::Exact, V, 0, 0}; }
+  /// Congruence constructor; normalizes Mod <= 1 to Top and reduces the
+  /// residue.
+  static AbsVal congruent(uint32_t M, uint32_t R) {
+    if (M <= 1)
+      return top();
+    return {Kind::Congruent, 0, static_cast<uint8_t>(M),
+            static_cast<uint8_t>(R % M)};
+  }
+
+  bool operator==(const AbsVal &O) const {
+    return K == O.K && Value == O.Value && Mod == O.Mod && Res == O.Res;
+  }
+  bool operator!=(const AbsVal &O) const { return !(*this == O); }
+
+  /// Largest modulus this value is known under (8 for Exact, Mod for
+  /// Congruent, 0 otherwise).
+  uint32_t knownMod() const {
+    if (K == Kind::Exact)
+      return 8;
+    if (K == Kind::Congruent)
+      return Mod;
+    return 0;
+  }
+  /// Residue modulo \p M; only valid when M <= knownMod().
+  uint32_t residue(uint32_t M) const {
+    return (K == Kind::Exact ? Value : Res) % M;
+  }
+};
+
+/// Least upper bound of two lattice points.
+AbsVal join(const AbsVal &A, const AbsVal &B);
+
+// Transfer functions for the guest's 32-bit wrapping ALU.  All are
+// exact folds when both operands are Exact and degrade through the
+// congruence arithmetic otherwise.  Exposed individually so the unit
+// tests can probe lattice corners without building programs.
+AbsVal absAdd(const AbsVal &A, const AbsVal &B);
+AbsVal absSub(const AbsVal &A, const AbsVal &B);
+AbsVal absMul(const AbsVal &A, const AbsVal &B);
+AbsVal absAnd(const AbsVal &A, const AbsVal &B);
+AbsVal absOr(const AbsVal &A, const AbsVal &B);
+AbsVal absXor(const AbsVal &A, const AbsVal &B);
+AbsVal absShl(const AbsVal &A, const AbsVal &Sh);
+AbsVal absShr(const AbsVal &A, const AbsVal &Sh);
+AbsVal absSar(const AbsVal &A, const AbsVal &Sh);
+
+/// Classification of one memory site.
+enum class AlignVerdict : uint8_t {
+  Unknown,    ///< Lattice could not decide; runtime machinery applies.
+  Aligned,    ///< Every dynamic execution is size-aligned: elide MDA.
+  Misaligned, ///< Every dynamic execution misaligns: inline MDA upfront.
+};
+
+const char *alignVerdictName(AlignVerdict V);
+
+/// Verdict for an abstract address accessed with \p Size bytes.
+/// Size <= 1 accesses can never misalign and report Unknown.
+AlignVerdict verdictOf(const AbsVal &Addr, unsigned Size);
+
+/// Per-site analysis output: the joined abstract address over every
+/// path reaching the instruction, and the resulting verdict.
+struct SiteInfo {
+  guest::GuestInst Inst;
+  AbsVal Addr;
+  AlignVerdict Verdict = AlignVerdict::Unknown;
+  unsigned Size = 0;
+  bool IsStore = false;
+};
+
+/// Result of a whole-program analysis run.
+struct AnalysisResult {
+  /// Memory sites keyed by instruction PC (2/4/8-byte ops only).
+  std::unordered_map<uint32_t, SiteInfo> Sites;
+  /// Number of distinct basic blocks explored.
+  size_t Blocks = 0;
+  /// True when the program contained a construct the lattice cannot
+  /// follow soundly; every verdict is then Unknown.
+  bool Poisoned = false;
+  uint64_t NumAligned = 0;
+  uint64_t NumMisaligned = 0;
+  uint64_t NumUnknown = 0;
+
+  /// Verdict for the instruction at \p Pc, guarded by instruction
+  /// identity: if \p I is not byte-for-byte the instruction the
+  /// analysis saw there (self-modifying code would do this), the
+  /// answer degrades to Unknown rather than risking a stale proof.
+  AlignVerdict verdictFor(uint32_t Pc, const guest::GuestInst &I) const;
+};
+
+/// Run the analysis over guest memory starting at \p Entry with the
+/// architectural initial state (all GPRs zero, SP = \p StackTop).
+AnalysisResult analyzeAlignment(const guest::GuestMemory &Mem, uint32_t Entry,
+                                uint32_t StackTop);
+
+/// Convenience overload: load \p Image into a scratch memory and
+/// analyze it.
+AnalysisResult analyzeAlignment(const guest::GuestImage &Image);
+
+} // namespace analysis
+} // namespace mdabt
+
+#endif // MDABT_ANALYSIS_ALIGNMENTANALYSIS_H

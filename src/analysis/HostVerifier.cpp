@@ -1,0 +1,287 @@
+//===- analysis/HostVerifier.cpp - Code-cache structural lint -------------===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/HostVerifier.h"
+
+#include "host/HostAssembler.h"
+#include "host/HostEncoding.h"
+#include "host/HostISA.h"
+#include "host/MdaSequences.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+namespace mdabt {
+namespace analysis {
+
+using namespace host;
+
+const char *verifyIssueKindName(VerifyIssueKind K) {
+  switch (K) {
+  case VerifyIssueKind::PredecodeMismatch:
+    return "predecode-mismatch";
+  case VerifyIssueKind::Undecodable:
+    return "undecodable";
+  case VerifyIssueKind::BranchTargetBad:
+    return "branch-target-bad";
+  case VerifyIssueKind::PatchSiteBad:
+    return "patch-site-bad";
+  case VerifyIssueKind::ExitSiteBad:
+    return "exit-site-bad";
+  case VerifyIssueKind::MdaSequenceMalformed:
+    return "mda-sequence-malformed";
+  }
+  return "?";
+}
+
+std::string verifyIssueToString(const VerifyIssue &Issue) {
+  return mdabt::format("%s at word %u (aux %u)",
+                       verifyIssueKindName(Issue.Kind), Issue.Word,
+                       Issue.Aux);
+}
+
+namespace {
+
+struct Verifier {
+  const CodeSpace &Code;
+  const VerifierInput &Input;
+  VerifyReport Report;
+
+  /// All live half-open ranges: block bodies and stubs.
+  std::vector<VerifierRegion> LiveRegions;
+  std::unordered_set<uint32_t> LiveEntries;
+
+  Verifier(const CodeSpace &C, const VerifierInput &I) : Code(C), Input(I) {
+    for (const VerifierBlock &B : Input.Blocks) {
+      LiveRegions.push_back({B.EntryWord, B.EndWord});
+      LiveEntries.insert(B.EntryWord);
+      for (const VerifierRegion &S : B.Stubs)
+        LiveRegions.push_back(S);
+    }
+  }
+
+  void issue(VerifyIssueKind K, uint32_t Word, uint32_t Aux = 0) {
+    Report.Issues.push_back({K, Word, Aux});
+  }
+
+  bool inLiveRegion(uint32_t Word) const {
+    return std::any_of(LiveRegions.begin(), LiveRegions.end(),
+                       [&](const VerifierRegion &R) {
+                         return Word >= R.Begin && Word < R.End;
+                       });
+  }
+
+  /// Check 1: the predecoded mirror agrees with a fresh decode of every
+  /// raw word, and valid entries round-trip through the encoder.  Runs
+  /// over the whole arena, dead regions included — a stale mirror entry
+  /// anywhere means patch/clear bookkeeping went wrong.
+  void checkPredecode() {
+    for (uint32_t W = 0; W < Code.size(); ++W) {
+      ++Report.WordsChecked;
+      HostInst Fresh;
+      bool Valid = decodeHost(Code.word(W), Fresh);
+      const CodeSpace::DecodedWord &Mirror = Code.decodedWord(W);
+      if (Mirror.Valid != Valid) {
+        issue(VerifyIssueKind::PredecodeMismatch, W);
+        continue;
+      }
+      if (Valid && encodeHost(Mirror.Inst) != Code.word(W))
+        issue(VerifyIssueKind::PredecodeMismatch, W, Code.word(W));
+    }
+  }
+
+  /// Checks 2 + 3: every live word decodes and every branch in live
+  /// code lands inside a live region.
+  void checkRegions() {
+    for (const VerifierRegion &R : LiveRegions) {
+      ++Report.RegionsChecked;
+      for (uint32_t W = R.Begin; W < R.End; ++W) {
+        HostInst I;
+        if (!decodeHost(Code.word(W), I)) {
+          issue(VerifyIssueKind::Undecodable, W, Code.word(W));
+          continue;
+        }
+        if (!isBranchFormat(I.Op) || Input.ExemptWords.count(W))
+          continue;
+        int64_t Target = static_cast<int64_t>(W) + 1 + I.Disp;
+        if (Target < 0 || Target >= static_cast<int64_t>(Code.size()) ||
+            !inLiveRegion(static_cast<uint32_t>(Target))) {
+          issue(VerifyIssueKind::BranchTargetBad, W,
+                static_cast<uint32_t>(Target));
+        }
+      }
+    }
+  }
+
+  /// Check 4: patched fault sites.
+  void checkPatches() {
+    for (const VerifierBlock &B : Input.Blocks) {
+      for (const VerifierPatch &P : B.Patches) {
+        HostInst I;
+        if (!decodeHost(Code.word(P.Word), I)) {
+          issue(VerifyIssueKind::PatchSiteBad, P.Word);
+          continue;
+        }
+        if (P.Reverted) {
+          // An adaptive revert restored the original trapping op.
+          if (!accessesMemory(I.Op) || alignmentOf(I.Op) <= 1)
+            issue(VerifyIssueKind::PatchSiteBad, P.Word);
+          continue;
+        }
+        if (I.Op != HostOp::Br) {
+          issue(VerifyIssueKind::PatchSiteBad, P.Word);
+          continue;
+        }
+        uint32_t Target = P.Word + 1 + static_cast<uint32_t>(I.Disp);
+        bool IntoOwnStub =
+            std::any_of(B.Stubs.begin(), B.Stubs.end(),
+                        [&](const VerifierRegion &S) {
+                          return Target >= S.Begin && Target < S.End;
+                        });
+        if (!IntoOwnStub)
+          issue(VerifyIssueKind::PatchSiteBad, P.Word, Target);
+      }
+    }
+  }
+
+  /// Check 5: exit sites are `Srv Exit` or a chain branch to a live
+  /// translation entry.
+  void checkExits() {
+    for (const VerifierBlock &B : Input.Blocks) {
+      for (uint32_t W : B.ExitWords) {
+        if (Input.ExemptWords.count(W))
+          continue;
+        HostInst I;
+        if (!decodeHost(Code.word(W), I)) {
+          issue(VerifyIssueKind::ExitSiteBad, W);
+          continue;
+        }
+        if (I.Op == HostOp::Srv &&
+            I.Disp == static_cast<int32_t>(SrvFunc::Exit))
+          continue;
+        if (I.Op == HostOp::Br) {
+          uint32_t Target = W + 1 + static_cast<uint32_t>(I.Disp);
+          if (LiveEntries.count(Target))
+            continue;
+          issue(VerifyIssueKind::ExitSiteBad, W, Target);
+          continue;
+        }
+        issue(VerifyIssueKind::ExitSiteBad, W);
+      }
+    }
+  }
+
+  /// Check 6: every MDA sequence in live code is complete and
+  /// byte-exact.  A sequence start is unmistakable — `lda RegMdaT2`
+  /// followed by `ldq_u` occurs nowhere else in translator output (the
+  /// adaptive stub's alignment probe also begins `lda RegMdaT2` but is
+  /// followed by `and`).
+  void checkMdaSequences() {
+    for (const VerifierRegion &R : LiveRegions) {
+      for (uint32_t W = R.Begin; W < R.End; ++W) {
+        HostInst Lda;
+        if (!decodeHost(Code.word(W), Lda) || Lda.Op != HostOp::Lda ||
+            Lda.Ra != RegMdaT2)
+          continue;
+        HostInst Next;
+        if (W + 1 >= R.End || !decodeHost(Code.word(W + 1), Next) ||
+            Next.Op != HostOp::LdqU)
+          continue;
+        ++Report.MdaSequencesChecked;
+        if (!checkOneMdaSequence(R, W, Next))
+          issue(VerifyIssueKind::MdaSequenceMalformed, W);
+        // Skip past the sequence body so its own ldq_u/lda words are
+        // not re-probed (harmless, but noisy under corruption).
+        W += (Next.Ra == RegMdaT1 ? mdaStoreLength() : mdaLoadLength()) - 1;
+        W = std::min(W, R.End - 1);
+      }
+    }
+  }
+
+  bool checkOneMdaSequence(const VerifierRegion &R, uint32_t W,
+                           const HostInst &FirstLdqU) {
+    HostInst Lda;
+    decodeHost(Code.word(W), Lda);
+    uint8_t Rb = Lda.Rb;
+    int32_t Disp = Lda.Disp;
+
+    bool IsStore;
+    unsigned Len;
+    int32_t HighDisp;
+    uint8_t DataReg;
+    if (FirstLdqU.Ra == RegMdaT0) {
+      // Load shape: the second ldq_u carries Disp + Size - 1 and the
+      // final bis writes the destination.
+      IsStore = false;
+      Len = mdaLoadLength();
+      if (W + Len > R.End)
+        return false;
+      HostInst High, Last;
+      if (!decodeHost(Code.word(W + 2), High) || High.Op != HostOp::LdqU)
+        return false;
+      if (!decodeHost(Code.word(W + Len - 1), Last) ||
+          Last.Op != HostOp::Bis)
+        return false;
+      HighDisp = High.Disp;
+      DataReg = Last.Rc;
+    } else if (FirstLdqU.Ra == RegMdaT1) {
+      // Store shape: the first ldq_u already carries the high
+      // displacement; the first ins* carries the value register.
+      IsStore = true;
+      Len = mdaStoreLength();
+      if (W + Len > R.End)
+        return false;
+      HostInst Ins;
+      if (!decodeHost(Code.word(W + 3), Ins))
+        return false;
+      HighDisp = FirstLdqU.Disp;
+      DataReg = Ins.Ra;
+    } else {
+      return false;
+    }
+
+    int64_t Size = static_cast<int64_t>(HighDisp) - Disp + 1;
+    if (Size != 2 && Size != 4 && Size != 8)
+      return false;
+
+    // Re-emit the canonical sequence and require byte equality.
+    CodeSpace Scratch;
+    {
+      HostAssembler Asm(Scratch);
+      if (IsStore)
+        emitMdaStore(Asm, static_cast<unsigned>(Size), DataReg, Rb, Disp);
+      else
+        emitMdaLoad(Asm, static_cast<unsigned>(Size), DataReg, Rb, Disp);
+      Asm.finish();
+    }
+    if (Scratch.size() != Len)
+      return false;
+    for (uint32_t K = 0; K < Len; ++K)
+      if (Scratch.word(K) != Code.word(W + K))
+        return false;
+    return true;
+  }
+
+  VerifyReport run() {
+    checkPredecode();
+    checkRegions();
+    checkPatches();
+    checkExits();
+    checkMdaSequences();
+    return std::move(Report);
+  }
+};
+
+} // namespace
+
+VerifyReport verifyCodeSpace(const CodeSpace &Code,
+                             const VerifierInput &Input) {
+  Verifier V(Code, Input);
+  return V.run();
+}
+
+} // namespace analysis
+} // namespace mdabt

@@ -1,0 +1,118 @@
+//===- analysis/HostVerifier.h - Code-cache structural lint ----*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A structural verifier for the host code cache: an oracle that walks
+/// every installed translation (body + exception stubs) and checks the
+/// invariants the engine's patching machinery is supposed to preserve —
+/// so chaos-injected torn or dropped patches are caught *at the point
+/// of corruption* instead of only by downstream architectural
+/// divergence.
+///
+/// Checked invariants (see DESIGN.md for the rationale of each):
+///  1. predecode coherence: the CodeSpace's decoded mirror matches a
+///     fresh decode of every raw word in the arena, and valid entries
+///     round-trip through the encoder;
+///  2. every word inside a live region decodes;
+///  3. branch targets land on instruction boundaries inside live
+///     regions;
+///  4. patched fault sites are a branch into one of the owning
+///     translation's stubs — or, after an adaptive revert, a trapping-
+///     capable memory op again;
+///  5. exit sites are `Srv Exit` or (when chained) a branch to a live
+///     translation's entry;
+///  6. every MDA sequence in live code is a complete, byte-exact
+///     ldq_u/ext/ins/msk/stq_u shape (re-emitted and compared).
+///
+/// The verifier is read-only and engine-agnostic: the engine describes
+/// its bookkeeping through `VerifierInput` and gets a `VerifyReport`
+/// back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_ANALYSIS_HOSTVERIFIER_H
+#define MDABT_ANALYSIS_HOSTVERIFIER_H
+
+#include "host/CodeSpace.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mdabt {
+namespace analysis {
+
+/// What went wrong at one code-cache word.
+enum class VerifyIssueKind : uint8_t {
+  PredecodeMismatch, ///< Decoded mirror disagrees with the raw word.
+  Undecodable,       ///< Live-region word does not decode.
+  BranchTargetBad,   ///< Branch lands outside every live region.
+  PatchSiteBad,      ///< Patched site is not a branch to an own stub
+                     ///< (or, reverted, not a trapping memory op).
+  ExitSiteBad,       ///< Exit is neither `Srv Exit` nor a chain to a
+                     ///< live entry.
+  MdaSequenceMalformed, ///< Incomplete or corrupted MDA sequence.
+};
+
+const char *verifyIssueKindName(VerifyIssueKind K);
+
+struct VerifyIssue {
+  VerifyIssueKind Kind;
+  uint32_t Word = 0; ///< Code-cache word index of the issue.
+  uint32_t Aux = 0;  ///< Kind-specific detail (e.g. branch target).
+};
+
+/// Render an issue for diagnostics.
+std::string verifyIssueToString(const VerifyIssue &Issue);
+
+/// A fault site the engine has patched (or patched and later reverted).
+struct VerifierPatch {
+  uint32_t Word = 0;
+  bool Reverted = false;
+};
+
+/// Half-open word range of one exception stub.
+struct VerifierRegion {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+};
+
+/// One live translation as the engine knows it.
+struct VerifierBlock {
+  uint32_t EntryWord = 0;
+  uint32_t EndWord = 0; ///< One past the body's last word.
+  std::vector<VerifierRegion> Stubs;
+  std::vector<VerifierPatch> Patches;
+  std::vector<uint32_t> ExitWords;
+};
+
+/// The engine's view of the cache, handed to the verifier.
+struct VerifierInput {
+  std::vector<VerifierBlock> Blocks;
+  /// Words excused from the branch-target and exit checks: chain sites
+  /// whose unpatching failed under fault injection and which the engine
+  /// has quarantined (the owning target block is gone, so the stale
+  /// branch cannot satisfy liveness until the next flush).
+  std::unordered_set<uint32_t> ExemptWords;
+};
+
+struct VerifyReport {
+  std::vector<VerifyIssue> Issues;
+  uint64_t WordsChecked = 0;
+  uint64_t RegionsChecked = 0;
+  uint64_t MdaSequencesChecked = 0;
+  bool ok() const { return Issues.empty(); }
+};
+
+/// Run all checks over \p Code as described by \p Input.
+VerifyReport verifyCodeSpace(const host::CodeSpace &Code,
+                             const VerifierInput &Input);
+
+} // namespace analysis
+} // namespace mdabt
+
+#endif // MDABT_ANALYSIS_HOSTVERIFIER_H

@@ -6,6 +6,8 @@
 
 #include "dbt/Engine.h"
 
+#include "analysis/AlignmentAnalysis.h"
+#include "analysis/HostVerifier.h"
 #include "chaos/FaultInjector.h"
 #include "dbt/GuestBlock.h"
 #include "dbt/Translator.h"
@@ -15,6 +17,7 @@
 #include "host/HostMachine.h"
 #include "support/CacheModel.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -52,6 +55,8 @@ const char *mdabt::dbt::runErrorName(RunError E) {
     return "translation-failed";
   case RunError::CacheThrash:
     return "cache-thrash";
+  case RunError::VerifyFailed:
+    return "verify-failed";
   }
   return "unknown";
 }
@@ -76,6 +81,31 @@ public:
         HInterpInsts(&Reg.histogram("interp.block_insts")) {
     Mem.loadImage(Image);
     Cpu.reset(Image);
+    if (Config.Analysis) {
+      // Static alignment inference over this run's own image copy (one
+      // run = one isolated world, so --jobs fan-out stays bit-exact).
+      // Like static profiling, the pass is modeled as offline work and
+      // its cycles are not charged to the run.
+      Ana.emplace(
+          analysis::analyzeAlignment(Mem, Image.Entry, Image.StackTop));
+      if (Trace.enabled()) {
+        std::vector<uint32_t> Pcs;
+        Pcs.reserve(Ana->Sites.size());
+        for (const auto &Entry : Ana->Sites)
+          Pcs.push_back(Entry.first);
+        std::sort(Pcs.begin(), Pcs.end());
+        for (uint32_t Pc : Pcs) {
+          const analysis::SiteInfo &Site = Ana->Sites.at(Pc);
+          Trace.emit(obs::TraceEventKind::AnalysisVerdict, Pc, 0,
+                     static_cast<uint64_t>(Site.Verdict),
+                     Site.Size | (Site.IsStore ? 0x100u : 0u));
+        }
+        Trace.emit(obs::TraceEventKind::AnalysisSummary,
+                   static_cast<uint32_t>(Ana->Sites.size()),
+                   Ana->Poisoned ? 1 : 0, Ana->NumAligned,
+                   Ana->NumMisaligned);
+      }
+    }
     Interp.setObserver(&Profiler);
     Machine.setFaultHandler(
         [this](const FaultInfo &F) { return onFault(F); });
@@ -220,6 +250,20 @@ private:
       // Watchdog overrides (degradation rungs 1-2) win over the policy.
       if (ForceInline.count(Pc))
         return MemPlan::Inline;
+      // Static verdicts next: a proof beats any policy heuristic, and
+      // only Unknown sites fall through to the policy's machinery.
+      if (Ana) {
+        switch (Ana->verdictFor(Pc, I)) {
+        case analysis::AlignVerdict::Aligned:
+          ++PlanAlignedElides;
+          return MemPlan::Elide;
+        case analysis::AlignVerdict::Misaligned:
+          ++PlanInlineForced;
+          return MemPlan::Inline;
+        case analysis::AlignVerdict::Unknown:
+          break;
+        }
+      }
       return Policy.planMemoryOp(Pc, I);
     };
     Store.push_back(
@@ -241,8 +285,10 @@ private:
       InterpOnly.insert(GuestPc);
       ++OversizedPins;
       invalidate(T);
+      runVerifier();
       return nullptr;
     }
+    runVerifier();
     return T;
   }
 
@@ -253,8 +299,15 @@ private:
     HTrapBlock->record(Old->FaultCount);
     Trace.emit(obs::TraceEventKind::BlockInvalidated, 0, Old->GuestPc,
                Old->FaultCount, Old->Generation);
-    for (uint32_t W : Old->IncomingChains)
-      patchVerified(W, encodeHost(srvInst(SrvFunc::Exit)));
+    for (uint32_t W : Old->IncomingChains) {
+      if (!patchVerified(W, encodeHost(srvInst(SrvFunc::Exit)))) {
+        // The unchain did not stick (fault injection): a live block now
+        // holds a stale branch to this dead entry.  Quarantine the word
+        // for the verifier — it is a known, contained casualty until
+        // the next flush, not a fresh corruption.
+        StaleChainWords.insert(W);
+      }
+    }
     Old->IncomingChains.clear();
   }
 
@@ -293,6 +346,7 @@ private:
     Regions.clear();
     Store.clear();
     PatchedOriginals.clear();
+    StaleChainWords.clear();
     PendingFlush = false;
     ++Flushes;
     LastFlushStep = StepIndex;
@@ -300,6 +354,55 @@ private:
       Abort = RunError::CacheThrash;
     // Heat survives: hot blocks retranslate on their next dispatch,
     // exactly like a real cache flush.
+    runVerifier();
+  }
+
+  // -- code-cache verification ---------------------------------------------
+
+  /// Run the structural verifier (EngineConfig::Verify) over the
+  /// current cache.  Called after every mutation of installed code; a
+  /// violation aborts the run with VerifyFailed.  Read-only, so it is
+  /// safe even from fault-handler context.
+  void runVerifier() {
+    if (!Config.Verify || Abort != RunError::None)
+      return;
+    analysis::VerifierInput In;
+    std::unordered_map<const Translation *, size_t> Index;
+    for (Translation &T : Store) {
+      if (!T.Valid)
+        continue;
+      analysis::VerifierBlock B;
+      B.EntryWord = T.EntryWord;
+      B.EndWord = T.EndWord;
+      for (const ExitSite &X : T.Exits)
+        B.ExitWords.push_back(X.SrvWord);
+      for (uint32_t W : T.PatchedWords)
+        B.Patches.push_back({W, T.MemWordToGuestPc.count(W) != 0});
+      Index[&T] = In.Blocks.size();
+      In.Blocks.push_back(std::move(B));
+    }
+    for (const auto &[Entry, Region] : Regions) {
+      Translation *T = Region.second;
+      if (!T->Valid || Entry == T->EntryWord)
+        continue; // dead, or the body region itself
+      auto It = Index.find(T);
+      if (It != Index.end())
+        In.Blocks[It->second].Stubs.push_back({Entry, Region.first});
+    }
+    In.ExemptWords = StaleChainWords;
+    analysis::VerifyReport Report = analysis::verifyCodeSpace(Code, In);
+    VerifyWords += Report.WordsChecked;
+    if (Report.ok()) {
+      ++VerifyPasses;
+      Trace.emit(obs::TraceEventKind::VerifyPass, 0, 0,
+                 Report.WordsChecked, Report.RegionsChecked);
+      return;
+    }
+    VerifyIssues += Report.Issues.size();
+    for (const analysis::VerifyIssue &I : Report.Issues)
+      Trace.emit(obs::TraceEventKind::VerifyFail, 0, I.Word,
+                 static_cast<uint64_t>(I.Kind), I.Aux);
+    Abort = RunError::VerifyFailed;
   }
 
   // -- fault handling ------------------------------------------------------
@@ -395,6 +498,9 @@ private:
                F.HostPc, S.Entry);
     LastPatch = F;
     HaveLastPatch = true;
+    runVerifier();
+    if (Abort != RunError::None)
+      return FaultAction::Halt;
 
     if (D.Supersede)
       supersede(T);
@@ -509,6 +615,7 @@ private:
     PatchedOriginals.erase(It);
     MonitorCycles += Cost.ChainPatchCycles; // one store into the cache
     ++Reverts;
+    runVerifier();
   }
 
   // -- state sync ----------------------------------------------------------
@@ -560,6 +667,7 @@ private:
       ++Chains;
       Trace.emit(obs::TraceEventKind::BlockChained, X.TargetGuestPc,
                  Owner->GuestPc, X.SrvWord, Target->EntryWord);
+      runVerifier();
       return;
     }
   }
@@ -618,6 +726,15 @@ private:
   FaultInfo LastPatch;
   bool HaveLastPatch = false;
 
+  /// Static alignment analysis (EngineConfig::Analysis); empty when
+  /// disabled.
+  std::optional<analysis::AnalysisResult> Ana;
+
+  /// Chain-exit words whose unchain patch failed under fault injection:
+  /// quarantined from the verifier's liveness checks until the next
+  /// flush (see invalidate()).
+  std::unordered_set<uint32_t> StaleChainWords;
+
   /// Degradation-ladder state.
   std::unordered_set<uint32_t> ForceInline; ///< inst PCs forced Inline
   std::unordered_set<uint32_t> InterpOnly;  ///< block PCs never translated
@@ -665,6 +782,11 @@ private:
   uint64_t ChaosPatchTears = 0;
   uint64_t ChaosTranslateFails = 0;
   uint64_t ChaosFlushStorms = 0;
+  uint64_t PlanAlignedElides = 0;
+  uint64_t PlanInlineForced = 0;
+  uint64_t VerifyPasses = 0;
+  uint64_t VerifyWords = 0;
+  uint64_t VerifyIssues = 0;
   bool PendingFlush = false;
 };
 
@@ -763,6 +885,9 @@ RunResult Session::run() {
                  N, Heat[BlockPc]);
   }
 
+  // One final sweep over whatever the cache holds at end of run.
+  runVerifier();
+
   RunError Err = Abort;
   if (Err == RunError::None && (Guarded || !Cpu.Halted))
     Err = RunError::MonitorStepLimit;
@@ -833,6 +958,21 @@ RunResult Session::run() {
   Reg.addCounter("harden.translate_failures", TranslateFailures);
   Reg.addCounter("harden.flush_suppressed", FlushesSuppressed);
   Reg.addCounter("harden.stub_downgrades", StubDowngrades);
+  if (Ana) {
+    Reg.addCounter("analysis.blocks", Ana->Blocks);
+    Reg.addCounter("analysis.mem_sites", Ana->Sites.size());
+    Reg.addCounter("analysis.provably_aligned", Ana->NumAligned);
+    Reg.addCounter("analysis.provably_misaligned", Ana->NumMisaligned);
+    Reg.addCounter("analysis.unknown", Ana->NumUnknown);
+    Reg.addCounter("analysis.poisoned", Ana->Poisoned ? 1 : 0);
+    Reg.addCounter("analysis.plan_aligned_elides", PlanAlignedElides);
+    Reg.addCounter("analysis.plan_inline_forced", PlanInlineForced);
+  }
+  if (Config.Verify) {
+    Reg.addCounter("verify.passes", VerifyPasses);
+    Reg.addCounter("verify.words", VerifyWords);
+    Reg.addCounter("verify.issues", VerifyIssues);
+  }
   if (Injector) {
     Reg.addCounter("chaos.injected", Injector->injected());
     Reg.addCounter("chaos.lost_traps", ChaosLostTraps);

@@ -60,7 +60,13 @@ enum class RunError : uint8_t {
   /// Code-cache flushes exceeded the configured tolerance (flush
   /// thrash under CodeCacheLimitWords pressure).
   CacheThrash,
+  /// The host code-cache verifier (EngineConfig::Verify) found a
+  /// structural invariant violation: the cache holds malformed code.
+  VerifyFailed,
 };
+
+/// Number of RunError enumerators (for error-indexed tables).
+inline constexpr size_t NumRunErrors = 7;
 
 /// Stable human-readable name for a RunError.
 const char *runErrorName(RunError E);
@@ -123,6 +129,18 @@ struct EngineConfig {
   /// (translation, chaining, traps, patching, degradation, flushes)
   /// stamped with the run's monotonic virtual time in modeled cycles.
   obs::TraceSink *Trace = nullptr;
+  /// Run the static alignment analysis over the guest image before
+  /// execution and feed its verdicts into translation: provably-aligned
+  /// memory ops skip all MDA machinery (no trap exposure), provably-
+  /// misaligned ops get the MDA sequence inlined at first translation,
+  /// and only unknown ops flow through the policy as before.  Analysis
+  /// cycles are not charged to the run (modeled as offline, like static
+  /// profiling).
+  bool Analysis = false;
+  /// Run the host code-cache structural verifier after every mutation
+  /// of installed code (translate, patch, revert, chain, flush) and at
+  /// the end of the run.  A violation aborts with VerifyFailed.
+  bool Verify = false;
 };
 
 /// Everything an experiment wants to know about one run.

@@ -30,6 +30,13 @@ enum class MemPlan {
   Normal,       ///< single host memory op; traps if misaligned
   Inline,       ///< the MDA code sequence, inline
   MultiVersion, ///< alignment check selecting between both (Fig. 8)
+  /// Single host memory op with *no* trap exposure bookkeeping: the
+  /// static alignment analysis proved the access can never misalign, so
+  /// the engine does not register the word as a potential fault site
+  /// and no MDA machinery (stub, multi-version, retranslation) can ever
+  /// attach to it.  Only the engine's analysis wrapper produces this;
+  /// policies never see or return it.
+  Elide,
 };
 
 /// Block-level translation options (beyond the per-instruction plan).

@@ -197,9 +197,12 @@ Translation Translator::translate(const GuestBlock &Block,
                          ? hostQ(I.Reg1)
                          : hostGpr(I.Reg1);
       MemPlan P = planFor(Idx, Mode);
-      if (P == MemPlan::Normal) {
+      if (P == MemPlan::Normal || P == MemPlan::Elide) {
         uint32_t W = Asm.mem(hostMemOp(I.Op), Data, A.Disp, A.Base);
-        if (Size >= 2)
+        // An elided (provably-aligned) op is not registered as a fault
+        // site: it can never trap, so the fault path must never be able
+        // to resolve it.
+        if (Size >= 2 && P != MemPlan::Elide)
           T.MemWordToGuestPc[W] = Pc;
       } else if (P == MemPlan::Inline) {
         if (IsStore)

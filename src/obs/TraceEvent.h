@@ -52,7 +52,11 @@ namespace obs {
   X(CacheFlush, "cache.flush")                                               \
   X(PolicySiteMarked, "policy.site_marked")                                  \
   X(PolicyMultiVersion, "policy.multi_version")                              \
-  X(ChaosInjected, "chaos.injected")
+  X(ChaosInjected, "chaos.injected")                                         \
+  X(AnalysisVerdict, "analysis.verdict")                                     \
+  X(AnalysisSummary, "analysis.summary")                                     \
+  X(VerifyPass, "verify.pass")                                               \
+  X(VerifyFail, "verify.fail")
 
 /// Every event the observability layer can record.
 enum class TraceEventKind : uint8_t {

@@ -102,6 +102,16 @@ struct SectionPlan {
   uint32_t SlotAddr;
   /// Iteration-limit slot for gated sections (0 = not gated).
   uint32_t GateSlotAddr;
+  /// The value stored into the slot at build time.
+  uint32_t InitBase;
+  /// True when the base-pointer slot is never written at runtime, so
+  /// the section can materialize the base as an immediate instead of
+  /// loading the slot — making the group's alignment statically
+  /// manifest (a real compiler would constant-fold it the same way).
+  /// Late-onset groups keep the load: their slot bump at OnsetRound is
+  /// exactly what makes them invisible to profiling, and it keeps them
+  /// invisible to static analysis too.
+  bool ConstantBase;
   ProgramBuilder::Label Entry;
 };
 
@@ -230,7 +240,19 @@ GuestImage mdabt::workloads::buildProgram(const ProgramPlan &Plan,
         GateSlot = B.dataU32(G.OnsetRound == 0 ? G.ItersPerRound : 0);
       }
 
-      Sections.push_back({&G, Sites, Stride, Slot, GateSlot, B.newLabel()});
+      // The onset prologue bumps the base slot at runtime only for
+      // non-gated late-onset groups in the misaligning layout; every
+      // other section's slot holds InitBase forever and the base can be
+      // an immediate.  Ref-only groups must keep the load: their
+      // InitBase differs between the TRAIN and REF inputs while their
+      // code must be byte-identical across the two.
+      bool SlotRuntimeWritten = !Aligned && !G.GatedIters &&
+                                G.OnsetRound >= 1 &&
+                                G.OnsetRound < Plan.Rounds;
+      bool ConstantBase = !G.RefOnly && !SlotRuntimeWritten;
+
+      Sections.push_back({&G, Sites, Stride, Slot, GateSlot, InitBase,
+                          ConstantBase, B.newLabel()});
     }
   }
 
@@ -287,8 +309,12 @@ GuestImage mdabt::workloads::buildProgram(const ProgramPlan &Plan,
   for (const SectionPlan &S : Sections) {
     const SiteGroup &G = *S.Group;
     B.bind(S.Entry);
-    B.movri(RAddr, static_cast<int32_t>(S.SlotAddr));
-    B.ldl(RBase, mem(RAddr, 0));
+    if (S.ConstantBase) {
+      B.movri(RBase, static_cast<int32_t>(S.InitBase));
+    } else {
+      B.movri(RAddr, static_cast<int32_t>(S.SlotAddr));
+      B.ldl(RBase, mem(RAddr, 0));
+    }
     B.movri(RVal, static_cast<int32_t>(Rng.next() & 0x7fffffff));
     if (G.Size == 8)
       B.qmovi(QVal, static_cast<int32_t>(Rng.next() & 0x7fffffff));

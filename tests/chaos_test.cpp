@@ -18,8 +18,11 @@
 
 #include "TestUtil.h"
 
+#include "analysis/HostVerifier.h"
 #include "chaos/FaultInjector.h"
 #include "chaos/FaultPlan.h"
+#include "host/HostAssembler.h"
+#include "host/MdaSequences.h"
 #include "mda/PolicyFactory.h"
 #include "mda/Policies.h"
 
@@ -370,6 +373,145 @@ TEST(ChaosEngineTest, RandomizedCampaignsNeverWedgeOrCorrupt) {
           << "campaign " << Seed << " wedged";
     }
   }
+}
+
+// ---- code-cache verifier under injection -----------------------------------
+
+namespace {
+
+/// A miniature translation laid out the way the engine does it: a body
+/// with one trapping-capable memory op and an exit, followed by an MDA
+/// stub that branches back past the fault site.  Returns the verifier's
+/// view of it.
+struct FakeTranslation {
+  uint32_t FaultWord = 0;
+  uint32_t ExitWord = 0;
+  analysis::VerifierInput Input;
+
+  explicit FakeTranslation(host::CodeSpace &Code) {
+    host::HostAssembler Asm(Code);
+    uint32_t Entry = Asm.pos();
+    FaultWord = Asm.mem(host::HostOp::Ldl, 3, 2, 4);
+    ExitWord = Asm.emit(host::srvInst(host::SrvFunc::Exit));
+    uint32_t BodyEnd = Asm.pos();
+    uint32_t StubBegin = Asm.pos();
+    host::emitMdaLoad(Asm, 4, 3, 4, 2);
+    Asm.brTo(FaultWord + 1);
+    uint32_t StubEnd = Asm.pos();
+    Asm.finish();
+    Input.Blocks.push_back({Entry,
+                            BodyEnd,
+                            {{StubBegin, StubEnd}},
+                            {{FaultWord, /*Reverted=*/false}},
+                            {ExitWord}});
+  }
+
+  /// The word the engine would patch over the fault site.
+  uint32_t patchWord(const host::CodeSpace &Code) const {
+    uint32_t StubBegin = Input.Blocks[0].Stubs[0].Begin;
+    (void)Code;
+    return host::encodeHost(host::brInst(
+        host::HostOp::Br, host::RegZero,
+        static_cast<int32_t>(StubBegin) -
+            static_cast<int32_t>(FaultWord + 1)));
+  }
+};
+
+} // namespace
+
+TEST(ChaosVerifierTest, CleanPatchedTranslationPasses) {
+  host::CodeSpace Code;
+  FakeTranslation T(Code);
+  Code.patch(T.FaultWord, T.patchWord(Code));
+  analysis::VerifyReport R = analysis::verifyCodeSpace(Code, T.Input);
+  EXPECT_TRUE(R.ok()) << (R.Issues.empty()
+                              ? ""
+                              : analysis::verifyIssueToString(R.Issues[0]));
+  EXPECT_EQ(R.MdaSequencesChecked, 1u);
+}
+
+TEST(ChaosVerifierTest, DroppedPatchIsFlaggedBeforeExecution) {
+  // The injector swallows the stub-redirect write, so the fault site
+  // still holds the original memory op while the engine's bookkeeping
+  // says it was patched.  The verifier must flag the stale site purely
+  // structurally — no run, no architectural-state comparison.
+  host::CodeSpace Code;
+  FakeTranslation T(Code);
+  Code.setPatchHook([](uint32_t, uint32_t &) { return false; });
+  Code.patch(T.FaultWord, T.patchWord(Code));
+  analysis::VerifyReport R = analysis::verifyCodeSpace(Code, T.Input);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Issues[0].Kind, analysis::VerifyIssueKind::PatchSiteBad);
+  EXPECT_EQ(R.Issues[0].Word, T.FaultWord);
+}
+
+TEST(ChaosVerifierTest, TornPatchIsFlaggedBeforeExecution) {
+  // The injector corrupts the written word instead of dropping it.
+  host::CodeSpace Code;
+  FakeTranslation T(Code);
+  Code.setPatchHook([](uint32_t, uint32_t &Word) {
+    Word ^= 0x00040001; // torn write: displacement bits flipped
+    return true;
+  });
+  Code.patch(T.FaultWord, T.patchWord(Code));
+  analysis::VerifyReport R = analysis::verifyCodeSpace(Code, T.Input);
+  ASSERT_FALSE(R.ok());
+  bool FlaggedAtSite = false;
+  for (const analysis::VerifyIssue &I : R.Issues)
+    FlaggedAtSite |= I.Word == T.FaultWord;
+  EXPECT_TRUE(FlaggedAtSite);
+}
+
+TEST(ChaosVerifierTest, CampaignsWithVerifierKeepSurvivalContract) {
+  // The full chaos mini-soak with the verifier on: every campaign still
+  // either survives bit-exactly or aborts typed, and a verifier abort
+  // is itself a typed outcome — never a wedge, never silent corruption.
+  guest::GuestImage Image = lateOnsetProgram(600, 150);
+  Oracle O = interpretOracle(Image);
+  const mda::PolicySpec Specs[] = {
+      {mda::MechanismKind::DynamicProfiling, 10, false, 0, false},
+      {mda::MechanismKind::ExceptionHandling, 10, true, 0, false},
+      {mda::MechanismKind::Dpeh, 10, false, 4, false},
+  };
+  uint64_t VerifierPassTotal = 0;
+  for (uint64_t Seed = 0; Seed != 18; ++Seed) {
+    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(9000 + Seed);
+    std::unique_ptr<dbt::MdaPolicy> Policy =
+        mda::makePolicy(Specs[Seed % 3]);
+    dbt::EngineConfig Config;
+    Config.Verify = true;
+    if (Seed % 3 == 1)
+      Config.CodeCacheLimitWords = 200;
+    dbt::RunResult R = runChaos(Image, *Policy, Plan, Config);
+    VerifierPassTotal += R.Counters.get("verify.passes");
+    if (R.completed()) {
+      expectMatchesOracle(
+          R, O, ("verified chaos seed " + std::to_string(Seed)).c_str());
+      // A run that claims success must have a clean cache throughout.
+      EXPECT_EQ(R.Counters.get("verify.issues"), 0u) << "seed " << Seed;
+    } else {
+      EXPECT_NE(R.Error, dbt::RunError::MonitorStepLimit)
+          << "verified campaign " << Seed << " wedged";
+    }
+  }
+  EXPECT_GT(VerifierPassTotal, 0u);
+}
+
+TEST(ChaosVerifierTest, VerifierIsFreeWhenDisabled) {
+  guest::GuestImage Image = misalignedSumProgram(300);
+  mda::ExceptionHandlingPolicy P1(10), P2(10);
+  dbt::RunResult A = dbt::Engine(Image, P1).run();
+  dbt::EngineConfig Config;
+  Config.Verify = true;
+  dbt::RunResult B = dbt::Engine(Image, P2, Config).run();
+  // The verifier is an observer: modeled cycles and architectural state
+  // are untouched; only the verification counters appear.
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.MemoryHash, B.MemoryHash);
+  EXPECT_GT(B.Counters.get("verify.passes"), 0u);
+  EXPECT_EQ(B.Counters.get("verify.issues"), 0u);
+  EXPECT_EQ(A.Counters.get("verify.passes"), 0u);
 }
 
 // ---- baseline purity --------------------------------------------------------

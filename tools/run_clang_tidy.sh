@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy) over every source file in src/,
+# failing on any warning (WarningsAsErrors: '*').  Used by the CI
+# clang-tidy job; runnable locally from anywhere in the repo.
+#
+# Requires a compile database: configure with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+# Skips with exit 0 (and a notice) when clang-tidy is not installed, so
+# the script is safe to call from environments without clang tooling.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+
+TIDY=""
+for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    TIDY="$cand"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping (CI runs it)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD/compile_commands.json missing;" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+files=$(find "$ROOT/src" -name '*.cpp' | sort)
+if [ -z "$files" ]; then
+  echo "run_clang_tidy: no sources found under $ROOT/src" >&2
+  exit 1
+fi
+
+status=0
+count=0
+for f in $files; do
+  count=$((count + 1))
+  if ! "$TIDY" -p "$BUILD" --quiet "$f"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: FAILED — fix the warnings above" >&2
+  exit 1
+fi
+echo "run_clang_tidy: OK ($count files clean under $TIDY)"
