@@ -168,6 +168,25 @@ int main(int argc, char **argv) {
     default:
       break;
     }
+    // Rotate the hot-dispatch mechanisms in as well (coprime with the
+    // cache rotation above, so the combinations cross-product): inline
+    // caches and trace formation add patch surface the injector can
+    // tear, and the dispatch table must stay coherent through chaos
+    // flushes.  Architectural identity across dispatch configs means
+    // the fault-free baselines above stay valid ground truth.
+    switch (I % 3) {
+    case 1:
+      Config.HashDispatch = true;
+      Config.InlineCaches = true;
+      break;
+    case 2:
+      Config.HashDispatch = true;
+      Config.InlineCaches = true;
+      Config.Superblocks = true;
+      break;
+    default:
+      break;
+    }
     // Every fifth campaign runs with tight tolerance ceilings so the
     // typed-abort paths (PatchFailed/TranslationFailed/CacheThrash) are
     // exercised, not just the unlimited-degradation paths.

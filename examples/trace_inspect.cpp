@@ -67,12 +67,17 @@ std::string runDemo() {
   // Exercise the analysis and verifier event kinds in the demo trace.
   Config.Analysis = true;
   Config.Verify = true;
+  // And the hot-dispatch kinds (trace.formed / dispatch.ic_* fire only
+  // when the mechanisms are on; they are architecturally invisible).
+  Config.HashDispatch = true;
+  Config.InlineCaches = true;
+  Config.Superblocks = true;
   dbt::RunResult R =
       reporting::runPolicyChecked(*Info, Spec, Scale, Config);
   Sink.flush();
   reporting::writeMetricsJson(R, "trace_demo.metrics.json");
   std::printf("demo: %s under Exception Handling (analysis + verifier "
-              "on) — %llu events -> %s, "
+              "+ hot dispatch on) — %llu events -> %s, "
               "metrics -> trace_demo.metrics.json\n\n",
               Name, static_cast<unsigned long long>(Sink.written()),
               Path.c_str());
@@ -139,6 +144,22 @@ std::string payloadText(const obs::TraceEvent &E) {
     return format("issue=%s aux=%llu",
                   analysis::verifyIssueKindName(
                       static_cast<analysis::VerifyIssueKind>(E.A)),
+                  static_cast<unsigned long long>(E.B));
+  case K::DispatchIcFill:
+    return format("guard=%llu target_entry=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::DispatchIcEvict:
+    return format("guard=%llu invalidate=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::TraceFormed:
+    return format("blocks=%llu entry=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::TraceDeopt:
+    return format("blocks=%llu gen=%llu",
+                  static_cast<unsigned long long>(E.A),
                   static_cast<unsigned long long>(E.B));
   default:
     return format("a=%llu b=%llu", static_cast<unsigned long long>(E.A),

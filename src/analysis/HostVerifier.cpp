@@ -33,6 +33,8 @@ const char *verifyIssueKindName(VerifyIssueKind K) {
     return "exit-site-bad";
   case VerifyIssueKind::MdaSequenceMalformed:
     return "mda-sequence-malformed";
+  case VerifyIssueKind::IcWayBad:
+    return "ic-way-bad";
   }
   return "?";
 }
@@ -265,12 +267,64 @@ struct Verifier {
     return true;
   }
 
+  /// Check 7: inline-cache ways.  A disabled way must start with the
+  /// guard branch that skips it; a filled way must be the byte-exact
+  /// tag-compare shape for the engine's claimed (tag, target) pair, and
+  /// the target must be a live translation entry.  The shape constants
+  /// are re-derived here, independent of the engine's fill path.
+  void checkIcWays() {
+    for (const VerifierBlock &B : Input.Blocks) {
+      for (const VerifierIcWay &W : B.IcWays) {
+        if (Input.IcWayWords != 6) {
+          // Unknown layout width: fail closed rather than mis-walk.
+          issue(VerifyIssueKind::IcWayBad, W.Begin, Input.IcWayWords);
+          continue;
+        }
+        if (!W.Filled) {
+          HostInst G;
+          if (!decodeHost(Code.word(W.Begin), G) || G.Op != HostOp::Br ||
+              G.Ra != RegZero ||
+              G.Disp != static_cast<int32_t>(Input.IcWayWords) - 1)
+            issue(VerifyIssueKind::IcWayBad, W.Begin, Code.word(W.Begin));
+          continue;
+        }
+        uint32_t FinalBr = W.Begin + Input.IcWayWords - 1;
+        int32_t Lo = static_cast<int16_t>(W.TargetGuestPc & 0xffff);
+        int32_t Hi = static_cast<int32_t>(W.TargetGuestPc -
+                                          static_cast<uint32_t>(Lo)) >>
+                     16;
+        int64_t Disp = static_cast<int64_t>(W.TargetEntry) -
+                       (static_cast<int64_t>(FinalBr) + 1);
+        const uint32_t Expect[6] = {
+            encodeHost(memInst(HostOp::Ldah, RegScratch1, Hi, RegZero)),
+            encodeHost(
+                memInst(HostOp::Lda, RegScratch1, Lo, RegScratch1)),
+            encodeHost(
+                opInst(HostOp::Zextl, RegZero, RegScratch1, RegScratch1)),
+            encodeHost(
+                opInst(HostOp::Cmpeq, RegExitPc, RegScratch1,
+                       RegScratch2)),
+            encodeHost(brInst(HostOp::Beq, RegScratch2, 1)),
+            encodeHost(
+                brInst(HostOp::Br, RegZero, static_cast<int32_t>(Disp))),
+        };
+        bool Ok = LiveEntries.count(W.TargetEntry) != 0;
+        for (uint32_t K = 0; Ok && K != 6; ++K)
+          if (Code.word(W.Begin + K) != Expect[K])
+            Ok = false;
+        if (!Ok)
+          issue(VerifyIssueKind::IcWayBad, W.Begin, W.TargetEntry);
+      }
+    }
+  }
+
   VerifyReport run() {
     checkPredecode();
     checkRegions();
     checkPatches();
     checkExits();
     checkMdaSequences();
+    checkIcWays();
     return std::move(Report);
   }
 };

@@ -25,7 +25,13 @@
 ///  5. exit sites are `Srv Exit` or (when chained) a branch to a live
 ///     translation's entry;
 ///  6. every MDA sequence in live code is a complete, byte-exact
-///     ldq_u/ext/ins/msk/stq_u shape (re-emitted and compared).
+///     ldq_u/ext/ins/msk/stq_u shape (re-emitted and compared);
+///  7. every indirect-exit inline-cache way is either disabled (guard
+///     branch skipping the way) or a complete, byte-exact tag-compare
+///     shape whose final branch targets a live translation's entry.
+///     The way shape is re-derived here independently of the engine's
+///     emitter — intentionally duplicated constants, so a drift between
+///     the two is a caught bug, not a silently shared one.
 ///
 /// The verifier is read-only and engine-agnostic: the engine describes
 /// its bookkeeping through `VerifierInput` and gets a `VerifyReport`
@@ -56,6 +62,8 @@ enum class VerifyIssueKind : uint8_t {
   ExitSiteBad,       ///< Exit is neither `Srv Exit` nor a chain to a
                      ///< live entry.
   MdaSequenceMalformed, ///< Incomplete or corrupted MDA sequence.
+  IcWayBad, ///< Inline-cache way is neither cleanly disabled nor a
+            ///< byte-exact filled shape targeting a live entry.
 };
 
 const char *verifyIssueKindName(VerifyIssueKind K);
@@ -81,6 +89,14 @@ struct VerifierRegion {
   uint32_t End = 0;
 };
 
+/// One inline-cache way as the engine believes it to be.
+struct VerifierIcWay {
+  uint32_t Begin = 0; ///< Guard word (first word of the way).
+  bool Filled = false;
+  uint32_t TargetEntry = 0;   ///< Expected branch target when filled.
+  uint32_t TargetGuestPc = 0; ///< Expected tag constant when filled.
+};
+
 /// One live translation as the engine knows it.
 struct VerifierBlock {
   uint32_t EntryWord = 0;
@@ -88,6 +104,8 @@ struct VerifierBlock {
   std::vector<VerifierRegion> Stubs;
   std::vector<VerifierPatch> Patches;
   std::vector<uint32_t> ExitWords;
+  /// Non-quarantined inline-cache ways at indirect exits.
+  std::vector<VerifierIcWay> IcWays;
 };
 
 /// The engine's view of the cache, handed to the verifier.
@@ -98,6 +116,10 @@ struct VerifierInput {
   /// has quarantined (the owning target block is gone, so the stale
   /// branch cannot satisfy liveness until the next flush).
   std::unordered_set<uint32_t> ExemptWords;
+  /// Words per inline-cache way (the engine's declared layout width);
+  /// the check fails closed if it disagrees with the verifier's own
+  /// 6-word shape.
+  uint32_t IcWayWords = 6;
 };
 
 struct VerifyReport {

@@ -9,6 +9,7 @@
 #include "analysis/AlignmentAnalysis.h"
 #include "analysis/HostVerifier.h"
 #include "chaos/FaultInjector.h"
+#include "dbt/DispatchTable.h"
 #include "dbt/GuestBlock.h"
 #include "dbt/Translator.h"
 #include "guest/Interpreter.h"
@@ -65,6 +66,19 @@ MdaPolicy::~MdaPolicy() = default;
 
 namespace {
 
+/// The disabled-guard word of an inline-cache way: skip the way's
+/// remaining IcWayWords - 1 words.
+uint32_t icDisabledGuardWord() {
+  return encodeHost(
+      brInst(HostOp::Br, RegZero, static_cast<int32_t>(IcWayWords) - 1));
+}
+
+/// Canonical host nop (bis r31, r31, r31), used to scrub retired
+/// inline-cache branch words.
+uint32_t hostNopWord() {
+  return encodeHost(opInst(HostOp::Bis, RegZero, RegZero, RegZero));
+}
+
 /// All per-run state of the engine: built fresh for every run().
 /// Implements TraceClock so every emitted event is stamped with the
 /// run's current modeled cycle count.
@@ -81,6 +95,8 @@ public:
         HInterpInsts(&Reg.histogram("interp.block_insts")) {
     Mem.loadImage(Image);
     Cpu.reset(Image);
+    if (Config.HashDispatch)
+      Dispatch.emplace();
     if (Config.Analysis) {
       // Static alignment inference over this run's own image copy (one
       // run = one isolated world, so --jobs fan-out stays bit-exact).
@@ -211,6 +227,44 @@ private:
 
   // -- translation -------------------------------------------------------
 
+  /// The engine's memory-op planning chain, shared by first translation
+  /// and superblock re-emission fallback.
+  MemPlan planMemOp(uint32_t Pc, const guest::GuestInst &I) {
+    // Watchdog overrides (degradation rungs 1-2) win over the policy.
+    if (ForceInline.count(Pc))
+      return MemPlan::Inline;
+    // Static verdicts next: a proof beats any policy heuristic, and
+    // only Unknown sites fall through to the policy's machinery.
+    if (Ana) {
+      switch (Ana->verdictFor(Pc, I)) {
+      case analysis::AlignVerdict::Aligned:
+        ++PlanAlignedElides;
+        return MemPlan::Elide;
+      case analysis::AlignVerdict::Misaligned:
+        ++PlanInlineForced;
+        return MemPlan::Inline;
+      case analysis::AlignVerdict::Unknown:
+        break;
+      }
+    }
+    return Policy.planMemoryOp(Pc, I);
+  }
+
+  /// Inline-cache ways per indirect exit for this run (0 when disabled).
+  uint32_t icWays() const {
+    if (!Config.InlineCaches)
+      return 0;
+    return std::min(4u, std::max(1u, Config.IcWays));
+  }
+
+  /// Policy translation options with the engine's dispatch knobs folded
+  /// in.
+  TranslationOpts translationOpts() {
+    TranslationOpts Opts = Policy.translationOpts();
+    Opts.IcWays = icWays();
+    return Opts;
+  }
+
   Translation *installTranslation(uint32_t GuestPc, uint32_t Generation,
                                   bool AllowFlush = false) {
     if (InterpOnly.count(GuestPc))
@@ -247,30 +301,15 @@ private:
     TranslateFailsAt.erase(GuestPc);
     Translator::PlanFn Plan = [this](uint32_t Pc,
                                      const guest::GuestInst &I) {
-      // Watchdog overrides (degradation rungs 1-2) win over the policy.
-      if (ForceInline.count(Pc))
-        return MemPlan::Inline;
-      // Static verdicts next: a proof beats any policy heuristic, and
-      // only Unknown sites fall through to the policy's machinery.
-      if (Ana) {
-        switch (Ana->verdictFor(Pc, I)) {
-        case analysis::AlignVerdict::Aligned:
-          ++PlanAlignedElides;
-          return MemPlan::Elide;
-        case analysis::AlignVerdict::Misaligned:
-          ++PlanInlineForced;
-          return MemPlan::Inline;
-        case analysis::AlignVerdict::Unknown:
-          break;
-        }
-      }
-      return Policy.planMemoryOp(Pc, I);
+      return planMemOp(Pc, I);
     };
     Store.push_back(
-        Trans.translate(Block, Plan, Generation, Policy.translationOpts()));
+        Trans.translate(Block, Plan, Generation, translationOpts()));
     Translation *T = &Store.back();
     Regions[T->EntryWord] = {T->EndWord, T};
     BlockMap[GuestPc] = T;
+    if (Dispatch)
+      Dispatch->insert(GuestPc, T);
     if (!Policy.translationIsOffline())
       TranslateCycles += static_cast<uint64_t>(Block.size()) *
                          Cost.TranslateCyclesPerInst;
@@ -292,13 +331,40 @@ private:
     return T;
   }
 
-  /// Take \p Old out of service: mark invalid and unchain every direct
-  /// branch into it so stale callers fall back to the monitor.
+  /// Take one inline-cache way out of service: disable its guard, then
+  /// scrub its final branch (so no branch into a dead entry survives in
+  /// verified code).  Returns false if the guard could not be disabled;
+  /// the way is then quarantined as Stale — the intact dead target code
+  /// it may still reach is the same contained casualty as a stale chain.
+  bool retireIcWay(IcWay &Way) {
+    uint32_t FinalBr = Way.Begin + IcWayWords - 1;
+    if (!patchVerified(Way.Begin, icDisabledGuardWord())) {
+      Way.Stale = true;
+      Way.Filled = false;
+      StaleChainWords.insert(FinalBr);
+      return false;
+    }
+    Way.Filled = false;
+    if (!patchVerified(FinalBr, hostNopWord()))
+      StaleChainWords.insert(FinalBr);
+    return true;
+  }
+
+  /// Take \p Old out of service: mark invalid, unchain every direct
+  /// branch into it, and retire every inline-cache way targeting it so
+  /// stale callers fall back to the monitor.
   void invalidate(Translation *Old) {
     Old->Valid = false;
+    if (Dispatch)
+      Dispatch->eraseIf(Old->GuestPc, Old);
     HTrapBlock->record(Old->FaultCount);
     Trace.emit(obs::TraceEventKind::BlockInvalidated, 0, Old->GuestPc,
                Old->FaultCount, Old->Generation);
+    if (Old->IsTrace) {
+      ++TraceDeopts;
+      Trace.emit(obs::TraceEventKind::TraceDeopt, 0, Old->GuestPc,
+                 Old->Constituents.size(), Old->Generation);
+    }
     for (uint32_t W : Old->IncomingChains) {
       if (!patchVerified(W, encodeHost(srvInst(SrvFunc::Exit)))) {
         // The unchain did not stick (fault injection): a live block now
@@ -309,6 +375,21 @@ private:
       }
     }
     Old->IncomingChains.clear();
+    for (const IcWayRef &Ref : Old->IncomingIcWays) {
+      if (!Ref.Owner->Valid)
+        continue; // the caller died too; the flush will reap both
+      IcWay &Way = Ref.Owner->IcSites[Ref.Site].Ways[Ref.Way];
+      // Lazy staleness: the way may have been refilled toward another
+      // target since this back-reference was recorded (entry words are
+      // unique between flushes, so the comparison is exact).
+      if (!Way.Filled || Way.TargetEntry != Old->EntryWord)
+        continue;
+      ++IcEvictions;
+      Trace.emit(obs::TraceEventKind::DispatchIcEvict, Way.TargetGuestPc,
+                 Ref.Owner->GuestPc, Way.Begin, 1);
+      retireIcWay(Way);
+    }
+    Old->IncomingIcWays.clear();
   }
 
   /// Invalidate \p Old and retranslate its guest block (rearrangement /
@@ -341,12 +422,37 @@ private:
         HTrapBlock->record(T.FaultCount);
     Trace.emit(obs::TraceEventKind::CacheFlush, 0, 0, Code.size(),
                Store.size());
+#ifndef NDEBUG
+    // Chain/IC bookkeeping must be fully confined to the dying arena:
+    // every incoming-chain word and quarantined word indexes code that
+    // is about to be dropped.  A word at or past the arena end would
+    // mean a link into code that survives the flush — a leak that would
+    // resurrect as a wild branch after the arena refills.
+    for (const Translation &T : Store) {
+      for (uint32_t W : T.IncomingChains)
+        assert(W < Code.size() && "incoming chain outlives the arena");
+      for (const IcWayRef &Ref : T.IncomingIcWays)
+        assert(Ref.Owner->IcSites[Ref.Site].Ways[Ref.Way].Begin <
+                   Code.size() &&
+               "incoming IC way outlives the arena");
+    }
+    for (uint32_t W : StaleChainWords)
+      assert(W < Code.size() && "quarantined word outlives the arena");
+#endif
+    for (Translation &T : Store) {
+      T.IncomingChains.clear();
+      T.IncomingIcWays.clear();
+    }
     Code.clear();
     BlockMap.clear();
     Regions.clear();
     Store.clear();
     PatchedOriginals.clear();
     StaleChainWords.clear();
+    if (Dispatch)
+      Dispatch->clear();
+    assert(StaleChainWords.empty() &&
+           "stale-chain quarantine must drain on flush");
     PendingFlush = false;
     ++Flushes;
     LastFlushStep = StepIndex;
@@ -376,6 +482,11 @@ private:
       B.EndWord = T.EndWord;
       for (const ExitSite &X : T.Exits)
         B.ExitWords.push_back(X.SrvWord);
+      for (const IcSite &S : T.IcSites)
+        for (const IcWay &W : S.Ways)
+          if (!W.Stale) // quarantined ways are covered by ExemptWords
+            B.IcWays.push_back(
+                {W.Begin, W.Filled, W.TargetEntry, W.TargetGuestPc});
       for (uint32_t W : T.PatchedWords)
         B.Patches.push_back({W, T.MemWordToGuestPc.count(W) != 0});
       Index[&T] = In.Blocks.size();
@@ -390,6 +501,7 @@ private:
         In.Blocks[It->second].Stubs.push_back({Entry, Region.first});
     }
     In.ExemptWords = StaleChainWords;
+    In.IcWayWords = IcWayWords;
     analysis::VerifyReport Report = analysis::verifyCodeSpace(Code, In);
     VerifyWords += Report.WordsChecked;
     if (Report.ok()) {
@@ -668,8 +780,296 @@ private:
       Trace.emit(obs::TraceEventKind::BlockChained, X.TargetGuestPc,
                  Owner->GuestPc, X.SrvWord, Target->EntryWord);
       runVerifier();
+      // A backward chain closes a native loop — the hotness signal for
+      // superblock formation.  (Chain events, not dispatch counts: a
+      // fully chained loop never revisits the monitor, so a dispatch
+      // counter would stop ticking exactly when the loop gets hot.)
+      if (Config.Superblocks && Abort == RunError::None &&
+          X.TargetGuestPc <= Owner->GuestPc &&
+          ++BackedgeHeat[X.TargetGuestPc] >= Config.SuperblockThreshold)
+        tryFormSuperblock(X.TargetGuestPc);
       return;
     }
+  }
+
+  /// On an indirect-exit miss, fill (or refill) an inline-cache way
+  /// with the observed target if it is translated (EngineConfig::
+  /// InlineCaches).  Interior words are written before the guard, so a
+  /// partially written way is never executable; any patch failure
+  /// leaves the way disabled.
+  void maybeIcFill(const ExitInfo &E) {
+    if (!Config.InlineCaches || Abort != RunError::None)
+      return;
+    Translation *Owner = findOwner(E.SrvWord);
+    if (!Owner || !Owner->Valid || Owner->IcSites.empty())
+      return;
+    uint32_t SiteIdx = ~0u;
+    for (uint32_t I = 0; I != Owner->IcSites.size(); ++I) {
+      if (Owner->IcSites[I].SrvWord == E.SrvWord) {
+        SiteIdx = I;
+        break;
+      }
+    }
+    if (SiteIdx == ~0u)
+      return; // a direct exit's Srv word, not an IC fallback
+    IcSite &Site = Owner->IcSites[SiteIdx];
+    ++IcMisses;
+    auto TIt = BlockMap.find(E.GuestPc);
+    if (TIt == BlockMap.end() || !TIt->second->Valid)
+      return; // target not translated yet; a later miss can fill
+    Translation *Target = TIt->second;
+    // Victim selection: first empty way, else round-robin eviction.
+    // Quarantined (Stale) ways are out of service until the next flush.
+    IcWay *Way = nullptr;
+    uint32_t WayIdx = 0;
+    for (uint32_t I = 0; I != Site.Ways.size(); ++I) {
+      if (!Site.Ways[I].Filled && !Site.Ways[I].Stale) {
+        Way = &Site.Ways[I];
+        WayIdx = I;
+        break;
+      }
+    }
+    bool Evicting = false;
+    if (!Way) {
+      uint32_t N = static_cast<uint32_t>(Site.Ways.size());
+      for (uint32_t K = 0; K != N; ++K) {
+        uint32_t I = (Site.NextVictim + K) % N;
+        if (!Site.Ways[I].Stale) {
+          Way = &Site.Ways[I];
+          WayIdx = I;
+          Site.NextVictim = (I + 1) % N;
+          Evicting = true;
+          break;
+        }
+      }
+      if (!Way)
+        return; // every way quarantined; fall back to the monitor
+    }
+    uint32_t FinalBr = Way->Begin + IcWayWords - 1;
+    int64_t Disp = static_cast<int64_t>(Target->EntryWord) -
+                   (static_cast<int64_t>(FinalBr) + 1);
+    if (Disp < -(1 << 20) || Disp >= (1 << 20))
+      return; // out of branch range; keep going through the monitor
+    if (Evicting) {
+      ++IcEvictions;
+      Trace.emit(obs::TraceEventKind::DispatchIcEvict, Way->TargetGuestPc,
+                 Owner->GuestPc, Way->Begin, 0);
+      if (!retireIcWay(*Way)) {
+        runVerifier();
+        return; // victim quarantined; this fill attempt is abandoned
+      }
+    }
+    // Interiors first (tag compare, miss skip, target branch), guard
+    // last: the way only becomes executable once fully written.
+    uint32_t Tag = Target->GuestPc;
+    int32_t Lo = static_cast<int16_t>(Tag & 0xffff);
+    int32_t Hi =
+        static_cast<int32_t>(Tag - static_cast<uint32_t>(Lo)) >> 16;
+    const std::pair<uint32_t, uint32_t> Interior[] = {
+        {Way->Begin + 1,
+         encodeHost(memInst(HostOp::Lda, RegScratch1, Lo, RegScratch1))},
+        {Way->Begin + 2,
+         encodeHost(opInst(HostOp::Zextl, RegZero, RegScratch1,
+                           RegScratch1))},
+        {Way->Begin + 3,
+         encodeHost(opInst(HostOp::Cmpeq, RegExitPc, RegScratch1,
+                           RegScratch2))},
+        {Way->Begin + 4, encodeHost(brInst(HostOp::Beq, RegScratch2, 1))},
+        {FinalBr, encodeHost(brInst(HostOp::Br, RegZero,
+                                    static_cast<int32_t>(Disp)))},
+    };
+    for (const auto &P : Interior) {
+      if (!patchVerified(P.first, P.second)) {
+        // patchVerified restored the word (or quarantined the run); the
+        // guard is still disabled, so the way stays safely inert.
+        ++IcFillFails;
+        runVerifier();
+        return;
+      }
+    }
+    if (!patchVerified(Way->Begin,
+                       encodeHost(memInst(HostOp::Ldah, RegScratch1, Hi,
+                                          RegZero)))) {
+      // Guard never armed, but FinalBr now holds a live branch the
+      // verifier cannot tie to a filled way: scrub it.
+      ++IcFillFails;
+      if (!patchVerified(FinalBr, hostNopWord()))
+        StaleChainWords.insert(FinalBr);
+      runVerifier();
+      return;
+    }
+    StaleChainWords.erase(FinalBr); // freshly verified content
+    Way->Filled = true;
+    Way->Stale = false;
+    Way->TargetEntry = Target->EntryWord;
+    Way->TargetGuestPc = Tag;
+    Target->IncomingIcWays.push_back({Owner, SiteIdx, WayIdx});
+    ChainCycles +=
+        static_cast<uint64_t>(Cost.ChainPatchCycles) * IcWayWords;
+    ++IcFills;
+    Trace.emit(obs::TraceEventKind::DispatchIcFill, Tag, Owner->GuestPc,
+               Way->Begin, Target->EntryWord);
+    runVerifier();
+  }
+
+  // -- superblock formation ----------------------------------------------
+
+  /// Re-emit the hot chain of blocks starting at \p HeadPc as one
+  /// straight-line superblock (EngineConfig::Superblocks).  The trace
+  /// supersedes the head block in the block map; constituents' recorded
+  /// MemPlans are replayed so every memory site keeps its exact MDA
+  /// treatment.  De-optimization is ordinary invalidation: the trace
+  /// falls back to the still-installed constituent blocks.
+  void tryFormSuperblock(uint32_t HeadPc) {
+    if (Abort != RunError::None || InterpOnly.count(HeadPc))
+      return;
+    if (TraceFormsAt[HeadPc] >= Config.TraceFormationLimit)
+      return;
+    auto HIt = BlockMap.find(HeadPc);
+    if (HIt == BlockMap.end() || !HIt->second->Valid ||
+        HIt->second->IsTrace)
+      return;
+    Translation *Head = HIt->second;
+
+    // Walk direct exits from the head, preferring chained (observed
+    // hot) edges, to pick the trace's constituents.
+    std::vector<uint32_t> Pcs;
+    std::unordered_set<uint32_t> Seen;
+    std::unordered_map<uint32_t, MemPlan> Plans;
+    uint32_t Pc = HeadPc;
+    bool ClosedAtHead = false;
+    while (Pcs.size() < Config.SuperblockMaxBlocks) {
+      auto It = BlockMap.find(Pc);
+      if (It == BlockMap.end() || !It->second->Valid ||
+          It->second->IsTrace)
+        break;
+      if (!Seen.insert(Pc).second) {
+        ClosedAtHead = Pc == HeadPc;
+        break; // closed the loop (or revisited): stop
+      }
+      Pcs.push_back(Pc);
+      Translation *T = It->second;
+      for (const auto &KV : T->PlanByPc)
+        Plans.insert(KV);
+      const ExitSite *Next = nullptr;
+      for (const ExitSite &X : T->Exits) {
+        if (!X.Direct)
+          continue;
+        if (X.Chained) {
+          Next = &X;
+          break;
+        }
+        if (!Next)
+          Next = &X;
+      }
+      if (!Next)
+        break; // indirect terminator: the trace ends here
+      Pc = Next->TargetGuestPc;
+    }
+    // A loop that closes back at the head is unrolled to fill the block
+    // budget: each extra copy turns the backedge's exit sequence
+    // (materialize exit PC + branch) into straight-line fallthrough,
+    // which is where a superblock actually earns its cycles on tight
+    // loops.  Only the final copy's backedge survives, and it chains to
+    // the trace's own entry like any other exit.
+    // One extra copy only: each further copy saves the same few exit
+    // instructions per circuit but multiplies code size (I-cache
+    // pressure — exactly the locality figs. 6/11 measure) and
+    // translation cycles.
+    if (ClosedAtHead && Pcs.size() * 2 <= Config.SuperblockMaxBlocks) {
+      const std::vector<uint32_t> Body = Pcs;
+      Pcs.insert(Pcs.end(), Body.begin(), Body.end());
+    }
+    if (Pcs.size() < 2)
+      return; // a single-block "trace" would only re-emit the head
+
+    ++TraceFormsAt[HeadPc];
+    std::vector<GuestBlock> Blocks;
+    uint32_t TotalInsts = 0;
+    Blocks.reserve(Pcs.size());
+    for (uint32_t P : Pcs) {
+      Blocks.push_back(discoverBlock(Mem, P));
+      TotalInsts += static_cast<uint32_t>(Blocks.back().size());
+    }
+    if (Injector && Injector->translateFails()) {
+      ++ChaosTranslateFails;
+      ++TranslateFailures;
+      if (!Policy.translationIsOffline())
+        TranslateCycles += static_cast<uint64_t>(TotalInsts) *
+                           Cost.TranslateCyclesPerInst;
+      Trace.emit(obs::TraceEventKind::TranslationFailed, HeadPc, HeadPc,
+                 0, Head->Generation + 1);
+      if (Hard.TranslationFailureLimit != 0 &&
+          TranslateFailures > Hard.TranslationFailureLimit)
+        Abort = RunError::TranslationFailed;
+      return; // constituents stay in service; no harm done
+    }
+    // Each site gets the stronger of its recorded constituent plan and
+    // the policy's current verdict: never weaker than the constituent
+    // (the identity guarantee PlanByPc exists for), and never weaker
+    // than what the policy has learned since — a site the constituent
+    // emitted as a plain op and later patched to a stub re-emits with
+    // the MDA sequence inline, like any retranslation would, instead of
+    // re-faulting once per trace copy.
+    Translator::PlanFn Plan = [this, &Plans](uint32_t InstPc,
+                                             const guest::GuestInst &I) {
+      MemPlan Fresh = planMemOp(InstPc, I);
+      auto It = Plans.find(InstPc);
+      if (It == Plans.end() || It->second == MemPlan::Normal)
+        return Fresh;
+      return It->second; // keep the constituent's MDA treatment
+    };
+    Store.push_back(Trans.translateTrace(Blocks, Plan,
+                                         Head->Generation + 1,
+                                         translationOpts()));
+    Translation *Tr = &Store.back();
+    Regions[Tr->EntryWord] = {Tr->EndWord, Tr};
+    if (!Policy.translationIsOffline())
+      TranslateCycles += static_cast<uint64_t>(TotalInsts) *
+                         Cost.TranslateCyclesPerInst;
+    ++TracesFormed;
+    TraceBlocksEmitted += Pcs.size();
+    HTransInsts->record(TotalInsts);
+    Trace.emit(obs::TraceEventKind::TraceFormed, HeadPc, HeadPc,
+               Pcs.size(), Tr->EntryWord);
+    if (Config.CodeCacheLimitWords != 0 &&
+        Tr->EndWord - Tr->EntryWord > Config.CodeCacheLimitWords) {
+      // The trace alone would thrash the cache: drop it and stop trying
+      // to form one at this head.
+      TraceFormsAt[HeadPc] = Config.TraceFormationLimit;
+      invalidate(Tr);
+      runVerifier();
+      return;
+    }
+    // Capture the head's incoming chains before invalidation unchains
+    // them: an unchained source never re-chains on its own, so without
+    // redirection every former backedge would round-trip through the
+    // monitor forever — the opposite of what the trace is for.
+    const std::vector<uint32_t> Incoming = Head->IncomingChains;
+    invalidate(Head);
+    BlockMap[HeadPc] = Tr;
+    if (Dispatch)
+      Dispatch->insert(HeadPc, Tr);
+    for (uint32_t W : Incoming) {
+      if (StaleChainWords.count(W))
+        continue; // the unchain did not stick; leave it quarantined
+      Translation *Src = findOwner(W);
+      if (!Src || !Src->Valid)
+        continue; // the head's own backedge, or a dead caller
+      int64_t Disp = static_cast<int64_t>(Tr->EntryWord) -
+                     (static_cast<int64_t>(W) + 1);
+      if (Disp < -(1 << 20) || Disp >= (1 << 20))
+        continue;
+      if (!patchVerified(W, encodeHost(brInst(HostOp::Br, RegZero,
+                                              static_cast<int32_t>(Disp)))))
+        continue; // keep exiting through the monitor (verified restore)
+      Tr->IncomingChains.push_back(W);
+      ChainCycles += Cost.ChainPatchCycles;
+      ++Chains;
+      Trace.emit(obs::TraceEventKind::BlockChained, HeadPc, Src->GuestPc,
+                 W, Tr->EntryWord);
+    }
+    runVerifier();
   }
 
   // -- members ---------------------------------------------------------------
@@ -710,6 +1110,14 @@ private:
   std::deque<Translation> Store;
   /// Host-word region -> owning translation (bodies and stubs).
   std::map<uint32_t, std::pair<uint32_t, Translation *>> Regions;
+
+  /// Hash-table monitor dispatch (EngineConfig::HashDispatch); a pure
+  /// cache over BlockMap, kept coherent at install/invalidate/flush.
+  std::optional<DispatchTable> Dispatch;
+  /// Backward-chain events per loop-head PC (superblock hotness).
+  std::unordered_map<uint32_t, uint32_t> BackedgeHeat;
+  /// Formation attempts per head PC (bounds retry after de-opt).
+  std::unordered_map<uint32_t, uint32_t> TraceFormsAt;
 
   /// Adaptive-revert runtime state (paper Fig. 8, right).
   static constexpr uint32_t MailboxAddr = guest::layout::RuntimeBase;
@@ -784,6 +1192,16 @@ private:
   uint64_t ChaosFlushStorms = 0;
   uint64_t PlanAlignedElides = 0;
   uint64_t PlanInlineForced = 0;
+  uint64_t TableHits = 0;
+  uint64_t TableMisses = 0;
+  uint64_t TableProbes = 0;
+  uint64_t IcFills = 0;
+  uint64_t IcMisses = 0;
+  uint64_t IcEvictions = 0;
+  uint64_t IcFillFails = 0;
+  uint64_t TracesFormed = 0;
+  uint64_t TraceBlocksEmitted = 0;
+  uint64_t TraceDeopts = 0;
   uint64_t VerifyPasses = 0;
   uint64_t VerifyWords = 0;
   uint64_t VerifyIssues = 0;
@@ -831,13 +1249,44 @@ RunResult Session::run() {
         break;
     }
 
-    auto It = BlockMap.find(Cpu.Pc);
-    Translation *T =
-        (It != BlockMap.end() && It->second->Valid) ? It->second : nullptr;
+    Translation *T = nullptr;
+    if (Dispatch) {
+      // Hash-table dispatch: one open-addressed probe chain instead of
+      // the block-map walk; each probe is priced individually.
+      uint32_t Probes = 0;
+      T = Dispatch->lookup(Cpu.Pc, Probes);
+      TableProbes += Probes;
+      if (T) {
+        ++TableHits;
+        MonitorCycles +=
+            Cost.DispatchTableHitCycles +
+            static_cast<uint64_t>(Probes - 1) * Cost.DispatchProbeCycles;
+      } else {
+        // Miss: like the baseline block-map path, the failed lookup is
+        // folded into the interpretation/translation episode it starts
+        // (charging it here would penalize the table for misses the
+        // baseline never prices).  Probes are still counted.
+        ++TableMisses;
+      }
+#ifndef NDEBUG
+      // The table is a pure cache over BlockMap: any divergence is a
+      // coherence bug, never a semantic choice.
+      auto It = BlockMap.find(Cpu.Pc);
+      Translation *Ref =
+          (It != BlockMap.end() && It->second->Valid) ? It->second
+                                                      : nullptr;
+      assert(T == Ref && "dispatch table diverged from block map");
+#endif
+    } else {
+      auto It = BlockMap.find(Cpu.Pc);
+      T = (It != BlockMap.end() && It->second->Valid) ? It->second
+                                                      : nullptr;
+      if (T)
+        MonitorCycles += Cost.MonitorDispatchCycles;
+    }
 
     if (T) {
       syncToHost();
-      MonitorCycles += Cost.MonitorDispatchCycles;
       ++NativeEntries;
       ExitInfo E = Machine.run(T->EntryWord);
       syncToGuest();
@@ -853,6 +1302,7 @@ RunResult Session::run() {
       Cpu.Pc = E.GuestPc;
       pollRevertMailbox();
       maybeChain(E);
+      maybeIcFill(E);
       continue;
     }
 
@@ -958,6 +1408,27 @@ RunResult Session::run() {
   Reg.addCounter("harden.translate_failures", TranslateFailures);
   Reg.addCounter("harden.flush_suppressed", FlushesSuppressed);
   Reg.addCounter("harden.stub_downgrades", StubDowngrades);
+  if (Config.HashDispatch) {
+    Reg.addCounter("dispatch.table_hits", TableHits);
+    Reg.addCounter("dispatch.table_misses", TableMisses);
+    Reg.addCounter("dispatch.table_probes", TableProbes);
+    Reg.addCounter("dispatch.table_inserts", Dispatch->inserts());
+    Reg.addCounter("dispatch.table_erases", Dispatch->erases());
+    Reg.addCounter("dispatch.table_rehashes", Dispatch->rehashes());
+    Reg.setGauge("dispatch.table_capacity", Dispatch->capacity());
+    Reg.setGauge("dispatch.table_tombstones", Dispatch->tombstones());
+  }
+  if (Config.InlineCaches) {
+    Reg.addCounter("dispatch.ic_fills", IcFills);
+    Reg.addCounter("dispatch.ic_misses", IcMisses);
+    Reg.addCounter("dispatch.ic_evictions", IcEvictions);
+    Reg.addCounter("dispatch.ic_fill_fails", IcFillFails);
+  }
+  if (Config.Superblocks) {
+    Reg.addCounter("trace.formed", TracesFormed);
+    Reg.addCounter("trace.blocks_emitted", TraceBlocksEmitted);
+    Reg.addCounter("trace.deopts", TraceDeopts);
+  }
   if (Ana) {
     Reg.addCounter("analysis.blocks", Ana->Blocks);
     Reg.addCounter("analysis.mem_sites", Ana->Sites.size());

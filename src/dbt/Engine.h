@@ -141,6 +141,35 @@ struct EngineConfig {
   /// of installed code (translate, patch, revert, chain, flush) and at
   /// the end of the run.  A violation aborts with VerifyFailed.
   bool Verify = false;
+
+  // -- hot-dispatch mechanisms (bench/ablation_dispatch toggles each
+  // independently; architectural results — checksum, memory hash, final
+  // CPU state — are bit-identical for every combination, only modeled
+  // cycles and host-code layout change) ------------------------------
+
+  /// Replace the monitor's per-dispatch block-map lookup with an
+  /// open-addressed PC -> host-entry hash table (DispatchTable): a hit
+  /// costs CostModel::DispatchTableHitCycles instead of
+  /// MonitorDispatchCycles; a miss falls into translate-on-miss.
+  bool HashDispatch = false;
+  /// Emit a small tagged inline cache at every indirect block exit
+  /// (Ret/JmpR): recently seen targets are compared against the live
+  /// exit PC in translated code and hit without returning to the
+  /// monitor.  Misses fall back to the monitor, which fills a way.
+  bool InlineCaches = false;
+  /// Ways per indirect-exit inline cache (clamped to 1..4).
+  uint32_t IcWays = 2;
+  /// Form superblocks (straight-line traces across chained direct block
+  /// exits) when a backward chain marks a loop head as hot.  The trace
+  /// supersedes the head block; de-optimization (trace invalidation)
+  /// falls back to the still-installed constituent blocks.
+  bool Superblocks = false;
+  /// Backward-chain events into one head before a trace is attempted.
+  uint32_t SuperblockThreshold = 1;
+  /// Maximum constituent blocks per superblock.
+  uint32_t SuperblockMaxBlocks = 8;
+  /// Formation attempts per head PC (bounds retry after de-opt).
+  uint32_t TraceFormationLimit = 8;
 };
 
 /// Everything an experiment wants to know about one run.

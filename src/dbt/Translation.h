@@ -39,6 +39,54 @@ enum class MemPlan {
   Elide,
 };
 
+struct Translation;
+
+/// Words per inline-cache way at an indirect block exit
+/// (EngineConfig::InlineCaches).  Layout, in code-cache words from the
+/// way's first word:
+///
+///   +0  guard:  disabled = `br +5` (skip the way);
+///               filled   = `ldah RegScratch1, hi(tag)(r31)`
+///   +1  `lda RegScratch1, lo(tag)(RegScratch1)`
+///   +2  `zextl RegScratch1, RegScratch1`   (tag == zext32 guest PC)
+///   +3  `cmpeq RegExitPc, RegScratch1, RegScratch2`
+///   +4  `beq RegScratch2, +1`              (mismatch: next way / exit)
+///   +5  `br <target block entry>`
+///
+/// The translator emits every way disabled (guard branch + nop filler);
+/// the monitor fills interior words first and the guard last, so a
+/// half-written way is never executable.  Scratch registers are dead
+/// across block boundaries, so a hit may clobber them freely.
+inline constexpr uint32_t IcWayWords = 6;
+
+/// One way of an indirect-exit inline cache.
+struct IcWay {
+  uint32_t Begin = 0; ///< guard word (first word of the way)
+  bool Filled = false;
+  /// Quarantined: a disable patch failed under fault injection and the
+  /// way's final branch may still target a dead (but intact) entry.
+  /// Excluded from verification until refilled or flushed.
+  bool Stale = false;
+  uint32_t TargetEntry = 0;   ///< cached target's host entry word
+  uint32_t TargetGuestPc = 0; ///< cached target's guest PC (the tag)
+};
+
+/// The inline cache attached to one indirect exit site.
+struct IcSite {
+  uint32_t SrvWord = 0; ///< the Srv Exit word the ways fall back to
+  std::vector<IcWay> Ways;
+  uint32_t NextVictim = 0; ///< round-robin eviction cursor
+};
+
+/// Back-reference from a cached target block to the way that branches
+/// to it, so invalidation can take the way out of service
+/// (IncomingChains-style bookkeeping, extended to inline caches).
+struct IcWayRef {
+  Translation *Owner = nullptr;
+  uint32_t Site = 0; ///< index into Owner->IcSites
+  uint32_t Way = 0;  ///< index into IcSites[Site].Ways
+};
+
 /// Block-level translation options (beyond the per-instruction plan).
 struct TranslationOpts {
   /// Multi-version code at basic-block granularity (paper section IV-D:
@@ -50,6 +98,10 @@ struct TranslationOpts {
   /// plain copy remains guarded by the exception handler, so a site that
   /// defies the shared-pattern assumption is still handled correctly.
   bool BlockMultiVersion = false;
+  /// Inline-cache ways to emit at each indirect block exit (0 = none,
+  /// clamped by the engine to 1..4 when EngineConfig::InlineCaches is
+  /// set).  Ways are emitted disabled; the monitor fills them.
+  unsigned IcWays = 0;
 };
 
 /// One block-exit service call, patchable into a direct chain.
@@ -81,6 +133,23 @@ struct Translation {
   uint32_t Generation = 0;
   /// False once superseded by a rearranged/retranslated version.
   bool Valid = true;
+  /// Inline caches at this translation's indirect exits (one per
+  /// indirect ExitSite, in emission order; empty when IcWays == 0).
+  std::vector<IcSite> IcSites;
+  /// Ways in *other* translations whose final branch targets this
+  /// entry; taken out of service when this block is invalidated
+  /// (the inline-cache analogue of IncomingChains).
+  std::vector<IcWayRef> IncomingIcWays;
+  /// Policy-intent memory plan per guest instruction PC (mem ops of
+  /// size >= 2 only), recorded at translation time so superblock
+  /// re-emission reproduces the exact MDA treatment of every site
+  /// without re-consulting the (stateful) policy.
+  std::unordered_map<uint32_t, MemPlan> PlanByPc;
+  /// True for a superblock/trace spanning several guest blocks.
+  bool IsTrace = false;
+  /// Head-first guest PCs of a trace's constituent blocks (empty for
+  /// plain block translations).
+  std::vector<uint32_t> Constituents;
 };
 
 } // namespace dbt

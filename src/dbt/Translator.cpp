@@ -10,6 +10,7 @@
 #include "host/MdaSequences.h"
 
 #include <cassert>
+#include <map>
 
 using namespace mdabt;
 using namespace mdabt::dbt;
@@ -116,40 +117,92 @@ AddrOperand computeAddress(HostAssembler &Asm, const guest::GuestInst &I) {
   return {Base, Disp};
 }
 
-} // namespace
+/// How multi-version plans are rendered in the range being emitted:
+/// per-instruction (Fig. 8 left), or one of the two block-granularity
+/// copies (plain ops in the aligned copy — still exception-handler
+/// guarded — and inline sequences in the misaligned copy).
+enum class MvMode { PerInst, Plain, Sequences };
 
-Translation Translator::translate(const GuestBlock &Block,
-                                  const PlanFn &Plan, uint32_t Generation,
-                                  const TranslationOpts &Opts) {
-  HostAssembler Asm(Code);
-  Translation T;
-  T.GuestPc = Block.StartPc;
-  T.EntryWord = Asm.pos();
-  T.GuestInsts = static_cast<uint32_t>(Block.size());
-  T.Generation = Generation;
+/// Emits the body of one guest block into the translation being built.
+/// Shared between plain block translation (Translator::translate) and
+/// superblock re-emission (Translator::translateTrace); in trace mode
+/// (Continues == true) control flow that stays on the trace falls
+/// through to the next constituent and off-trace edges branch to shared
+/// side-exit labels instead of materializing an exit inline.
+struct BodyEmitter {
+  BodyEmitter(HostAssembler &Asm, Translation &T, const GuestBlock &Block,
+              const Translator::PlanFn &Plan, unsigned IcWays)
+      : Asm(Asm), T(T), Block(Block), Plan(Plan), IcWays(IcWays) {}
 
-  auto emitExit = [&](uint32_t TargetPc) {
+  HostAssembler &Asm;
+  Translation &T;
+  const GuestBlock &Block;
+  const Translator::PlanFn &Plan;
+  /// Inline-cache ways to emit before each indirect exit (0 = none).
+  unsigned IcWays;
+  /// Trace mode: this block is a non-last trace constituent and
+  /// execution reaching NextPc must fall through into the next one.
+  bool Continues = false;
+  uint32_t NextPc = 0;
+  /// Off-trace exit labels, shared across the trace's constituents so
+  /// each unique target gets exactly one side-exit stub.
+  std::map<uint32_t, HostAssembler::Label> *SideLabels = nullptr;
+
+  /// Label for the off-trace side exit to guest PC \p Pc.
+  HostAssembler::Label side(uint32_t Pc) {
+    assert(SideLabels && "side exit outside trace mode");
+    auto It = SideLabels->find(Pc);
+    if (It != SideLabels->end())
+      return It->second;
+    HostAssembler::Label L = Asm.newLabel();
+    SideLabels->emplace(Pc, L);
+    return L;
+  }
+
+  /// Direct exit to \p TargetPc.  In trace mode an on-trace target
+  /// falls through and an off-trace target branches to its side exit;
+  /// otherwise the exit (materialize + Srv) is emitted inline.
+  void emitExit(uint32_t TargetPc) {
+    if (Continues) {
+      if (TargetPc != NextPc)
+        Asm.br(side(TargetPc));
+      return;
+    }
     Asm.materialize32(RegExitPc, TargetPc);
     uint32_t W = Asm.srv(SrvFunc::Exit);
     T.Exits.push_back({W, TargetPc, /*Direct=*/true, /*Chained=*/false});
-  };
-  auto emitIndirectExit = [&]() {
-    // RegExitPc already holds the target.
+  }
+
+  /// Indirect exit: RegExitPc already holds the target.  When IcWays is
+  /// nonzero, a disabled inline cache (see IcWayWords) is emitted ahead
+  /// of the fallback Srv Exit for the monitor to fill.
+  void emitIndirectExit() {
+    IcSite Site;
+    for (unsigned N = 0; N != IcWays; ++N) {
+      IcWay Way;
+      Way.Begin = Asm.emit(
+          brInst(HostOp::Br, RegZero, static_cast<int32_t>(IcWayWords) - 1));
+      for (uint32_t K = 1; K != IcWayWords; ++K)
+        Asm.op(HostOp::Bis, RegZero, RegZero, RegZero); // nop filler
+      Site.Ways.push_back(Way);
+    }
     uint32_t W = Asm.srv(SrvFunc::Exit);
     T.Exits.push_back({W, 0, /*Direct=*/false, /*Chained=*/false});
-  };
+    if (IcWays != 0) {
+      Site.SrvWord = W;
+      T.IcSites.push_back(std::move(Site));
+    }
+  }
 
-  // How multi-version plans are rendered in the range being emitted:
-  // per-instruction (Fig. 8 left), or one of the two block-granularity
-  // copies (plain ops in the aligned copy — still exception-handler
-  // guarded — and inline sequences in the misaligned copy).
-  enum class MvMode { PerInst, Plain, Sequences };
-
-  auto planFor = [&](size_t Idx, MvMode Mode) -> MemPlan {
+  /// Plan for the memory instruction at \p Idx under MV rendering mode
+  /// \p Mode.  Records the policy-intent plan in Translation::PlanByPc
+  /// so superblock re-emission can reproduce it without the policy.
+  MemPlan planFor(size_t Idx, MvMode Mode) {
     const guest::GuestInst &Inst = Block.Insts[Idx];
     if (!guest::isMemoryOp(Inst.Op) || guest::accessSize(Inst.Op) < 2)
       return MemPlan::Normal;
     MemPlan P = Plan(Block.InstPcs[Idx], Inst);
+    T.PlanByPc[Block.InstPcs[Idx]] = P;
     if (P == MemPlan::MultiVersion) {
       if (Mode == MvMode::Plain)
         return MemPlan::Normal;
@@ -157,9 +210,9 @@ Translation Translator::translate(const GuestBlock &Block,
         return MemPlan::Inline;
     }
     return P;
-  };
+  }
 
-  auto emitRange = [&](size_t From, size_t To, MvMode Mode) {
+  void emitRange(size_t From, size_t To, MvMode Mode) {
   for (size_t Idx = From; Idx != To; ++Idx) {
     const guest::GuestInst &I = Block.Insts[Idx];
     uint32_t Pc = Block.InstPcs[Idx];
@@ -343,6 +396,33 @@ Translation Translator::translate(const GuestBlock &Block,
         Asm.materialize32(RegScratch1, static_cast<uint32_t>(I.Imm));
         Asm.op(L.CmpOp, hostGpr(I.Reg1), RegScratch1, RegScratch2);
       }
+      if (Continues) {
+        // Trace-aware lowering: the on-trace arm falls through to the
+        // next constituent, the off-trace arm branches to a side exit.
+        uint32_t TakenPc = J.branchTarget(JPc);
+        uint32_t FallPc = J.nextPc(JPc);
+        if (TakenPc == NextPc) {
+          if (L.BranchIfTrue)
+            Asm.beq(RegScratch2, side(FallPc));
+          else
+            Asm.bne(RegScratch2, side(FallPc));
+        } else if (FallPc == NextPc) {
+          if (L.BranchIfTrue)
+            Asm.bne(RegScratch2, side(TakenPc));
+          else
+            Asm.beq(RegScratch2, side(TakenPc));
+        } else {
+          // Neither arm continues the trace (the walker should never
+          // build this); both arms become side exits, defensively.
+          if (L.BranchIfTrue)
+            Asm.bne(RegScratch2, side(TakenPc));
+          else
+            Asm.beq(RegScratch2, side(TakenPc));
+          Asm.br(side(FallPc));
+        }
+        ++Idx; // consume the Jcc
+        break;
+      }
       HostAssembler::Label Taken = Asm.newLabel();
       if (L.BranchIfTrue)
         Asm.bne(RegScratch2, Taken);
@@ -418,7 +498,22 @@ Translation Translator::translate(const GuestBlock &Block,
       break;
     }
   }
-  };
+  }
+};
+
+} // namespace
+
+Translation Translator::translate(const GuestBlock &Block,
+                                  const PlanFn &Plan, uint32_t Generation,
+                                  const TranslationOpts &Opts) {
+  HostAssembler Asm(Code);
+  Translation T;
+  T.GuestPc = Block.StartPc;
+  T.EntryWord = Asm.pos();
+  T.GuestInsts = static_cast<uint32_t>(Block.size());
+  T.Generation = Generation;
+
+  BodyEmitter E(Asm, T, Block, Plan, Opts.IcWays);
 
   // Block-granularity multi-version (paper section IV-D): find the
   // first multi-version site; one alignment check there selects between
@@ -429,7 +524,7 @@ Translation Translator::translate(const GuestBlock &Block,
   size_t Split = Block.size();
   if (Opts.BlockMultiVersion) {
     for (size_t Idx = 0; Idx != Block.size(); ++Idx) {
-      if (planFor(Idx, MvMode::PerInst) == MemPlan::MultiVersion) {
+      if (E.planFor(Idx, MvMode::PerInst) == MemPlan::MultiVersion) {
         Split = Idx;
         break;
       }
@@ -437,7 +532,7 @@ Translation Translator::translate(const GuestBlock &Block,
   }
 
   if (Split != Block.size()) {
-    emitRange(0, Split, MvMode::PerInst);
+    E.emitRange(0, Split, MvMode::PerInst);
     // The version check on the split site's address.
     const guest::GuestInst &I = Block.Insts[Split];
     AddrOperand A = computeAddress(Asm, I);
@@ -451,11 +546,56 @@ Translation Translator::translate(const GuestBlock &Block,
             RegMvT1);
     HostAssembler::Label MisCopy = Asm.newLabel();
     Asm.bne(RegMvT1, MisCopy);
-    emitRange(Split, Block.size(), MvMode::Plain);
+    E.emitRange(Split, Block.size(), MvMode::Plain);
     Asm.bind(MisCopy);
-    emitRange(Split, Block.size(), MvMode::Sequences);
+    E.emitRange(Split, Block.size(), MvMode::Sequences);
   } else {
-    emitRange(0, Block.size(), MvMode::PerInst);
+    E.emitRange(0, Block.size(), MvMode::PerInst);
+  }
+
+  Asm.finish();
+  T.EndWord = Asm.pos();
+  return T;
+}
+
+Translation Translator::translateTrace(const std::vector<GuestBlock> &Blocks,
+                                       const PlanFn &Plan,
+                                       uint32_t Generation,
+                                       const TranslationOpts &Opts) {
+  assert(Blocks.size() >= 2 && "a trace spans at least two blocks");
+  HostAssembler Asm(Code);
+  Translation T;
+  T.GuestPc = Blocks.front().StartPc;
+  T.EntryWord = Asm.pos();
+  T.Generation = Generation;
+  T.IsTrace = true;
+
+  // One side-exit stub per unique off-trace target, shared by every
+  // constituent (bound after the straight-line body).
+  std::map<uint32_t, HostAssembler::Label> SideLabels;
+
+  for (size_t B = 0; B != Blocks.size(); ++B) {
+    const GuestBlock &Blk = Blocks[B];
+    T.Constituents.push_back(Blk.StartPc);
+    T.GuestInsts += static_cast<uint32_t>(Blk.size());
+    BodyEmitter E(Asm, T, Blk, Plan, Opts.IcWays);
+    if (B + 1 != Blocks.size()) {
+      E.Continues = true;
+      E.NextPc = Blocks[B + 1].StartPc;
+      E.SideLabels = &SideLabels;
+    }
+    // Constituents render multi-version sites per-instruction even when
+    // the policy asked for block granularity: semantically equivalent
+    // (both copies stay handler-guarded) and it keeps the straight-line
+    // body free of block-tail duplication.
+    E.emitRange(0, Blk.size(), MvMode::PerInst);
+  }
+
+  for (auto &KV : SideLabels) {
+    Asm.bind(KV.second);
+    Asm.materialize32(RegExitPc, KV.first);
+    uint32_t W = Asm.srv(SrvFunc::Exit);
+    T.Exits.push_back({W, KV.first, /*Direct=*/true, /*Chained=*/false});
   }
 
   Asm.finish();

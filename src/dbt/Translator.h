@@ -59,6 +59,17 @@ public:
                         uint32_t Generation = 0,
                         const TranslationOpts &Opts = TranslationOpts());
 
+  /// Re-emit \p Blocks (>= 2, head first) as one straight-line
+  /// superblock at the arena tail (EngineConfig::Superblocks).  On-trace
+  /// control flow falls through between constituents; off-trace edges
+  /// branch to shared side-exit stubs (one chainable Srv Exit per unique
+  /// target).  \p Plan must reproduce each site's original MDA treatment
+  /// (the engine replays Translation::PlanByPc), so the trace is
+  /// architecturally identical to running its constituents.
+  Translation translateTrace(const std::vector<GuestBlock> &Blocks,
+                             const PlanFn &Plan, uint32_t Generation,
+                             const TranslationOpts &Opts);
+
   /// An out-of-line MDA stub emitted by the exception handler.
   struct StubInfo {
     uint32_t Entry = 0;

@@ -49,6 +49,16 @@ struct CostModel {
   uint32_t MonitorDispatchCycles = 60;
   /// Patching one chain link between translated blocks.
   uint32_t ChainPatchCycles = 20;
+  /// Hash-table monitor dispatch (EngineConfig::HashDispatch): a hit is
+  /// one table probe plus the indirect jump into translated code —
+  /// replacing the MonitorDispatchCycles map-lookup path.
+  uint32_t DispatchTableHitCycles = 15;
+  /// Each additional probe along an open-addressing collision chain,
+  /// charged on hits beyond the first probe.  Misses are not priced —
+  /// the baseline path folds its failed map lookup into the
+  /// interpretation/translation episode it starts, and the table keeps
+  /// the same convention so the two dispatch models stay comparable.
+  uint32_t DispatchProbeCycles = 5;
 };
 
 } // namespace host

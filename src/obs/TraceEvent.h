@@ -56,7 +56,11 @@ namespace obs {
   X(AnalysisVerdict, "analysis.verdict")                                     \
   X(AnalysisSummary, "analysis.summary")                                     \
   X(VerifyPass, "verify.pass")                                               \
-  X(VerifyFail, "verify.fail")
+  X(VerifyFail, "verify.fail")                                               \
+  X(DispatchIcFill, "dispatch.ic_fill")                                      \
+  X(DispatchIcEvict, "dispatch.ic_evict")                                    \
+  X(TraceFormed, "trace.formed")                                             \
+  X(TraceDeopt, "trace.deopt")
 
 /// Every event the observability layer can record.
 enum class TraceEventKind : uint8_t {

@@ -375,6 +375,43 @@ TEST(ChaosEngineTest, RandomizedCampaignsNeverWedgeOrCorrupt) {
   }
 }
 
+TEST(ChaosEngineTest, DispatchMechanismsSurviveRandomizedCampaigns) {
+  // Hash dispatch, inline caches, and superblocks all add mutable
+  // host-code surface (table entries, IC guard words, trace installs
+  // with chain redirection); under randomized injection they must keep
+  // the same contract as the baseline — survive bit-exactly or abort
+  // with a typed error, never wedge, never pass verification with a
+  // structurally broken cache.
+  guest::GuestImage Image = lateOnsetProgram(600, 150);
+  Oracle O = interpretOracle(Image);
+  const mda::PolicySpec Specs[] = {
+      {mda::MechanismKind::ExceptionHandling, 10, true, 0, false},
+      {mda::MechanismKind::Dpeh, 10, false, 4, false},
+  };
+  for (uint64_t Seed = 0; Seed != 24; ++Seed) {
+    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(9100 + Seed);
+    std::unique_ptr<dbt::MdaPolicy> Policy =
+        mda::makePolicy(Specs[Seed % 2]);
+    dbt::EngineConfig Config;
+    Config.HashDispatch = true;
+    Config.InlineCaches = true;
+    Config.Superblocks = true;
+    Config.Verify = true;
+    if (Seed % 3 == 1)
+      Config.CodeCacheLimitWords = 200;
+    if (Seed % 3 == 2)
+      Config.FlushOnSupersede = true;
+    dbt::RunResult R = runChaos(Image, *Policy, Plan, Config);
+    if (R.completed()) {
+      expectMatchesOracle(
+          R, O, ("dispatch chaos seed " + std::to_string(Seed)).c_str());
+    } else {
+      EXPECT_NE(R.Error, dbt::RunError::MonitorStepLimit)
+          << "dispatch campaign " << Seed << " wedged";
+    }
+  }
+}
+
 // ---- code-cache verifier under injection -----------------------------------
 
 namespace {
@@ -403,7 +440,8 @@ struct FakeTranslation {
                             BodyEnd,
                             {{StubBegin, StubEnd}},
                             {{FaultWord, /*Reverted=*/false}},
-                            {ExitWord}});
+                            {ExitWord},
+                            /*IcWays=*/{}});
   }
 
   /// The word the engine would patch over the fault site.

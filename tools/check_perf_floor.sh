@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Soft MIPS-floor check: compare a freshly measured bench_perf.json
+# against the checked-in reference and emit a GitHub Actions ::warning
+# annotation — never a failure — for any throughput field that regressed
+# by more than 10%.  Wall-clock MIPS depends on the runner, so a hard
+# gate would flake; the warning keeps regressions visible in the checks
+# UI without blocking merges.
+#
+# Usage: check_perf_floor.sh <fresh bench_perf.json> [reference.json]
+# The reference defaults to the repo's results/bench_perf.json.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FRESH="${1:?usage: check_perf_floor.sh <fresh bench_perf.json> [reference.json]}"
+REF="${2:-$ROOT/results/bench_perf.json}"
+
+if [ ! -f "$FRESH" ]; then
+  echo "check_perf_floor: fresh measurement '$FRESH' not found" >&2
+  exit 1
+fi
+if [ ! -f "$REF" ]; then
+  echo "check_perf_floor: reference '$REF' not found" >&2
+  exit 1
+fi
+
+# Pull `"key": <number>` out of the flat JSON; every throughput key is
+# unique across the file so no real parser is needed.
+field() { sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' "$1" | head -n 1; }
+
+# Every MIPS field the perf record carries; ratios/seconds are excluded
+# (they compare a run against itself, so the floor is meaningless there).
+FIELDS="predecode_mips legacy_mips interpreter_mips
+        baseline_mips hash_mips ic_mips superblock_mips all_on_mips"
+
+checked=0
+warned=0
+for key in $FIELDS; do
+  new="$(field "$FRESH" "$key")"
+  old="$(field "$REF" "$key")"
+  if [ -z "$new" ] || [ -z "$old" ]; then
+    echo "::warning ::check_perf_floor: field '$key' missing from $([ -z "$new" ] && echo fresh || echo reference) bench_perf.json"
+    warned=$((warned + 1))
+    continue
+  fi
+  checked=$((checked + 1))
+  if awk -v n="$new" -v o="$old" 'BEGIN { exit !(o > 0 && n < 0.9 * o) }'; then
+    pct="$(awk -v n="$new" -v o="$old" 'BEGIN { printf "%.1f", 100 * (o - n) / o }')"
+    echo "::warning ::check_perf_floor: $key regressed ${pct}% (${new} MIPS vs reference ${old})"
+    warned=$((warned + 1))
+  fi
+done
+
+echo "check_perf_floor: $checked fields compared, $warned warnings (soft check, always passes)"
+exit 0
