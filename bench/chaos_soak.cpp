@@ -17,14 +17,32 @@
 ///     means the degradation ladder failed to contain a livelock
 ///     (an engine wedge), which fails the soak.
 ///
+/// Two campaign phases run back to back:
+///
+///   1. the classic phase over two SPEC programs (flush, supersede and
+///      dispatch surfaces under injection);
+///   2. the SMC-storm phase over the hostile-guest suite
+///      (src/workloads/Hostile.h): self-modifying and churn adversaries
+///      with the write barrier, re-analysis and the budget ceilings
+///      live, still under fault injection, checked against the pure
+///      interpreter oracle.
+///
+/// Every failure line prints the campaign's derived fault-plan seed and
+/// the exact replay invocation (`--seed S --campaign I` or
+/// `--seed S --smc-campaign I`), so any wedge or corruption seen in a
+/// CI log is reproducible from the log alone.
+///
 /// Registered as a ctest target; MDABT_CHAOS_CAMPAIGNS overrides the
-/// campaign count (default 250).
+/// per-phase campaign count (default 250).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "chaos/FaultPlan.h"
+#include "guest/Interpreter.h"
+#include "mda/PolicyFactory.h"
+#include "workloads/Hostile.h"
 
 #include <cinttypes>
 #include <string>
@@ -53,14 +71,118 @@ struct PolicyTally {
   uint64_t ByError[dbt::NumRunErrors] = {};
 };
 
+/// Ground truth one campaign is diffed against.
+struct Baseline {
+  uint64_t Checksum = 0;
+  uint64_t MemoryHash = 0;
+};
+
+/// Interpreter oracle for a hostile image: the interpreter decodes
+/// fresh bytes every instruction, so it is the SMC ground truth.
+Baseline interpretBaseline(const guest::GuestImage &Image) {
+  guest::GuestMemory Mem;
+  Mem.loadImage(Image);
+  guest::GuestCPU Cpu;
+  Cpu.reset(Image);
+  guest::Interpreter Interp(Mem);
+  Interp.run(Cpu, 500'000'000ULL);
+  if (!Cpu.Halted) {
+    std::fprintf(stderr, "error: oracle run of %s did not halt\n",
+                 Image.Name.c_str());
+    std::exit(1);
+  }
+  return {Cpu.Checksum, dbt::fnv1a(Mem.data(), Mem.size())};
+}
+
+/// Outcome classes shared by both phases' tallies.
+enum class Outcome { Survived, Degraded, Wedged, Corrupt };
+
+Outcome classify(const dbt::RunResult &R, const Baseline &Base) {
+  if (R.completed())
+    return (R.Checksum == Base.Checksum && R.MemoryHash == Base.MemoryHash)
+               ? Outcome::Survived
+               : Outcome::Corrupt;
+  return R.Error == dbt::RunError::MonitorStepLimit ? Outcome::Wedged
+                                                    : Outcome::Degraded;
+}
+
+void tallyOutcome(PolicyTally &T, const dbt::RunResult &R, Outcome O) {
+  ++T.Campaigns;
+  T.Injected += R.Counters.get("chaos.injected");
+  T.WatchdogTrips += R.Counters.get("harden.watchdog_trips");
+  T.InterpPins += R.Counters.get("harden.interp_only_blocks");
+  ++T.ByError[static_cast<size_t>(R.Error)];
+  switch (O) {
+  case Outcome::Survived:
+    ++T.Survived;
+    break;
+  case Outcome::Degraded:
+    ++T.Degraded;
+    break;
+  case Outcome::Wedged:
+    ++T.Wedged;
+    break;
+  case Outcome::Corrupt:
+    ++T.Corrupt;
+    break;
+  }
+}
+
+void printSurvival(const char *Name, const PolicyCase *Cases,
+                   size_t NumCases, const PolicyTally *Tally) {
+  TablePrinter T({"Policy", "Campaigns", "Survived", "Degraded", "Wedged",
+                  "Corrupt", "Injected", "WatchdogTrips", "InterpPins"});
+  for (size_t C = 0; C != NumCases; ++C) {
+    const PolicyTally &Y = Tally[C];
+    T.addRow({Cases[C].Label, withCommas(Y.Campaigns),
+              withCommas(Y.Survived), withCommas(Y.Degraded),
+              withCommas(Y.Wedged), withCommas(Y.Corrupt),
+              withCommas(Y.Injected), withCommas(Y.WatchdogTrips),
+              withCommas(Y.InterpPins)});
+  }
+  printTable(T, Name);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   Options Opt = parseArgs(argc, argv);
-  banner("Chaos soak: seeded fault-injection campaigns against every MDA "
-         "policy",
-         "every campaign either survives bit-exactly or aborts with a "
-         "typed RunError; zero wedges, zero silent corruption");
+
+  // Replay flags (left in argv by parseArgs): run exactly one campaign
+  // of the chosen phase.  A failing CI log line prints the invocation
+  // verbatim, so replay needs nothing but the log.
+  long long ReplayMain = -1, ReplaySmc = -1;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    auto Value = [&](const char *Flag) -> const char * {
+      size_t Len = std::strlen(Flag);
+      if (std::strncmp(Arg, Flag, Len) != 0)
+        return nullptr;
+      if (Arg[Len] == '=')
+        return Arg + Len + 1;
+      if (Arg[Len] == '\0' && I + 1 < argc)
+        return argv[++I];
+      return nullptr;
+    };
+    if (const char *V = Value("--campaign")) {
+      ReplayMain = std::atoll(V);
+    } else if (const char *V = Value("--smc-campaign")) {
+      ReplaySmc = std::atoll(V);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--seed S] [--campaign I] "
+                   "[--smc-campaign I]\nerror: unknown argument %s\n",
+                   argv[0], Arg);
+      return 2;
+    }
+  }
+  const bool Replay = ReplayMain >= 0 || ReplaySmc >= 0;
+
+  if (!Replay)
+    banner("Chaos soak: seeded fault-injection campaigns against every MDA "
+           "policy",
+           "every campaign either survives bit-exactly or aborts with a "
+           "typed RunError; zero wedges, zero silent corruption");
 
   uint64_t Campaigns = 250;
   if (const char *Env = std::getenv("MDABT_CHAOS_CAMPAIGNS")) {
@@ -94,14 +216,159 @@ int main(int argc, char **argv) {
     }
   }
 
-  // Fault-free baselines: every policy must agree on the observable
-  // final state of each program — that shared state is the ground truth
-  // the chaos runs are checked against.
-  struct Baseline {
-    uint64_t Checksum = 0;
-    uint64_t MemoryHash = 0;
+  const std::vector<workloads::HostileProgram> Hostile =
+      workloads::hostileCatalog();
+  const size_t NumHostile = Hostile.size();
+
+  // Per-campaign fault-plan seeds.  Both formulas are part of the
+  // replay contract: a printed (base seed, campaign index) pair fully
+  // determines the plan.
+  auto mainPlanSeed = [&](uint64_t I) -> uint64_t {
+    return Opt.Seed * 1000003 + I;
   };
-  // The baseline runs are themselves independent; fan them out too.
+  auto smcPlanSeed = [&](uint64_t I) -> uint64_t {
+    return Opt.Seed * 1000003 + 1000000007 + I;
+  };
+
+  // --- campaign runners (shared by the soak and by replay mode) ------
+
+  auto runMainCampaign = [&](uint64_t I) -> dbt::RunResult {
+    size_t P = static_cast<size_t>(I % NumProgs);
+    size_t C = static_cast<size_t>((I / NumProgs) % NumCases);
+    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(mainPlanSeed(I));
+
+    dbt::EngineConfig Config;
+    // A wedge (uncontained livelock) must surface quickly as
+    // MonitorStepLimit instead of hanging the soak.
+    Config.MaxMonitorSteps = 500'000;
+    Config.Chaos = &Plan;
+    // The code-cache verifier runs on every campaign: injected faults
+    // that leave the cache structurally malformed must be caught as a
+    // typed VerifyFailed abort, never as silent corruption.
+    Config.Verify = true;
+    // Rotate through the cache configurations that stress the flush and
+    // supersede paths.
+    switch (I % 4) {
+    case 1:
+      Config.CodeCacheLimitWords = 256;
+      break;
+    case 2:
+      Config.CodeCacheLimitWords = 2000;
+      break;
+    case 3:
+      Config.FlushOnSupersede = true;
+      break;
+    default:
+      break;
+    }
+    // Rotate the hot-dispatch mechanisms in as well (coprime with the
+    // cache rotation above, so the combinations cross-product): inline
+    // caches and trace formation add patch surface the injector can
+    // tear, and the dispatch table must stay coherent through chaos
+    // flushes.  Architectural identity across dispatch configs means
+    // the fault-free baselines stay valid ground truth.
+    switch (I % 3) {
+    case 1:
+      Config.HashDispatch = true;
+      Config.InlineCaches = true;
+      break;
+    case 2:
+      Config.HashDispatch = true;
+      Config.InlineCaches = true;
+      Config.Superblocks = true;
+      break;
+    default:
+      break;
+    }
+    // Every fifth campaign runs with tight tolerance ceilings so the
+    // typed-abort paths (PatchFailed/TranslationFailed/CacheThrash) are
+    // exercised, not just the unlimited-degradation paths.
+    if (I % 5 == 4) {
+      Config.Hardening.PatchFailureLimit = 8;
+      Config.Hardening.TranslationFailureLimit = 64;
+      Config.Hardening.FlushLimit = 32;
+      Config.Hardening.MaxWatchdogTrips = 64;
+    }
+
+    return reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, Config);
+  };
+
+  auto runSmcCampaign = [&](uint64_t I) -> dbt::RunResult {
+    size_t P = static_cast<size_t>(I % NumHostile);
+    size_t C = static_cast<size_t>((I / NumHostile) % NumCases);
+    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(smcPlanSeed(I));
+
+    dbt::EngineConfig Config;
+    Config.MaxMonitorSteps = 500'000;
+    Config.Chaos = &Plan;
+    Config.Verify = true;
+    // The alignment analysis is on for every SMC campaign: verdict
+    // revocation and lazy re-analysis must stay sound while the
+    // injector tears patches out from under the invalidation path.
+    Config.Analysis = true;
+    switch (I % 4) {
+    case 1:
+      Config.CodeCacheLimitWords = 256;
+      break;
+    case 2:
+      Config.CodeCacheLimitWords = 2000;
+      break;
+    case 3:
+      Config.FlushOnSupersede = true;
+      break;
+    default:
+      break;
+    }
+    // Keyed off I / NumHostile, not I: the hostile catalog holds three
+    // programs, so an `I % 3` here would alias program and dispatch
+    // config (smc.churn would only ever meet superblocks) instead of
+    // cross-producting them.
+    switch ((I / NumHostile) % 3) {
+    case 1:
+      Config.HashDispatch = true;
+      Config.InlineCaches = true;
+      break;
+    case 2:
+      Config.HashDispatch = true;
+      Config.InlineCaches = true;
+      Config.Superblocks = true;
+      break;
+    default:
+      break;
+    }
+    if (I % 5 == 4) {
+      Config.Hardening.PatchFailureLimit = 8;
+      Config.Hardening.TranslationFailureLimit = 64;
+      Config.Hardening.FlushLimit = 32;
+      Config.Hardening.MaxWatchdogTrips = 64;
+    }
+    // Rotate the resource-governance surfaces in too: ceilings convert
+    // the churn adversary into typed budget aborts, the pin converts it
+    // into interp-only degradation — both must stay typed under chaos.
+    if (I % 7 == 6) {
+      Config.Budget.MaxChurn = 96;
+      Config.Budget.MaxCodeBytes = 24576;
+    } else if (I % 7 == 3) {
+      Config.Budget.SmcChurnPinLimit = 3;
+    }
+
+    std::unique_ptr<dbt::MdaPolicy> Policy =
+        mda::makePolicy(Cases[C].Spec, &Hostile[P].Image);
+    dbt::Engine Engine(Hostile[P].Image, *Policy, Config);
+    return Engine.run();
+  };
+
+  // --- ground truth --------------------------------------------------
+
+  // Hostile baselines come straight from the interpreter oracle.
+  std::vector<Baseline> HostileBase;
+  for (const workloads::HostileProgram &P : Hostile)
+    HostileBase.push_back(interpretBaseline(P.Image));
+
+  // Fault-free SPEC baselines: every policy must agree on the
+  // observable final state of each program — that shared state is the
+  // ground truth the chaos runs are checked against.  The baseline runs
+  // are themselves independent; fan them out too.
   std::vector<dbt::RunResult> BaseRuns(NumProgs * NumCases);
   parallelFor(Opt.Jobs, BaseRuns.size(), [&](size_t I) {
     size_t P = I / NumCases;
@@ -133,72 +400,41 @@ int main(int argc, char **argv) {
     }
   }
 
+  // --- replay mode: one campaign, verdict on stdout ------------------
+
+  if (Replay) {
+    const bool Smc = ReplaySmc >= 0;
+    uint64_t I = static_cast<uint64_t>(Smc ? ReplaySmc : ReplayMain);
+    dbt::RunResult R = Smc ? runSmcCampaign(I) : runMainCampaign(I);
+    const Baseline &B =
+        Smc ? HostileBase[I % NumHostile] : Base[I % NumProgs];
+    const char *Prog = Smc ? Hostile[I % NumHostile].Name.c_str()
+                           : Progs[I % NumProgs]->Name;
+    const char *Policy =
+        Cases[(I / (Smc ? NumHostile : NumProgs)) % NumCases].Label;
+    uint64_t PlanSeed = Smc ? smcPlanSeed(I) : mainPlanSeed(I);
+    Outcome O = classify(R, B);
+    const char *Verdict = O == Outcome::Survived   ? "SURVIVED"
+                          : O == Outcome::Degraded ? "DEGRADED"
+                          : O == Outcome::Wedged   ? "WEDGE"
+                                                   : "CORRUPT";
+    std::printf("replay %s campaign %" PRIu64 " (%s, %s, plan seed "
+                "0x%" PRIx64 "): %s (error=%s, injected=%" PRIu64 ")\n",
+                Smc ? "smc" : "main", I, Prog, Policy, PlanSeed, Verdict,
+                dbt::runErrorName(R.Error),
+                R.Counters.get("chaos.injected"));
+    return (O == Outcome::Wedged || O == Outcome::Corrupt) ? 1 : 0;
+  }
+
+  // --- phase 1: classic campaigns over the SPEC programs -------------
+
   // Every campaign's fault plan is derived from (base seed, index), so
   // the campaigns are shared-nothing and can run in any order; the tally
   // below walks the index-addressed results serially, keeping the report
   // and every stderr diagnostic in campaign order regardless of --jobs.
   std::vector<dbt::RunResult> Runs(Campaigns);
-  parallelFor(Opt.Jobs, Campaigns, [&](size_t I) {
-    size_t P = static_cast<size_t>(I % NumProgs);
-    size_t C = static_cast<size_t>((I / NumProgs) % NumCases);
-    chaos::FaultPlan Plan =
-        chaos::FaultPlan::randomized(Opt.Seed * 1000003 + I);
-
-    dbt::EngineConfig Config;
-    // A wedge (uncontained livelock) must surface quickly as
-    // MonitorStepLimit instead of hanging the soak.
-    Config.MaxMonitorSteps = 500'000;
-    Config.Chaos = &Plan;
-    // The code-cache verifier runs on every campaign: injected faults
-    // that leave the cache structurally malformed must be caught as a
-    // typed VerifyFailed abort, never as silent corruption.
-    Config.Verify = true;
-    // Rotate through the cache configurations that stress the flush and
-    // supersede paths.
-    switch (I % 4) {
-    case 1:
-      Config.CodeCacheLimitWords = 256;
-      break;
-    case 2:
-      Config.CodeCacheLimitWords = 2000;
-      break;
-    case 3:
-      Config.FlushOnSupersede = true;
-      break;
-    default:
-      break;
-    }
-    // Rotate the hot-dispatch mechanisms in as well (coprime with the
-    // cache rotation above, so the combinations cross-product): inline
-    // caches and trace formation add patch surface the injector can
-    // tear, and the dispatch table must stay coherent through chaos
-    // flushes.  Architectural identity across dispatch configs means
-    // the fault-free baselines above stay valid ground truth.
-    switch (I % 3) {
-    case 1:
-      Config.HashDispatch = true;
-      Config.InlineCaches = true;
-      break;
-    case 2:
-      Config.HashDispatch = true;
-      Config.InlineCaches = true;
-      Config.Superblocks = true;
-      break;
-    default:
-      break;
-    }
-    // Every fifth campaign runs with tight tolerance ceilings so the
-    // typed-abort paths (PatchFailed/TranslationFailed/CacheThrash) are
-    // exercised, not just the unlimited-degradation paths.
-    if (I % 5 == 4) {
-      Config.Hardening.PatchFailureLimit = 8;
-      Config.Hardening.TranslationFailureLimit = 64;
-      Config.Hardening.FlushLimit = 32;
-      Config.Hardening.MaxWatchdogTrips = 64;
-    }
-
-    Runs[I] = reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, Config);
-  });
+  parallelFor(Opt.Jobs, Campaigns,
+              [&](size_t I) { Runs[I] = runMainCampaign(I); });
 
   PolicyTally Tally[NumCases];
   uint64_t CorruptTotal = 0, WedgedTotal = 0;
@@ -207,71 +443,94 @@ int main(int argc, char **argv) {
     size_t P = static_cast<size_t>(I % NumProgs);
     size_t C = static_cast<size_t>((I / NumProgs) % NumCases);
     const dbt::RunResult &R = Runs[I];
-
-    PolicyTally &T = Tally[C];
-    ++T.Campaigns;
-    T.Injected += R.Counters.get("chaos.injected");
-    T.WatchdogTrips += R.Counters.get("harden.watchdog_trips");
-    T.InterpPins += R.Counters.get("harden.interp_only_blocks");
-    ++T.ByError[static_cast<size_t>(R.Error)];
-    if (R.completed()) {
-      if (R.Checksum == Base[P].Checksum &&
-          R.MemoryHash == Base[P].MemoryHash) {
-        ++T.Survived;
-      } else {
-        ++T.Corrupt;
-        ++CorruptTotal;
-        std::fprintf(stderr,
-                     "CORRUPT: campaign %" PRIu64 " (%s, %s, seed-derived "
-                     "plan) completed with diverged state\n",
-                     I, Progs[P]->Name, Cases[C].Label);
-      }
-    } else if (R.Error == dbt::RunError::MonitorStepLimit) {
-      ++T.Wedged;
+    Outcome O = classify(R, Base[P]);
+    tallyOutcome(Tally[C], R, O);
+    if (O == Outcome::Corrupt) {
+      ++CorruptTotal;
+      std::fprintf(stderr,
+                   "CORRUPT: campaign %" PRIu64 " (%s, %s, plan seed "
+                   "0x%" PRIx64 ") completed with diverged state — replay: "
+                   "chaos_soak --seed 0x%" PRIx64 " --campaign %" PRIu64
+                   "\n",
+                   I, Progs[P]->Name, Cases[C].Label, mainPlanSeed(I),
+                   Opt.Seed, I);
+    } else if (O == Outcome::Wedged) {
       ++WedgedTotal;
       std::fprintf(stderr,
-                   "WEDGE: campaign %" PRIu64 " (%s, %s) hit the monitor "
-                   "step guard — livelock not contained\n",
-                   I, Progs[P]->Name, Cases[C].Label);
-    } else {
-      ++T.Degraded;
+                   "WEDGE: campaign %" PRIu64 " (%s, %s, plan seed "
+                   "0x%" PRIx64 ") hit the monitor step guard — livelock "
+                   "not contained — replay: chaos_soak --seed 0x%" PRIx64
+                   " --campaign %" PRIu64 "\n",
+                   I, Progs[P]->Name, Cases[C].Label, mainPlanSeed(I),
+                   Opt.Seed, I);
     }
   }
 
-  TablePrinter T({"Policy", "Campaigns", "Survived", "Degraded", "Wedged",
-                  "Corrupt", "Injected", "WatchdogTrips", "InterpPins"});
-  uint64_t SurvivedTotal = 0, DegradedTotal = 0;
-  for (size_t C = 0; C != NumCases; ++C) {
-    const PolicyTally &Y = Tally[C];
-    SurvivedTotal += Y.Survived;
-    DegradedTotal += Y.Degraded;
-    T.addRow({Cases[C].Label, withCommas(Y.Campaigns),
-              withCommas(Y.Survived), withCommas(Y.Degraded),
-              withCommas(Y.Wedged), withCommas(Y.Corrupt),
-              withCommas(Y.Injected), withCommas(Y.WatchdogTrips),
-              withCommas(Y.InterpPins)});
+  // --- phase 2: SMC-storm campaigns over the hostile suite -----------
+
+  std::vector<dbt::RunResult> SmcRuns(Campaigns);
+  parallelFor(Opt.Jobs, Campaigns,
+              [&](size_t I) { SmcRuns[I] = runSmcCampaign(I); });
+
+  PolicyTally SmcTally[NumCases];
+  for (uint64_t I = 0; I != Campaigns; ++I) {
+    size_t P = static_cast<size_t>(I % NumHostile);
+    size_t C = static_cast<size_t>((I / NumHostile) % NumCases);
+    const dbt::RunResult &R = SmcRuns[I];
+    Outcome O = classify(R, HostileBase[P]);
+    tallyOutcome(SmcTally[C], R, O);
+    if (O == Outcome::Corrupt) {
+      ++CorruptTotal;
+      std::fprintf(stderr,
+                   "CORRUPT: smc campaign %" PRIu64 " (%s, %s, plan seed "
+                   "0x%" PRIx64 ") completed with diverged state — replay: "
+                   "chaos_soak --seed 0x%" PRIx64 " --smc-campaign %" PRIu64
+                   "\n",
+                   I, Hostile[P].Name.c_str(), Cases[C].Label,
+                   smcPlanSeed(I), Opt.Seed, I);
+    } else if (O == Outcome::Wedged) {
+      ++WedgedTotal;
+      std::fprintf(stderr,
+                   "WEDGE: smc campaign %" PRIu64 " (%s, %s, plan seed "
+                   "0x%" PRIx64 ") hit the monitor step guard — livelock "
+                   "not contained — replay: chaos_soak --seed 0x%" PRIx64
+                   " --smc-campaign %" PRIu64 "\n",
+                   I, Hostile[P].Name.c_str(), Cases[C].Label,
+                   smcPlanSeed(I), Opt.Seed, I);
+    }
   }
-  printTable(T, "chaos_soak");
+
+  // --- report --------------------------------------------------------
+
+  printSurvival("chaos_soak", Cases, NumCases, Tally);
+  printSurvival("chaos_soak_smc", Cases, NumCases, SmcTally);
 
   TablePrinter E({"RunError", "Count"});
   for (size_t K = 0; K != dbt::NumRunErrors; ++K) {
     uint64_t N = 0;
     for (size_t C = 0; C != NumCases; ++C)
-      N += Tally[C].ByError[K];
+      N += Tally[C].ByError[K] + SmcTally[C].ByError[K];
     E.addRow({dbt::runErrorName(static_cast<dbt::RunError>(K)),
               withCommas(N)});
   }
   printTable(E, "chaos_soak_errors");
 
-  std::printf("Soak: %" PRIu64 " campaigns, %" PRIu64 " survived, %" PRIu64
+  uint64_t SurvivedTotal = 0, DegradedTotal = 0, SmcSurvived = 0;
+  for (size_t C = 0; C != NumCases; ++C) {
+    SurvivedTotal += Tally[C].Survived + SmcTally[C].Survived;
+    DegradedTotal += Tally[C].Degraded + SmcTally[C].Degraded;
+    SmcSurvived += SmcTally[C].Survived;
+  }
+  std::printf("Soak: %" PRIu64 " campaigns (%" PRIu64 " classic + %" PRIu64
+              " smc-storm), %" PRIu64 " survived, %" PRIu64
               " degraded (typed), %" PRIu64 " wedged, %" PRIu64 " corrupt\n",
-              Campaigns, SurvivedTotal, DegradedTotal, WedgedTotal,
-              CorruptTotal);
+              Campaigns * 2, Campaigns, Campaigns, SurvivedTotal,
+              DegradedTotal, WedgedTotal, CorruptTotal);
   if (WedgedTotal != 0 || CorruptTotal != 0) {
     std::fprintf(stderr, "chaos soak FAILED\n");
     return 1;
   }
-  if (SurvivedTotal == 0) {
+  if (SurvivedTotal == 0 || SmcSurvived == 0) {
     std::fprintf(stderr,
                  "chaos soak FAILED: no campaign survived — injection or "
                  "degradation machinery is misconfigured\n");

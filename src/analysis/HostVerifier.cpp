@@ -35,6 +35,8 @@ const char *verifyIssueKindName(VerifyIssueKind K) {
     return "mda-sequence-malformed";
   case VerifyIssueKind::IcWayBad:
     return "ic-way-bad";
+  case VerifyIssueKind::StaleGuestCode:
+    return "stale-guest-code";
   }
   return "?";
 }
@@ -318,6 +320,35 @@ struct Verifier {
     }
   }
 
+  /// Check 8: guest-code coherence.  Every dirtied guest byte that
+  /// falls inside a live translation's compiled ranges must be older
+  /// than the translation itself (dirty epoch <= birth epoch) — a
+  /// newer epoch means the engine's write barrier failed to invalidate
+  /// a translation whose source bytes were rewritten.  The issue's
+  /// word is the translation's entry; aux is the offending guest byte.
+  void checkGuestCoherence() {
+    if (!Input.GuestDirtyEpoch || Input.GuestDirtyEpoch->empty())
+      return;
+    for (const VerifierBlock &B : Input.Blocks) {
+      if (B.GuestRanges.empty())
+        continue;
+      for (const auto &[Byte, Epoch] : *Input.GuestDirtyEpoch) {
+        if (Epoch <= B.BornEpoch)
+          continue;
+        bool Inside = std::any_of(B.GuestRanges.begin(),
+                                  B.GuestRanges.end(),
+                                  [&](const VerifierRegion &R) {
+                                    return Byte >= R.Begin &&
+                                           Byte < R.End;
+                                  });
+        if (Inside) {
+          issue(VerifyIssueKind::StaleGuestCode, B.EntryWord, Byte);
+          break; // one offending byte per block is enough signal
+        }
+      }
+    }
+  }
+
   VerifyReport run() {
     checkPredecode();
     checkRegions();
@@ -325,6 +356,7 @@ struct Verifier {
     checkExits();
     checkMdaSequences();
     checkIcWays();
+    checkGuestCoherence();
     return std::move(Report);
   }
 };

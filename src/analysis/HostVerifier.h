@@ -31,7 +31,12 @@
 ///     shape whose final branch targets a live translation's entry.
 ///     The way shape is re-derived here independently of the engine's
 ///     emitter — intentionally duplicated constants, so a drift between
-///     the two is a caught bug, not a silently shared one.
+///     the two is a caught bug, not a silently shared one;
+///  8. guest-code coherence: no live translation's compiled guest byte
+///     ranges carry a dirty epoch newer than the translation's birth —
+///     i.e. the engine's write barrier invalidated every translation
+///     whose source bytes were rewritten (self-modifying code) before
+///     this verification point.
 ///
 /// The verifier is read-only and engine-agnostic: the engine describes
 /// its bookkeeping through `VerifierInput` and gets a `VerifyReport`
@@ -46,6 +51,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -64,6 +70,8 @@ enum class VerifyIssueKind : uint8_t {
   MdaSequenceMalformed, ///< Incomplete or corrupted MDA sequence.
   IcWayBad, ///< Inline-cache way is neither cleanly disabled nor a
             ///< byte-exact filled shape targeting a live entry.
+  StaleGuestCode, ///< Live translation built from guest bytes that were
+                  ///< rewritten after it was installed.
 };
 
 const char *verifyIssueKindName(VerifyIssueKind K);
@@ -106,6 +114,11 @@ struct VerifierBlock {
   std::vector<uint32_t> ExitWords;
   /// Non-quarantined inline-cache ways at indirect exits.
   std::vector<VerifierIcWay> IcWays;
+  /// Half-open *guest byte* ranges this translation was compiled from
+  /// (check 8; empty disables the check for this block).
+  std::vector<VerifierRegion> GuestRanges;
+  /// Guest-store epoch when this translation was installed (check 8).
+  uint64_t BornEpoch = 0;
 };
 
 /// The engine's view of the cache, handed to the verifier.
@@ -120,6 +133,11 @@ struct VerifierInput {
   /// the check fails closed if it disagrees with the verifier's own
   /// 6-word shape.
   uint32_t IcWayWords = 6;
+  /// Dirtied guest code byte -> epoch of the store that dirtied it
+  /// (check 8).  Byte-granular so a live translation sharing a watch
+  /// page with a rewritten neighbour is not a false positive.  Null
+  /// disables the check.
+  const std::unordered_map<uint32_t, uint64_t> *GuestDirtyEpoch = nullptr;
 };
 
 struct VerifyReport {

@@ -12,6 +12,7 @@
 #include "dbt/DispatchTable.h"
 #include "dbt/GuestBlock.h"
 #include "dbt/Translator.h"
+#include "guest/Encoding.h"
 #include "guest/Interpreter.h"
 #include "guest/MdaCensus.h"
 #include "host/HostAssembler.h"
@@ -58,6 +59,12 @@ const char *mdabt::dbt::runErrorName(RunError E) {
     return "cache-thrash";
   case RunError::VerifyFailed:
     return "verify-failed";
+  case RunError::BudgetTranslations:
+    return "budget-translations";
+  case RunError::BudgetCodeBytes:
+    return "budget-code-bytes";
+  case RunError::BudgetChurn:
+    return "budget-churn";
   }
   return "unknown";
 }
@@ -95,6 +102,14 @@ public:
         HInterpInsts(&Reg.histogram("interp.block_insts")) {
     Mem.loadImage(Image);
     Cpu.reset(Image);
+    // Guest-code write barrier (self-modifying-code coherence): the
+    // callback only fires for stores into pages backing live
+    // translations, so runs that never execute natively never pay.
+    EntryPc = Image.Entry;
+    StackTopAddr = Image.StackTop;
+    Mem.setWriteWatcher([this](uint32_t Addr, unsigned Size) {
+      onGuestCodeStore(Addr, Size);
+    });
     if (Config.HashDispatch)
       Dispatch.emplace();
     if (Config.Analysis) {
@@ -269,6 +284,11 @@ private:
                                   bool AllowFlush = false) {
     if (InterpOnly.count(GuestPc))
       return nullptr; // degradation rung 3: this block stays interpreted
+    // Never plan from stale verdicts: a supersede can reach here before
+    // the monitor loop's own re-analysis point.
+    maybeReanalyze();
+    if (Abort != RunError::None)
+      return nullptr;
     // Capacity policy: flush before installing, and only from monitor
     // context (translated code must not be running during a flush).
     if (AllowFlush && Config.CodeCacheLimitWords != 0 &&
@@ -310,10 +330,13 @@ private:
     BlockMap[GuestPc] = T;
     if (Dispatch)
       Dispatch->insert(GuestPc, T);
+    trackTranslation(T);
     if (!Policy.translationIsOffline())
       TranslateCycles += static_cast<uint64_t>(Block.size()) *
                          Cost.TranslateCyclesPerInst;
     ++Translations;
+    chargeCodeGrowth();
+    checkBudgets();
     HTransInsts->record(Block.size());
     Trace.emit(obs::TraceEventKind::BlockTranslated, GuestPc, GuestPc,
                Block.size(), Generation);
@@ -355,6 +378,7 @@ private:
   /// stale callers fall back to the monitor.
   void invalidate(Translation *Old) {
     Old->Valid = false;
+    untrackTranslation(Old);
     if (Dispatch)
       Dispatch->eraseIf(Old->GuestPc, Old);
     HTrapBlock->record(Old->FaultCount);
@@ -370,8 +394,14 @@ private:
         // The unchain did not stick (fault injection): a live block now
         // holds a stale branch to this dead entry.  Quarantine the word
         // for the verifier — it is a known, contained casualty until
-        // the next flush, not a fresh corruption.
+        // the next flush, not a fresh corruption.  Exception: under
+        // SMC-triggered invalidation the dead code is *semantically*
+        // stale (the guest bytes it was compiled from were rewritten),
+        // so reaching it would compute old semantics with no trap to
+        // catch it — that must abort, not quarantine.
         StaleChainWords.insert(W);
+        if (SmcStrict)
+          Abort = RunError::PatchFailed;
       }
     }
     Old->IncomingChains.clear();
@@ -387,7 +417,11 @@ private:
       ++IcEvictions;
       Trace.emit(obs::TraceEventKind::DispatchIcEvict, Way.TargetGuestPc,
                  Ref.Owner->GuestPc, Way.Begin, 1);
-      retireIcWay(Way);
+      if (!retireIcWay(Way) && SmcStrict) {
+        // Same strictness as the unchain loop above: a quarantined way
+        // may still branch into semantically stale code.
+        Abort = RunError::PatchFailed;
+      }
     }
     Old->IncomingIcWays.clear();
   }
@@ -405,11 +439,13 @@ private:
       // be inside the fault handler with the old code still running).
       PendingFlush = true;
       ++Supersedes;
+      checkBudgets();
       return;
     }
     invalidate(Old);
     installTranslation(Old->GuestPc, Old->Generation + 1);
     ++Supersedes;
+    checkBudgets();
   }
 
   /// Full code-cache flush (Dynamo-style, or capacity-triggered).  Only
@@ -443,6 +479,14 @@ private:
       T.IncomingChains.clear();
       T.IncomingIcWays.clear();
     }
+    // Write-barrier bookkeeping dies with the arena; invalid
+    // translations were already untracked by invalidate().
+    for (Translation &T : Store)
+      if (T.Valid)
+        untrackTranslation(&T);
+    TrackedByPage.clear();
+    assert(Mem.watchedPages() == 0 &&
+           "write-watch refcounts must drain on flush");
     Code.clear();
     BlockMap.clear();
     Regions.clear();
@@ -454,6 +498,7 @@ private:
     assert(StaleChainWords.empty() &&
            "stale-chain quarantine must drain on flush");
     PendingFlush = false;
+    LastCodeWords = 0; // emission accounting stays monotone
     ++Flushes;
     LastFlushStep = StepIndex;
     if (Hard.FlushLimit != 0 && Flushes > Hard.FlushLimit)
@@ -461,6 +506,258 @@ private:
     // Heat survives: hot blocks retranslate on their next dispatch,
     // exactly like a real cache flush.
     runVerifier();
+  }
+
+  // -- guest-code coherence (self-modifying code) ---------------------------
+
+  /// Visit every watch page covered by \p T's guest ranges, once each
+  /// (adjacent trace constituents may share a page).
+  template <typename Fn>
+  void forEachWatchPage(const Translation *T, Fn F) {
+    std::vector<uint32_t> Pages;
+    for (const auto &R : T->GuestRanges) {
+      uint32_t P0 = R.first >> guest::GuestMemory::WatchPageShift;
+      uint32_t P1 = (R.second - 1) >> guest::GuestMemory::WatchPageShift;
+      for (uint32_t P = P0; P <= P1; ++P)
+        if (std::find(Pages.begin(), Pages.end(), P) == Pages.end())
+          Pages.push_back(P);
+    }
+    for (uint32_t P : Pages)
+      F(P);
+  }
+
+  /// Register a freshly installed translation with the write barrier:
+  /// its guest ranges become watched, and the per-page victim index
+  /// learns about it.  Every install path must pair this with
+  /// untrackTranslation (via invalidate or flushAll).
+  void trackTranslation(Translation *T) {
+    T->BornEpoch = StoreEpoch;
+    for (const auto &R : T->GuestRanges)
+      Mem.watchRange(R.first, R.second);
+    forEachWatchPage(T, [&](uint32_t P) { TrackedByPage[P].push_back(T); });
+  }
+
+  /// Drop a translation from the barrier's bookkeeping (called as it
+  /// leaves service).
+  void untrackTranslation(Translation *T) {
+    for (const auto &R : T->GuestRanges)
+      Mem.unwatchRange(R.first, R.second);
+    forEachWatchPage(T, [&](uint32_t P) {
+      auto It = TrackedByPage.find(P);
+      if (It == TrackedByPage.end())
+        return;
+      auto VIt = std::find(It->second.begin(), It->second.end(), T);
+      if (VIt != It->second.end())
+        It->second.erase(VIt);
+      if (It->second.empty())
+        TrackedByPage.erase(It);
+    });
+  }
+
+  /// The guest-code write barrier.  GuestMemory calls this for every
+  /// store whose first or last byte lands on a watched page — i.e. a
+  /// page backing at least one live translation.  Models the
+  /// page-protection trap a real DBT takes on such stores, then
+  /// performs precise transactional invalidation: every live
+  /// translation whose *compiled byte ranges* overlap the store is
+  /// retired before the next dispatch (a neighbour that merely shares
+  /// the page stays live).  Coherence contract: rewritten guest code
+  /// takes effect no later than the next basic-block boundary, exactly
+  /// like classic pre-P6 x86 ("effective after the next jump").
+  void onGuestCodeStore(uint32_t Addr, unsigned Size) {
+    if (InSmcBarrier)
+      return; // re-entrant store from coherence work itself
+    InSmcBarrier = true;
+    ++SmcStores;
+    ++StoreEpoch;
+    Machine.addCycles(Cost.SmcWriteTrapCycles);
+    Trace.emit(obs::TraceEventKind::SmcStore, 0, 0, Addr, Size);
+    for (uint32_t B = Addr; B != Addr + Size; ++B)
+      ByteDirtyEpoch[B] = StoreEpoch;
+    // Victim collection first, mutation after: invalidation edits the
+    // per-page index we are reading.
+    std::vector<Translation *> Victims;
+    uint32_t P0 = Addr >> guest::GuestMemory::WatchPageShift;
+    uint32_t P1 = (Addr + Size - 1) >> guest::GuestMemory::WatchPageShift;
+    for (uint32_t P = P0; P <= P1; ++P) {
+      auto It = TrackedByPage.find(P);
+      if (It == TrackedByPage.end())
+        continue;
+      for (Translation *T : It->second) {
+        if (!T->Valid)
+          continue;
+        bool Overlaps = false;
+        for (const auto &R : T->GuestRanges) {
+          if (R.first < Addr + Size && Addr < R.second) {
+            Overlaps = true;
+            break;
+          }
+        }
+        if (Overlaps &&
+            std::find(Victims.begin(), Victims.end(), T) == Victims.end())
+          Victims.push_back(T);
+      }
+    }
+    // Deterministic retirement order regardless of hash-map iteration:
+    // entry words are unique between flushes.
+    std::sort(Victims.begin(), Victims.end(),
+              [](const Translation *A, const Translation *B) {
+                return A->EntryWord < B->EntryWord;
+              });
+    // The store came from *inside* a victim (a superblock fused the
+    // patcher with the code it patches, or a block rewrote its own
+    // bytes): quarantining alone is not enough, because the episode
+    // would keep executing the stale body it just overwrote.  Arm a
+    // machine stop at the end of the storing guest instruction and
+    // resume via fresh dispatch — the rewrite takes effect at the next
+    // guest instruction, exactly the interpreter's semantics.
+    if (InNative) {
+      Translation *Running = findOwner(Machine.currentWord());
+      if (Running && std::find(Victims.begin(), Victims.end(), Running) !=
+                         Victims.end()) {
+        auto It = Running->StoreResume.find(Machine.currentWord());
+        if (It != Running->StoreResume.end()) {
+          Machine.stopAt(It->second.EndWord, It->second.ResumePc);
+          ++SmcEpisodeStops;
+          Trace.emit(obs::TraceEventKind::SmcEpisodeStop,
+                     It->second.ResumePc, Running->GuestPc,
+                     Machine.currentWord(), It->second.EndWord);
+        } else {
+          // No resume metadata for this word: the in-flight episode
+          // cannot be stopped coherently.  Typed abort — never let a
+          // hostile guest turn a bookkeeping gap into silent
+          // corruption.
+          Abort = RunError::PatchFailed;
+        }
+      }
+    }
+    // Strict mode: a failed unchain or IC-retire during SMC
+    // invalidation must abort, not quarantine.  A stale branch into
+    // *superseded* code reaches architecturally equivalent
+    // instructions; a stale branch into *rewritten* code reaches old
+    // semantics with no trap to catch it.
+    SmcStrict = true;
+    for (Translation *T : Victims) {
+      ++SmcInvalidations;
+      Trace.emit(obs::TraceEventKind::SmcInvalidate, Addr, T->GuestPc,
+                 T->Generation, T->IsTrace ? 1 : 0);
+      invalidate(T);
+      uint32_t Pin = ++SmcInvalsAt[T->GuestPc];
+      if (Config.Budget.SmcChurnPinLimit != 0 &&
+          Pin >= Config.Budget.SmcChurnPinLimit &&
+          !InterpOnly.count(T->GuestPc)) {
+        // Per-block churn containment: a block rewritten this often is
+        // cheaper to interpret (rung 3 of the degradation ladder) —
+        // the interpreter fetches fresh bytes every instruction, so
+        // SMC is free there.
+        InterpOnly.insert(T->GuestPc);
+        ++SmcChurnPins;
+        ++LadderInterpPins;
+        Trace.emit(obs::TraceEventKind::SmcChurnPin, 0, T->GuestPc, Pin,
+                   0);
+      }
+    }
+    SmcStrict = false;
+    // Any rewrite of watched code bytes may shift dataflow the static
+    // analysis proved facts about; re-run it lazily at the next safe
+    // point and revoke elides that no longer hold.
+    if (Ana)
+      AnaStale = true;
+    checkBudgets();
+    if (!Victims.empty())
+      runVerifier();
+    InSmcBarrier = false;
+  }
+
+  /// Re-run the static alignment analysis if guest code changed since
+  /// the last pass (lazy: one pass absorbs a whole burst of stores),
+  /// then revoke Elide verdicts that no longer hold.
+  void maybeReanalyze() {
+    if (!AnaStale || !Ana || Abort != RunError::None)
+      return;
+    AnaStale = false;
+    Ana.emplace(analysis::analyzeAlignment(Mem, EntryPc, StackTopAddr));
+    ++SmcReanalyses;
+    Trace.emit(obs::TraceEventKind::SmcReanalysis, 0, 0,
+               Ana->Sites.size(), Ana->Poisoned ? 1 : 0);
+    revokeStaleElides();
+  }
+
+  /// Sweep live translations for Elide sites whose Aligned proof does
+  /// not survive the fresh analysis (the modified bytes may sit in a
+  /// *different* block that feeds this one's dataflow) and invalidate
+  /// them; their next translation re-plans every site under the new
+  /// verdicts.  EngineConfig::Analysis stays sound: no live code elides
+  /// MDA bookkeeping without a current proof.
+  void revokeStaleElides() {
+    std::vector<Translation *> Victims;
+    for (Translation &T : Store) {
+      if (!T.Valid)
+        continue;
+      std::vector<uint32_t> ElidePcs;
+      for (const auto &KV : T.PlanByPc)
+        if (KV.second == MemPlan::Elide)
+          ElidePcs.push_back(KV.first);
+      std::sort(ElidePcs.begin(), ElidePcs.end());
+      for (uint32_t Pc : ElidePcs) {
+        guest::GuestInst I;
+        if (guest::decode(Mem.data(), Mem.size(), Pc, I) &&
+            Ana->verdictFor(Pc, I) == analysis::AlignVerdict::Aligned)
+          continue; // still proven; the elide stands
+        ++SmcVerdictsRevoked;
+        Trace.emit(obs::TraceEventKind::SmcVerdictRevoked, Pc, T.GuestPc,
+                   T.Generation, 0);
+        Victims.push_back(&T);
+        break; // one revoked site retires the whole translation
+      }
+    }
+    std::sort(Victims.begin(), Victims.end(),
+              [](const Translation *A, const Translation *B) {
+                return A->EntryWord < B->EntryWord;
+              });
+    for (Translation *T : Victims)
+      if (T->Valid) // an earlier victim's unchaining cannot kill it,
+        invalidate(T); // but stay defensive
+    if (!Victims.empty())
+      runVerifier();
+  }
+
+  // -- resource governance ---------------------------------------------------
+
+  /// Account freshly emitted host-code words against the cumulative
+  /// emission budget.  Monotone across flushes: Code.size() resets to
+  /// zero but CodeBytesEmitted never decreases, so flush-and-refill
+  /// churn cannot hide under a bounded arena.
+  void chargeCodeGrowth() {
+    uint32_t Words = Code.size();
+    if (Words > LastCodeWords)
+      CodeBytesEmitted +=
+          static_cast<uint64_t>(Words - LastCodeWords) * 4;
+    LastCodeWords = Words;
+  }
+
+  /// Enforce the BudgetConfig ceilings (all 0 = unlimited).  First
+  /// ceiling tripped wins; the typed RunError tells the operator *what*
+  /// the hostile guest exhausted.
+  void checkBudgets() {
+    const BudgetConfig &B = Config.Budget;
+    if (Abort != RunError::None)
+      return;
+    if (B.MaxTranslations != 0 &&
+        Translations + TracesFormed > B.MaxTranslations) {
+      Abort = RunError::BudgetTranslations;
+      Trace.emit(obs::TraceEventKind::BudgetExceeded, 0, 0, 0,
+                 Translations + TracesFormed);
+    } else if (B.MaxCodeBytes != 0 && CodeBytesEmitted > B.MaxCodeBytes) {
+      Abort = RunError::BudgetCodeBytes;
+      Trace.emit(obs::TraceEventKind::BudgetExceeded, 0, 0, 1,
+                 CodeBytesEmitted);
+    } else if (B.MaxChurn != 0 &&
+               Supersedes + SmcInvalidations > B.MaxChurn) {
+      Abort = RunError::BudgetChurn;
+      Trace.emit(obs::TraceEventKind::BudgetExceeded, 0, 0, 2,
+                 Supersedes + SmcInvalidations);
+    }
   }
 
   // -- code-cache verification ---------------------------------------------
@@ -480,6 +777,9 @@ private:
       analysis::VerifierBlock B;
       B.EntryWord = T.EntryWord;
       B.EndWord = T.EndWord;
+      B.BornEpoch = T.BornEpoch;
+      for (const auto &R : T.GuestRanges)
+        B.GuestRanges.push_back({R.first, R.second});
       for (const ExitSite &X : T.Exits)
         B.ExitWords.push_back(X.SrvWord);
       for (const IcSite &S : T.IcSites)
@@ -502,6 +802,7 @@ private:
     }
     In.ExemptWords = StaleChainWords;
     In.IcWayWords = IcWayWords;
+    In.GuestDirtyEpoch = &ByteDirtyEpoch;
     analysis::VerifyReport Report = analysis::verifyCodeSpace(Code, In);
     VerifyWords += Report.WordsChecked;
     if (Report.ok()) {
@@ -604,7 +905,19 @@ private:
     T->PatchedWords.push_back(F.HostPc);
     T->MemWordToGuestPc.erase(F.HostPc);
     Regions[S.Entry] = {S.End, T};
+    // A store executed out of the stub must stop the episode at the
+    // same place as the body word it replaces: propagate the resume
+    // metadata to every stub word.  (Loads were never recorded, so the
+    // lookup fails for them and nothing is registered.)
+    auto RIt = T->StoreResume.find(F.HostPc);
+    if (RIt != T->StoreResume.end()) {
+      SmcResume V = RIt->second; // copy: the inserts below may rehash
+      for (uint32_t W = S.Entry; W != S.End; ++W)
+        T->StoreResume[W] = V;
+    }
     Machine.addCycles(Cost.PatchExtraCycles);
+    chargeCodeGrowth(); // the stub is emitted code too
+    checkBudgets();
     ++Patches;
     Trace.emit(obs::TraceEventKind::PatchApplied, InstPc, T->GuestPc,
                F.HostPc, S.Entry);
@@ -923,6 +1236,11 @@ private:
   void tryFormSuperblock(uint32_t HeadPc) {
     if (Abort != RunError::None || InterpOnly.count(HeadPc))
       return;
+    // Trace planning replays constituent MemPlans and consults the
+    // analysis for fresh sites: both must be current.
+    maybeReanalyze();
+    if (Abort != RunError::None)
+      return;
     if (TraceFormsAt[HeadPc] >= Config.TraceFormationLimit)
       return;
     auto HIt = BlockMap.find(HeadPc);
@@ -1024,10 +1342,13 @@ private:
                                          translationOpts()));
     Translation *Tr = &Store.back();
     Regions[Tr->EntryWord] = {Tr->EndWord, Tr};
+    trackTranslation(Tr);
     if (!Policy.translationIsOffline())
       TranslateCycles += static_cast<uint64_t>(TotalInsts) *
                          Cost.TranslateCyclesPerInst;
     ++TracesFormed;
+    chargeCodeGrowth();
+    checkBudgets();
     TraceBlocksEmitted += Pcs.size();
     HTransInsts->record(TotalInsts);
     Trace.emit(obs::TraceEventKind::TraceFormed, HeadPc, HeadPc,
@@ -1143,6 +1464,34 @@ private:
   /// flush (see invalidate()).
   std::unordered_set<uint32_t> StaleChainWords;
 
+  // -- guest-code coherence state ----------------------------------------
+
+  /// Live translations indexed by guest watch page (GuestMemory::
+  /// WatchPageShift granularity): the write barrier's victim lookup.
+  std::unordered_map<uint32_t, std::vector<Translation *>> TrackedByPage;
+  /// Guest-store epoch: bumped once per barrier-visible store.  Dirty
+  /// bytes and Translation::BornEpoch are stamped with it.
+  uint64_t StoreEpoch = 0;
+  /// Dirtied guest code byte -> epoch of the store that dirtied it.
+  /// Byte-granular on purpose: two translations can share one watch
+  /// page, and the verifier must not flag the live neighbour of a
+  /// rewritten range.  Bounded by distinct dirtied bytes on watched
+  /// pages (only those reach the barrier).
+  std::unordered_map<uint32_t, uint64_t> ByteDirtyEpoch;
+  /// Re-entrancy guard for the write barrier.
+  bool InSmcBarrier = false;
+  /// Inside SMC-triggered invalidation: failed unchain/IC-retire
+  /// patches abort instead of quarantining (see invalidate()).
+  bool SmcStrict = false;
+  /// Guest code bytes changed since the last analysis pass; re-run
+  /// lazily at the next safe point (maybeReanalyze).
+  bool AnaStale = false;
+  /// SMC invalidations per block PC (BudgetConfig::SmcChurnPinLimit).
+  std::unordered_map<uint32_t, uint32_t> SmcInvalsAt;
+  /// Re-analysis anchor (the image's entry and initial stack top).
+  uint32_t EntryPc = 0;
+  uint32_t StackTopAddr = 0;
+
   /// Degradation-ladder state.
   std::unordered_set<uint32_t> ForceInline; ///< inst PCs forced Inline
   std::unordered_set<uint32_t> InterpOnly;  ///< block PCs never translated
@@ -1205,6 +1554,19 @@ private:
   uint64_t VerifyPasses = 0;
   uint64_t VerifyWords = 0;
   uint64_t VerifyIssues = 0;
+  uint64_t SmcStores = 0;
+  uint64_t SmcInvalidations = 0;
+  uint64_t SmcReanalyses = 0;
+  uint64_t SmcVerdictsRevoked = 0;
+  uint64_t SmcChurnPins = 0;
+  uint64_t SmcEpisodeStops = 0;
+  /// True while Machine.run() is on the stack: a write-barrier hit
+  /// then means the store was issued by the running translation.
+  bool InNative = false;
+  /// Cumulative emitted host-code bytes (monotone across flushes).
+  uint64_t CodeBytesEmitted = 0;
+  /// Arena size at the last chargeCodeGrowth() sample.
+  uint32_t LastCodeWords = 0;
   bool PendingFlush = false;
 };
 
@@ -1249,6 +1611,13 @@ RunResult Session::run() {
         break;
     }
 
+    // Guest code changed since the last analysis pass: re-analyze and
+    // revoke stale Elide verdicts before dispatching anything compiled
+    // under the old proofs.
+    maybeReanalyze();
+    if (Abort != RunError::None)
+      break;
+
     Translation *T = nullptr;
     if (Dispatch) {
       // Hash-table dispatch: one open-addressed probe chain instead of
@@ -1288,8 +1657,18 @@ RunResult Session::run() {
     if (T) {
       syncToHost();
       ++NativeEntries;
+      InNative = true;
       ExitInfo E = Machine.run(T->EntryWord);
+      InNative = false;
       syncToGuest();
+      if (E.K == ExitInfo::Stop) {
+        // SMC episode stop: the guest store invalidated the running
+        // translation; resume by fresh dispatch at the next guest
+        // instruction.  No chain/IC bookkeeping — the exit was
+        // synthetic, not a Srv Exit word.
+        Cpu.Pc = E.GuestPc;
+        continue;
+      }
       if (E.K == ExitInfo::Halt) {
         if (Abort == RunError::None)
           Cpu.Halted = true;
@@ -1408,6 +1787,13 @@ RunResult Session::run() {
   Reg.addCounter("harden.translate_failures", TranslateFailures);
   Reg.addCounter("harden.flush_suppressed", FlushesSuppressed);
   Reg.addCounter("harden.stub_downgrades", StubDowngrades);
+  Reg.addCounter("smc.stores", SmcStores);
+  Reg.addCounter("smc.invalidations", SmcInvalidations);
+  Reg.addCounter("smc.reanalyses", SmcReanalyses);
+  Reg.addCounter("smc.verdicts_revoked", SmcVerdictsRevoked);
+  Reg.addCounter("smc.churn_pins", SmcChurnPins);
+  Reg.addCounter("smc.episode_stops", SmcEpisodeStops);
+  Reg.addCounter("budget.code_bytes_emitted", CodeBytesEmitted);
   if (Config.HashDispatch) {
     Reg.addCounter("dispatch.table_hits", TableHits);
     Reg.addCounter("dispatch.table_misses", TableMisses);

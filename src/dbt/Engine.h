@@ -63,10 +63,20 @@ enum class RunError : uint8_t {
   /// The host code-cache verifier (EngineConfig::Verify) found a
   /// structural invariant violation: the cache holds malformed code.
   VerifyFailed,
+  /// The run exceeded its translation-count budget
+  /// (BudgetConfig::MaxTranslations): a hostile guest forcing
+  /// translation work without bound.
+  BudgetTranslations,
+  /// The run exceeded its cumulative emitted-code budget
+  /// (BudgetConfig::MaxCodeBytes): unbounded code-cache growth.
+  BudgetCodeBytes,
+  /// Retranslation churn (policy supersedes + self-modifying-code
+  /// invalidations) exceeded BudgetConfig::MaxChurn.
+  BudgetChurn,
 };
 
 /// Number of RunError enumerators (for error-indexed tables).
-inline constexpr size_t NumRunErrors = 7;
+inline constexpr size_t NumRunErrors = 10;
 
 /// Stable human-readable name for a RunError.
 const char *runErrorName(RunError E);
@@ -102,6 +112,27 @@ struct HardeningConfig {
   uint32_t FlushStormBackoffSteps = 8;
 };
 
+/// Resource-governance ceilings for one run: hard bounds on how much
+/// translation-side work a (possibly hostile) guest may demand.  Every
+/// ceiling defaults to 0 = unlimited, so well-behaved experiments are
+/// unaffected; when a ceiling trips, the run aborts with the matching
+/// typed RunError instead of growing without bound.
+struct BudgetConfig {
+  /// Translations (blocks + superblocks) per run.
+  uint64_t MaxTranslations = 0;
+  /// Cumulative host-code bytes *emitted* over the run — monotone even
+  /// across cache flushes, so a flush-and-refill churn loop cannot hide
+  /// under a bounded arena.
+  uint64_t MaxCodeBytes = 0;
+  /// Retranslation churn: policy supersedes plus self-modifying-code
+  /// invalidations.
+  uint64_t MaxChurn = 0;
+  /// Degradation (not abort): SMC invalidations of one block before it
+  /// is pinned interpret-only, joining the ladder's rung-3 containment.
+  /// 0 = never pin.
+  uint32_t SmcChurnPinLimit = 0;
+};
+
 /// Engine knobs shared by all experiments.
 struct EngineConfig {
   host::CostModel Cost;
@@ -120,6 +151,8 @@ struct EngineConfig {
   uint64_t MaxMonitorSteps = 1ULL << 32;
   /// Graceful-degradation tolerances.
   HardeningConfig Hardening;
+  /// Resource-governance ceilings (hostile-guest containment).
+  BudgetConfig Budget;
   /// Optional deterministic fault-injection campaign (chaos testing).
   /// The plan must outlive the engine.  Null = no injection.
   const chaos::FaultPlan *Chaos = nullptr;

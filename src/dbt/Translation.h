@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace mdabt {
@@ -104,6 +105,20 @@ struct TranslationOpts {
   unsigned IcWays = 0;
 };
 
+/// Episode-stop resume point for a guest store (SMC coherence).  When
+/// a store executed from inside a translation invalidates that very
+/// translation (the patcher and the patched code were fused into one
+/// superblock, or a block rewrites its own bytes), the engine cannot
+/// let the episode keep running the stale body.  It arms a machine
+/// stop at EndWord — the first host word after the storing guest
+/// instruction's lowering — and redispatches at ResumePc, so the
+/// rewrite takes effect at the next guest instruction, exactly like
+/// the interpreter.
+struct SmcResume {
+  uint32_t EndWord = 0;  ///< first host word after the instruction
+  uint32_t ResumePc = 0; ///< guest PC to redispatch at
+};
+
 /// One block-exit service call, patchable into a direct chain.
 struct ExitSite {
   uint32_t SrvWord = 0;      ///< word index of the Srv Exit instruction
@@ -123,6 +138,11 @@ struct Translation {
   std::vector<uint32_t> IncomingChains;
   /// Host word of each trapping-capable memory op -> guest inst PC.
   std::unordered_map<uint32_t, uint32_t> MemWordToGuestPc;
+  /// Every host word that performs a guest store (plain op, each word
+  /// of an inline MDA sequence, multi-version arms, the Call push, and
+  /// — registered at stub-emission time — MDA stub words) -> where to
+  /// resume if that store invalidates this translation mid-episode.
+  std::unordered_map<uint32_t, SmcResume> StoreResume;
   /// Number of guest instructions translated (for cost accounting).
   uint32_t GuestInsts = 0;
   /// Misalignment traps taken inside this translation.
@@ -150,6 +170,16 @@ struct Translation {
   /// Head-first guest PCs of a trace's constituent blocks (empty for
   /// plain block translations).
   std::vector<uint32_t> Constituents;
+  /// Half-open guest byte ranges whose bytes this translation compiled
+  /// (one per constituent block, deduplicated).  Filled by the
+  /// translator; the engine registers them with the guest memory's
+  /// write barrier so a store into any of them invalidates this
+  /// translation (self-modifying-code coherence).
+  std::vector<std::pair<uint32_t, uint32_t>> GuestRanges;
+  /// The engine's guest-store epoch when this translation was
+  /// installed.  HostVerifier invariant: no byte of a live
+  /// translation's GuestRanges may carry a dirty epoch newer than this.
+  uint64_t BornEpoch = 0;
 };
 
 } // namespace dbt

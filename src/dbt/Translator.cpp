@@ -9,6 +9,7 @@
 #include "host/HostAssembler.h"
 #include "host/MdaSequences.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 
@@ -194,6 +195,19 @@ struct BodyEmitter {
     }
   }
 
+  /// Record episode-stop metadata for a guest store whose lowering
+  /// emitted host words [FirstWord, Asm.pos()): if executing any of
+  /// them rewrites code backing this very translation, the engine
+  /// stops the episode at Asm.pos() — the first word after the
+  /// instruction — and redispatches at \p ResumePc.  Safe to key every
+  /// word of the range: the barrier only consults the map for the word
+  /// that actually performed the store.
+  void recordStoreResume(uint32_t FirstWord, uint32_t ResumePc) {
+    uint32_t End = Asm.pos();
+    for (uint32_t W = FirstWord; W != End; ++W)
+      T.StoreResume[W] = {End, ResumePc};
+  }
+
   /// Plan for the memory instruction at \p Idx under MV rendering mode
   /// \p Mode.  Records the policy-intent plan in Translation::PlanByPc
   /// so superblock re-emission can reproduce it without the policy.
@@ -257,11 +271,16 @@ struct BodyEmitter {
         // to resolve it.
         if (Size >= 2 && P != MemPlan::Elide)
           T.MemWordToGuestPc[W] = Pc;
-      } else if (P == MemPlan::Inline) {
         if (IsStore)
+          recordStoreResume(W, I.nextPc(Pc));
+      } else if (P == MemPlan::Inline) {
+        if (IsStore) {
+          uint32_t S = Asm.pos();
           emitMdaStore(Asm, Size, Data, A.Base, A.Disp);
-        else
+          recordStoreResume(S, I.nextPc(Pc));
+        } else {
           emitMdaLoad(Asm, Size, Data, A.Base, A.Disp);
+        }
       } else {
         // Multi-version code (paper Fig. 8, left): an alignment check
         // selecting between the plain op and the MDA sequence.  When the
@@ -278,13 +297,19 @@ struct BodyEmitter {
         HostAssembler::Label Mda = Asm.newLabel();
         HostAssembler::Label End = Asm.newLabel();
         Asm.bne(RegMvT1, Mda);
-        Asm.mem(hostMemOp(I.Op), Data, A.Disp, A.Base); // provably aligned
+        uint32_t PW = Asm.mem(hostMemOp(I.Op), Data, A.Disp, A.Base);
+        // (provably aligned: the check above routed misalignment away)
+        if (IsStore)
+          recordStoreResume(PW, I.nextPc(Pc)); // stop at the br below
         Asm.br(End);
         Asm.bind(Mda);
-        if (IsStore)
+        if (IsStore) {
+          uint32_t S = Asm.pos();
           emitMdaStore(Asm, Size, Data, A.Base, A.Disp);
-        else
+          recordStoreResume(S, I.nextPc(Pc));
+        } else {
           emitMdaLoad(Asm, Size, Data, A.Base, A.Disp);
+        }
         Asm.bind(End);
       }
       break;
@@ -478,6 +503,10 @@ struct BodyEmitter {
       Asm.materialize32(RegScratch0, RetPc);
       uint32_t W = Asm.mem(HostOp::Stl, RegScratch0, 0, Sp);
       T.MemWordToGuestPc[W] = Pc;
+      // If the return-address push rewrites watched code (pathological
+      // but legal), resume at the callee: the push has architecturally
+      // completed and the call transfers control next.
+      recordStoreResume(W, I.branchTarget(Pc));
       emitExit(I.branchTarget(Pc));
       break;
     }
@@ -512,6 +541,7 @@ Translation Translator::translate(const GuestBlock &Block,
   T.EntryWord = Asm.pos();
   T.GuestInsts = static_cast<uint32_t>(Block.size());
   T.Generation = Generation;
+  T.GuestRanges.push_back({Block.StartPc, Block.endPc()});
 
   BodyEmitter E(Asm, T, Block, Plan, Opts.IcWays);
 
@@ -578,6 +608,11 @@ Translation Translator::translateTrace(const std::vector<GuestBlock> &Blocks,
     const GuestBlock &Blk = Blocks[B];
     T.Constituents.push_back(Blk.StartPc);
     T.GuestInsts += static_cast<uint32_t>(Blk.size());
+    // Guest ranges deduplicated: loop unrolling repeats constituents.
+    std::pair<uint32_t, uint32_t> Range{Blk.StartPc, Blk.endPc()};
+    if (std::find(T.GuestRanges.begin(), T.GuestRanges.end(), Range) ==
+        T.GuestRanges.end())
+      T.GuestRanges.push_back(Range);
     BodyEmitter E(Asm, T, Blk, Plan, Opts.IcWays);
     if (B + 1 != Blocks.size()) {
       E.Continues = true;

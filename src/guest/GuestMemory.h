@@ -15,6 +15,13 @@
 /// access traps is a property of the executing machine (the host
 /// simulator), not of the memory.
 ///
+/// The memory also hosts the DBT's self-modifying-code write barrier:
+/// the engine registers the guest byte ranges backing live translations
+/// (watchRange/unwatchRange, bookkept as per-64-byte-page reference
+/// counts), and every store whose page is watched invokes the watcher
+/// callback — the software analogue of write-protecting code pages in a
+/// real translator.  Unwatched stores pay exactly one integer compare.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MDABT_GUEST_GUESTMEMORY_H
@@ -24,6 +31,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 namespace mdabt {
@@ -32,6 +40,17 @@ namespace guest {
 /// Flat, byte-addressable guest memory.
 class GuestMemory {
 public:
+  /// Log2 of the write-watch page size.  64 bytes keeps the dirty map
+  /// fine enough that unrelated translations rarely share a page, while
+  /// one page still covers a typical guest basic block.
+  static constexpr uint32_t WatchPageShift = 6;
+  static constexpr uint32_t WatchPageBytes = 1u << WatchPageShift;
+
+  /// Invoked for every store that lands in a watched page, after the
+  /// bytes have been written.  The callback may read memory and adjust
+  /// watches but must not store through this GuestMemory.
+  using WriteWatcher = std::function<void(uint32_t Addr, unsigned Size)>;
+
   explicit GuestMemory(uint32_t Size = layout::MemorySize) : Bytes(Size, 0) {}
 
   /// Zero memory and copy the image's code and data segments in.
@@ -57,7 +76,57 @@ public:
   void store(uint32_t Addr, unsigned Size, uint64_t Value) {
     assert(inRange(Addr, Size) && "guest store out of range");
     std::memcpy(Bytes.data() + Addr, &Value, Size);
+    if (WatchedPages != 0) {
+      uint32_t P0 = Addr >> WatchPageShift;
+      uint32_t P1 = (Addr + Size - 1) >> WatchPageShift;
+      if (Watch[P0] != 0 || Watch[P1] != 0)
+        Watcher(Addr, Size);
+    }
   }
+
+  // -- write-watch (SMC barrier) ----------------------------------------
+
+  /// Install the barrier callback.  One watcher per memory; installing
+  /// while ranges are watched is allowed (the new watcher takes over).
+  void setWriteWatcher(WriteWatcher W) { Watcher = std::move(W); }
+
+  /// Watch the half-open byte range [Begin, End): stores touching any
+  /// page it covers invoke the watcher.  Ranges nest — each watchRange
+  /// must be paired with one unwatchRange of the same range.
+  void watchRange(uint32_t Begin, uint32_t End) {
+    if (Begin >= End)
+      return;
+    assert(Watcher && "watchRange without a write watcher installed");
+    if (Watch.empty())
+      Watch.resize(((Bytes.size() - 1) >> WatchPageShift) + 1, 0);
+    for (uint32_t P = Begin >> WatchPageShift,
+                  Last = (End - 1) >> WatchPageShift;
+         P <= Last; ++P)
+      if (Watch[P]++ == 0)
+        ++WatchedPages;
+  }
+
+  /// Undo one prior watchRange(Begin, End).
+  void unwatchRange(uint32_t Begin, uint32_t End) {
+    if (Begin >= End)
+      return;
+    for (uint32_t P = Begin >> WatchPageShift,
+                  Last = (End - 1) >> WatchPageShift;
+         P <= Last; ++P) {
+      assert(!Watch.empty() && Watch[P] != 0 &&
+             "unwatchRange without a matching watchRange");
+      if (--Watch[P] == 0)
+        --WatchedPages;
+    }
+  }
+
+  /// True if a store at \p Addr would invoke the watcher.
+  bool watched(uint32_t Addr) const {
+    return WatchedPages != 0 && Watch[Addr >> WatchPageShift] != 0;
+  }
+
+  /// Number of distinct pages currently under watch.
+  uint32_t watchedPages() const { return WatchedPages; }
 
   const uint8_t *data() const { return Bytes.data(); }
   uint8_t *data() { return Bytes.data(); }
@@ -69,6 +138,11 @@ public:
 
 private:
   std::vector<uint8_t> Bytes;
+  /// Per-page count of watched ranges covering the page; allocated
+  /// lazily on the first watchRange so watch-free runs pay nothing.
+  std::vector<uint32_t> Watch;
+  uint32_t WatchedPages = 0;
+  WriteWatcher Watcher;
 };
 
 } // namespace guest

@@ -59,6 +59,11 @@ struct CostModel {
   /// interpretation/translation episode it starts, and the table keeps
   /// the same convention so the two dispatch models stay comparable.
   uint32_t DispatchProbeCycles = 5;
+  /// A guest store into a page backing live translations: real DBTs
+  /// write-protect translated guest code, so every such store costs a
+  /// page-protection trap plus the coherence bookkeeping it triggers.
+  /// Priced like a misalignment trap (kernel entry/exit dominates both).
+  uint32_t SmcWriteTrapCycles = 1000;
 };
 
 } // namespace host

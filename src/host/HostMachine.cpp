@@ -51,8 +51,15 @@ uint64_t sext32(uint64_t V) {
 ExitInfo HostMachine::run(uint32_t EntryWord) {
   uint32_t Pc = EntryWord;
   uint64_t Executed = 0;
+  StopArmed = false; // a stop armed last episode must not fire now
 
   for (;;) {
+    CurWord = Pc;
+    if (StopArmed && Pc == StopWord) {
+      // Episode stop (stopAt): return before executing the stop word.
+      StopArmed = false;
+      return {ExitInfo::Stop, StopResumePc, Pc};
+    }
     if (Executed >= MaxInstsPerRun)
       return {ExitInfo::Limit, 0};
     ++Executed;

@@ -58,6 +58,11 @@ struct ExitInfo {
     Exit,  ///< Srv Exit: back to the monitor, next guest PC captured
     Halt,  ///< Srv Halt or handler said Halt
     Limit, ///< instruction budget exhausted (runaway guard)
+    /// Armed episode stop reached (stopAt): the BT runtime asked to
+    /// end the run before executing the stop word — used when a guest
+    /// store invalidated the running translation (SMC) and execution
+    /// must resume via fresh dispatch.  GuestPc holds the resume PC.
+    Stop,
   };
   Kind K = Halt;
   uint32_t GuestPc = 0; ///< valid for Kind::Exit
@@ -94,6 +99,21 @@ public:
   /// Charge extra cycles (used by fault handlers for codegen work).
   void addCycles(uint64_t N) { Cycles += N; }
 
+  /// Word being executed right now.  Valid only while run() is active;
+  /// the engine's SMC write barrier consults it (from inside a store's
+  /// watcher callback) to detect a store issued by the running
+  /// translation itself.
+  uint32_t currentWord() const { return CurWord; }
+
+  /// Arm a one-shot episode stop: when control reaches \p Word, run()
+  /// returns ExitInfo::Stop carrying \p ResumePc *before* executing
+  /// that word.  Cleared at every run() entry and when it fires.
+  void stopAt(uint32_t Word, uint32_t ResumePc) {
+    StopArmed = true;
+    StopWord = Word;
+    StopResumePc = ResumePc;
+  }
+
   // Accounting.
   uint64_t Cycles = 0;
   uint64_t Instructions = 0;
@@ -114,6 +134,11 @@ private:
   uint64_t operandB(const HostInst &I) const {
     return I.IsLit ? I.Lit : reg(I.Rb);
   }
+
+  uint32_t CurWord = 0;
+  bool StopArmed = false;
+  uint32_t StopWord = 0;
+  uint32_t StopResumePc = 0;
 
   CodeSpace &Code;
   guest::GuestMemory &Mem;

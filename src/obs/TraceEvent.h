@@ -60,7 +60,14 @@ namespace obs {
   X(DispatchIcFill, "dispatch.ic_fill")                                      \
   X(DispatchIcEvict, "dispatch.ic_evict")                                    \
   X(TraceFormed, "trace.formed")                                             \
-  X(TraceDeopt, "trace.deopt")
+  X(TraceDeopt, "trace.deopt")                                               \
+  X(SmcStore, "smc.store")                                                   \
+  X(SmcInvalidate, "smc.invalidate")                                         \
+  X(SmcReanalysis, "smc.reanalysis")                                         \
+  X(SmcVerdictRevoked, "smc.verdict_revoked")                                \
+  X(SmcChurnPin, "smc.churn_pin")                                            \
+  X(SmcEpisodeStop, "smc.episode_stop")                                      \
+  X(BudgetExceeded, "budget.exceeded")
 
 /// Every event the observability layer can record.
 enum class TraceEventKind : uint8_t {

@@ -1,0 +1,176 @@
+//===- workloads/Hostile.cpp ----------------------------------------------===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Hostile.h"
+
+#include "guest/Assembler.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::guest;
+
+namespace {
+
+// GPR aliases (x86 numbering; esp = 4 is the stack pointer).
+constexpr uint8_t Eax = 0;
+constexpr uint8_t Edx = 2;
+constexpr uint8_t Ebx = 3;
+constexpr uint8_t Ebp = 5;
+constexpr uint8_t Esi = 6;
+constexpr uint8_t Edi = 7;
+
+/// Pad with nops until the imm32 of a RegImm instruction emitted next
+/// ([op][reg][imm32], imm at +2) lands 4-byte aligned, so the patcher's
+/// `stl` into it is an aligned store — the patch itself then takes the
+/// plain-store path and the only MDA traffic is the one the program
+/// means to generate.
+void alignImmForPatch(ProgramBuilder &B) {
+  while ((B.codeAddress() + 2) % 4 != 0)
+    B.nop();
+}
+
+} // namespace
+
+GuestImage workloads::smcFlipProgram(uint32_t Iters) {
+  assert(Iters > 0);
+  ProgramBuilder B("smc.flip");
+  uint32_t Buf = B.dataReserve(32, 8);
+
+  ProgramBuilder::Label Worker = B.newLabel();
+  ProgramBuilder::Label Loop = B.newLabel();
+
+  // Entry: loop counter and a deliberately misaligned data base.
+  B.movri(Esi, static_cast<int32_t>(Iters));
+  B.movri(Ebp, static_cast<int32_t>(Buf + 1));
+  B.jmp(Loop);
+
+  // Worker block: the patched movri, plus misaligned load/store
+  // traffic so every MDA policy's machinery runs on rewritten-and-
+  // retranslated code.
+  alignImmForPatch(B);
+  uint32_t WorkerImm = B.codeAddress() + 2;
+  B.bind(Worker);
+  B.movri(Eax, 0); // imm32 rewritten by the patcher every iteration
+  B.ldl(Edx, mem(Ebp, 0));     // misaligned load
+  B.stl(mem(Ebp, 8), Eax);     // misaligned store of the patched value
+  B.ret();
+
+  // Patcher loop: rewrite the worker's imm32 (self-modifying code, in
+  // a *different* block), then call it across a block boundary.
+  B.bind(Loop);
+  B.movri(Ebx, static_cast<int32_t>(WorkerImm));
+  B.stl(mem(Ebx, 0), Esi); // SMC: aligned 4-byte store into code
+  B.call(Worker);
+  B.chk(Eax);
+  B.chk(Edx);
+  B.subi(Esi, 1);
+  B.cmpi(Esi, 0);
+  B.jcc(Cond::Ne, Loop);
+  B.halt();
+  return B.build();
+}
+
+GuestImage workloads::smcPhaseProgram(uint32_t Iters, uint32_t ShiftAt) {
+  assert(Iters > 0 && ShiftAt > 0 && ShiftAt < Iters);
+  ProgramBuilder B("smc.phase");
+  uint32_t Buf = B.dataReserve(32, 8);
+
+  ProgramBuilder::Label Setup = B.newLabel();
+  ProgramBuilder::Label Worker = B.newLabel();
+  ProgramBuilder::Label Loop = B.newLabel();
+  ProgramBuilder::Label Skip = B.newLabel();
+
+  B.movri(Esi, static_cast<int32_t>(Iters));
+  B.movri(Edi, static_cast<int32_t>(ShiftAt));
+  B.jmp(Loop);
+
+  // Block X: materializes the base pointer.  Its imm32 is the phase
+  // switch — rewriting it changes the alignment of block W's accesses
+  // without touching a single byte of W.
+  alignImmForPatch(B);
+  uint32_t SetupImm = B.codeAddress() + 2;
+  B.bind(Setup);
+  B.movri(Ebp, static_cast<int32_t>(Buf));
+  B.ret();
+
+  // Block W: with analysis on, [ebp+4] is provably Aligned through X's
+  // constant — an Elide whose proof lives in another block's bytes.
+  B.bind(Worker);
+  B.ldl(Eax, mem(Ebp, 4));
+  B.stl(mem(Ebp, 12), Eax);
+  B.ret();
+
+  B.bind(Loop);
+  B.call(Setup);
+  B.call(Worker);
+  B.chk(Eax);
+  B.cmp(Esi, Edi);
+  B.jcc(Cond::Ne, Skip);
+  // Phase shift: misalign the base from here on.  The next circuit's
+  // call Setup re-executes the rewritten movri.
+  B.movri(Ebx, static_cast<int32_t>(SetupImm));
+  B.movri(Edx, static_cast<int32_t>(Buf + 1));
+  B.stl(mem(Ebx, 0), Edx);
+  B.bind(Skip);
+  B.subi(Esi, 1);
+  B.cmpi(Esi, 0);
+  B.jcc(Cond::Ne, Loop);
+  B.halt();
+  return B.build();
+}
+
+GuestImage workloads::smcChurnProgram(uint32_t Workers, uint32_t Iters) {
+  assert(Workers > 0 && Workers <= 8 && Iters > 0);
+  ProgramBuilder B("smc.churn");
+  uint32_t Buf = B.dataReserve(8 * Workers + 16, 8);
+
+  std::vector<ProgramBuilder::Label> WorkerL;
+  for (uint32_t K = 0; K != Workers; ++K)
+    WorkerL.push_back(B.newLabel());
+  ProgramBuilder::Label Loop = B.newLabel();
+
+  B.movri(Esi, static_cast<int32_t>(Iters));
+  B.movri(Ebp, static_cast<int32_t>(Buf + 1));
+  B.jmp(Loop);
+
+  std::vector<uint32_t> WorkerImm;
+  for (uint32_t K = 0; K != Workers; ++K) {
+    alignImmForPatch(B);
+    WorkerImm.push_back(B.codeAddress() + 2);
+    B.bind(WorkerL[K]);
+    B.movri(Eax, 0); // rewritten on every circuit
+    B.stl(mem(Ebp, static_cast<int32_t>(8 * K)), Eax); // misaligned
+    B.ret();
+  }
+
+  // Driver: patch *every* worker, *every* circuit.  Once the workers
+  // are hot this is Workers invalidation+retranslation cycles per
+  // iteration — the unbounded-churn adversary the budget ceilings and
+  // the per-block SMC pin exist for.
+  B.bind(Loop);
+  for (uint32_t K = 0; K != Workers; ++K) {
+    B.movri(Ebx, static_cast<int32_t>(WorkerImm[K]));
+    B.movrr(Edx, Esi);
+    B.addi(Edx, static_cast<int32_t>(K));
+    B.stl(mem(Ebx, 0), Edx);
+    B.call(WorkerL[K]);
+    B.chk(Eax);
+  }
+  B.subi(Esi, 1);
+  B.cmpi(Esi, 0);
+  B.jcc(Cond::Ne, Loop);
+  B.halt();
+  return B.build();
+}
+
+std::vector<workloads::HostileProgram> workloads::hostileCatalog() {
+  std::vector<HostileProgram> Out;
+  Out.push_back({"smc.flip", smcFlipProgram(400)});
+  Out.push_back({"smc.phase", smcPhaseProgram(400, 200)});
+  Out.push_back({"smc.churn", smcChurnProgram(3, 250)});
+  return Out;
+}

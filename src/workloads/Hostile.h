@@ -1,0 +1,75 @@
+//===- workloads/Hostile.h - Hostile-guest workload generator --*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adversarial guest programs for the hostile-guest hardening work:
+/// self-modifying kernels, phase-shifting MDA-census guests, and a
+/// retranslation-churn adversary.  All are deterministic and
+/// byte-identical against the interpreter oracle under every MDA
+/// policy; what they attack is the *translation side* — code-cache
+/// coherence, analysis soundness, and resource consumption.
+///
+/// Coherence contract honoured by every generator: a program only
+/// rewrites the code of *other* basic blocks, never its own, and the
+/// rewritten block is re-entered through a block boundary after the
+/// store.  (The engine guarantees rewritten code takes effect no later
+/// than the next block boundary — the classic pre-P6 x86 rule — and
+/// the interpreter oracle fetches fresh bytes every instruction, so
+/// under this contract the two are observationally identical.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_WORKLOADS_HOSTILE_H
+#define MDABT_WORKLOADS_HOSTILE_H
+
+#include "guest/GuestImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mdabt {
+namespace workloads {
+
+/// Self-modifying kernel: a patcher loop rewrites the imm32 of a hot
+/// worker block's `movri` every iteration (plus misaligned load/store
+/// traffic through the MDA machinery).  Once the worker is translated,
+/// every patch store must hit the write barrier and invalidate it —
+/// \p Iters invalidation/retranslation cycles.
+guest::GuestImage smcFlipProgram(uint32_t Iters);
+
+/// Phase-shifting MDA-census guest exercising *verdict revocation*:
+/// block X materializes the base pointer (`movri ebp, Buf`), block W
+/// loads through it at a 4-aligned displacement.  With analysis on, W's
+/// site is provably Aligned (Elide) via X's constant.  At iteration
+/// \p ShiftAt the program patches X's imm32 to Buf+1: the rewritten
+/// bytes sit in X, not W, so only re-analysis (not the instruction
+/// identity guard) can discover that W's Elide proof is dead.  The
+/// engine must revoke it before W's next translation-driven dispatch.
+/// \p ShiftAt must be < \p Iters (iterations count down from Iters).
+guest::GuestImage smcPhaseProgram(uint32_t Iters, uint32_t ShiftAt);
+
+/// Retranslation-churn adversary: \p Workers hot worker blocks, each
+/// patched on *every* circuit of the driver loop.  Unbounded
+/// translation count and monotone code-cache growth unless the budget
+/// ceilings (EngineConfig::Budget) or the per-block SMC churn pin
+/// contain it.
+guest::GuestImage smcChurnProgram(uint32_t Workers, uint32_t Iters);
+
+/// One named hostile program.
+struct HostileProgram {
+  std::string Name;
+  guest::GuestImage Image;
+};
+
+/// The standard hostile-guest suite (used by bench/ablation_smc and
+/// the chaos SMC-storm campaigns).
+std::vector<HostileProgram> hostileCatalog();
+
+} // namespace workloads
+} // namespace mdabt
+
+#endif // MDABT_WORKLOADS_HOSTILE_H

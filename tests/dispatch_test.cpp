@@ -19,9 +19,11 @@
 
 #include "dbt/DispatchTable.h"
 #include "mda/PolicyFactory.h"
+#include "workloads/Hostile.h"
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -292,6 +294,58 @@ TEST(DispatchTableTest, RehashDropsTombstones) {
   }
 }
 
+TEST(DispatchTableTest, EraseIfStormInterleavedWithRehashTracksReference) {
+  // An SMC invalidation storm: bursts of guarded erases (some with the
+  // live translation, some deliberately stale — which must be no-ops)
+  // interleaved with fresh inserts that keep forcing growth.  After
+  // every burst the table must agree with a reference map on every PC
+  // ever touched, including across rehashes that drop the storm's
+  // tombstones.
+  dbt::DispatchTable Table;
+  std::vector<dbt::Translation> Gen0(512), Gen1(512);
+  std::map<uint32_t, dbt::Translation *> Ref;
+  uint64_t Rng = 0x9e3779b97f4a7c15ULL; // deterministic xorshift
+  auto Next = [&Rng]() {
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 7;
+    Rng ^= Rng << 17;
+    return Rng;
+  };
+  for (uint32_t I = 0; I != 512; ++I) {
+    uint32_t Pc = (I + 1) * 4;
+    Table.insert(Pc, &Gen0[I]);
+    Ref[Pc] = &Gen0[I];
+    if (I % 8 != 7)
+      continue;
+    // Invalidation burst over a window of already-installed PCs.
+    for (uint32_t K = 0; K != 16; ++K) {
+      uint32_t J = static_cast<uint32_t>(Next() % (I + 1));
+      uint32_t VictimPc = (J + 1) * 4;
+      if (Next() % 4 == 0) {
+        // Stale guard: the PC was already remapped to a newer
+        // translation (superblock formation does exactly this), so
+        // the erase for the old one must not drop the fresh entry.
+        Table.insert(VictimPc, &Gen1[J]);
+        Ref[VictimPc] = &Gen1[J];
+        Table.eraseIf(VictimPc, &Gen0[J]);
+      } else {
+        Table.eraseIf(VictimPc, Ref[VictimPc]);
+        Ref[VictimPc] = nullptr;
+      }
+    }
+    uint32_t Probes = 0;
+    for (const auto &KV : Ref)
+      ASSERT_EQ(Table.lookup(KV.first, Probes), KV.second)
+          << "pc " << KV.first << " after burst at insert " << I;
+  }
+  EXPECT_GT(Table.rehashes(), 0u);
+  EXPECT_GT(Table.erases(), 0u);
+  size_t Live = 0;
+  for (const auto &KV : Ref)
+    Live += KV.second != nullptr;
+  EXPECT_EQ(Table.size(), Live);
+}
+
 // ---- engine-level: transparency and mechanism activity ---------------------
 
 TEST(DispatchEngineTest, HashDispatchIsArchitecturallyTransparent) {
@@ -472,4 +526,68 @@ TEST(DispatchEngineTest, AllOnReplaysBitIdentically) {
   ASSERT_EQ(A.Counters.entries().size(), B.Counters.entries().size());
   for (const auto &Entry : A.Counters.entries())
     EXPECT_EQ(Entry.second, B.Counters.get(Entry.first)) << Entry.first;
+}
+
+namespace {
+
+/// A guest whose worker patches the imm32 of its *return-target*
+/// block before returning into it: the ret's cached inline-cache way
+/// then points at a translation that is invalidated on every circuit,
+/// so the storm exercises way retirement, not just dispatch-table
+/// erasure.  (The nop padding 4-aligns the patched imm so the patch
+/// store itself is aligned traffic.)
+guest::GuestImage icStormProgram(uint32_t Iters) {
+  using namespace guest;
+  ProgramBuilder B("ic.storm");
+  ProgramBuilder::Label Worker = B.newLabel();
+  ProgramBuilder::Label Loop = B.newLabel();
+  B.movri(6, static_cast<int32_t>(Iters));
+  B.bind(Loop);
+  B.call(Worker);
+  // Continuation block — the ret target the worker rewrites.
+  while ((B.codeAddress() + 2) % 4 != 0)
+    B.nop();
+  uint32_t ContImm = B.codeAddress() + 2;
+  B.movri(0, 0); // imm32 patched every circuit
+  B.chk(0);
+  B.subi(6, 1);
+  B.cmpi(6, 0);
+  B.jcc(Cond::Ne, Loop);
+  B.halt();
+  // Patch only every 8th circuit: in between, the continuation stays
+  // valid so the ret's way actually fills (and hits); on patching
+  // circuits the filled way's target is invalidated and the way must
+  // be evicted.
+  ProgramBuilder::Label Skip = B.newLabel();
+  B.bind(Worker);
+  B.movrr(2, 6);
+  B.andi(2, 7);
+  B.cmpi(2, 0);
+  B.jcc(Cond::Ne, Skip);
+  B.movri(3, static_cast<int32_t>(ContImm));
+  B.stl(mem(3, 0), 6); // SMC into the return-target block
+  B.bind(Skip);
+  B.ret();
+  return B.build();
+}
+
+} // namespace
+
+TEST(DispatchEngineTest, InlineCacheRetirementSurvivesSmcInvalidationStorm) {
+  // Each circuit invalidates the worker's cached return target: the
+  // SMC barrier must retire the dispatch-table entry and the filled
+  // inline-cache way before the next dispatch, while the table keeps
+  // churning — and the run must stay byte-identical.
+  guest::GuestImage Image = icStormProgram(250);
+  Oracle O = interpretOracle(Image);
+  dbt::EngineConfig Config = allOn();
+  Config.Analysis = true;
+  Config.Verify = true;
+  dbt::RunResult R = runDispatch(
+      Image, {mda::MechanismKind::Direct, 0, false, 0, false}, Config);
+  expectMatchesOracle(R, O, "ic.storm all-on");
+  EXPECT_GT(R.Counters.get("smc.invalidations"), 0u);
+  EXPECT_GT(R.Counters.get("dispatch.table_erases"), 0u);
+  EXPECT_GT(R.Counters.get("dispatch.ic_fills"), 0u);
+  EXPECT_GT(R.Counters.get("dispatch.ic_evictions"), 0u);
 }

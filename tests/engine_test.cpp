@@ -20,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 using namespace mdabt;
 using namespace mdabt::testutil;
 
@@ -338,6 +341,29 @@ TEST(EngineTest, HeatingThresholdControlsInterpretation) {
       Image, {mda::MechanismKind::DynamicProfiling, 500, false, 0, false});
   EXPECT_LT(Th10.Counters.get("interp.insts"),
             Th500.Counters.get("interp.insts"));
+}
+
+TEST(EngineTest, RunErrorNamesRoundTripExhaustively) {
+  // Every enumerator has a distinct, stable wire name.  The
+  // static_assert pins NumRunErrors to the enum's actual extent, so
+  // adding an enumerator without growing the table (and the name
+  // switch, which has no default and trips -Wswitch) fails loudly at
+  // compile time, and the soak/bench error tables can index by value.
+  static_assert(static_cast<size_t>(dbt::RunError::BudgetChurn) + 1 ==
+                    dbt::NumRunErrors,
+                "NumRunErrors out of sync with the RunError enum");
+  std::set<std::string> Seen;
+  for (size_t I = 0; I != dbt::NumRunErrors; ++I) {
+    std::string Name =
+        dbt::runErrorName(static_cast<dbt::RunError>(I));
+    EXPECT_FALSE(Name.empty()) << "enumerator " << I;
+    EXPECT_NE(Name, "unknown") << "enumerator " << I;
+    EXPECT_TRUE(Seen.insert(Name).second)
+        << "duplicate name '" << Name << "' at enumerator " << I;
+  }
+  EXPECT_STREQ(
+      dbt::runErrorName(static_cast<dbt::RunError>(dbt::NumRunErrors)),
+      "unknown");
 }
 
 TEST(EngineTest, EngineRefusesSecondRun) {

@@ -1,0 +1,176 @@
+//===- tests/smc_test.cpp - Guest-code coherence & governance tests -------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hostile-guest hardening surface: self-modifying guests must stay
+/// byte-identical to the interpreter oracle under every MDA policy with
+/// the alignment analysis and the structural verifier on — including
+/// when superblocks fuse the patcher with the code it patches (the
+/// episode-stop path), when an Elide verdict's proof lives in rewritten
+/// bytes (verdict revocation), and when the guest is an unbounded
+/// retranslation-churn adversary (typed budget aborts and the per-block
+/// interp-only pin).
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "mda/PolicyFactory.h"
+#include "workloads/Hostile.h"
+
+#include <gtest/gtest.h>
+
+using namespace mdabt;
+using namespace mdabt::testutil;
+
+namespace {
+
+/// The five mechanism families of the paper's evaluation.
+std::vector<mda::PolicySpec> smcSpecs() {
+  using mda::MechanismKind;
+  return {
+      {MechanismKind::Direct, 0, false, 0, false},
+      {MechanismKind::StaticProfiling, 0, false, 0, false},
+      {MechanismKind::DynamicProfiling, 50, false, 0, false},
+      {MechanismKind::ExceptionHandling, 50, true, 0, false},
+      {MechanismKind::Dpeh, 50, false, 4, false},
+  };
+}
+
+/// Coherence runs keep the analysis (whose verdicts SMC can stale) and
+/// the verifier (invariant 8: no live translation over dirtied bytes)
+/// on; Verify turns any structural slip into a typed abort that
+/// expectMatchesOracle reports instead of silent corruption.
+dbt::EngineConfig smcConfig() {
+  dbt::EngineConfig Config;
+  Config.Analysis = true;
+  Config.Verify = true;
+  return Config;
+}
+
+/// smcConfig plus every hot-dispatch mechanism: superblocks are the
+/// adversarial case (they can fuse the patcher with the patched code
+/// into one translation) and inline caches add the retirement surface
+/// invalidation must clear.
+dbt::EngineConfig smcAllDispatch() {
+  dbt::EngineConfig Config = smcConfig();
+  Config.HashDispatch = true;
+  Config.InlineCaches = true;
+  Config.Superblocks = true;
+  return Config;
+}
+
+dbt::RunResult runSmc(const guest::GuestImage &Image,
+                      const mda::PolicySpec &Spec,
+                      const dbt::EngineConfig &Config) {
+  std::unique_ptr<dbt::MdaPolicy> Policy = mda::makePolicy(Spec, &Image);
+  dbt::Engine Engine(Image, *Policy, Config);
+  return Engine.run();
+}
+
+class SmcPoliciesTest : public ::testing::TestWithParam<mda::PolicySpec> {};
+
+} // namespace
+
+TEST_P(SmcPoliciesTest, HostileCatalogMatchesOracle) {
+  for (const workloads::HostileProgram &P : workloads::hostileCatalog()) {
+    Oracle O = interpretOracle(P.Image);
+    dbt::RunResult R = runSmc(P.Image, GetParam(), smcConfig());
+    expectMatchesOracle(R, O, P.Name.c_str());
+    EXPECT_EQ(R.Counters.get("verify.issues"), 0u) << P.Name;
+  }
+}
+
+TEST_P(SmcPoliciesTest, HostileCatalogMatchesOracleUnderAllDispatch) {
+  // Regression for the fused patcher/patchee hazard: before the
+  // episode-stop machinery, smc.churn under superblocks kept executing
+  // the stale inlined copy of the block it had just rewritten and
+  // diverged in checksum only.
+  for (const workloads::HostileProgram &P : workloads::hostileCatalog()) {
+    Oracle O = interpretOracle(P.Image);
+    dbt::RunResult R = runSmc(P.Image, GetParam(), smcAllDispatch());
+    expectMatchesOracle(R, O, P.Name.c_str());
+    EXPECT_EQ(R.Counters.get("verify.issues"), 0u) << P.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SmcPoliciesTest,
+                         ::testing::ValuesIn(smcSpecs()));
+
+TEST(SmcTest, EpisodeStopEngagesWhenPatcherAndPatcheeFuse) {
+  // Under superblocks the churn guest's patch store executes from
+  // inside the very trace it invalidates; coherence then requires the
+  // machine-level episode stop, not just quarantine-before-dispatch.
+  guest::GuestImage Image = workloads::smcChurnProgram(3, 250);
+  Oracle O = interpretOracle(Image);
+  dbt::RunResult R =
+      runSmc(Image, {mda::MechanismKind::Direct, 0, false, 0, false},
+             smcAllDispatch());
+  expectMatchesOracle(R, O, "smc.churn superblocks");
+  EXPECT_GT(R.Counters.get("smc.episode_stops"), 0u);
+  EXPECT_GT(R.Counters.get("smc.invalidations"), 0u);
+}
+
+TEST(SmcTest, PhaseShiftRevokesStaleElideVerdict) {
+  // smc.phase's worker is provably aligned through another block's
+  // movri constant; rewriting that constant must demote the Elide (the
+  // proof's bytes changed) and the re-planned code must then handle
+  // the now-misaligned accesses — all while staying byte-identical.
+  guest::GuestImage Image = workloads::smcPhaseProgram(400, 200);
+  Oracle O = interpretOracle(Image);
+  dbt::RunResult R =
+      runSmc(Image, {mda::MechanismKind::Direct, 0, false, 0, false},
+             smcConfig());
+  expectMatchesOracle(R, O, "smc.phase");
+  EXPECT_GE(R.Counters.get("smc.reanalyses"), 1u);
+  EXPECT_GE(R.Counters.get("smc.verdicts_revoked"), 1u);
+}
+
+TEST(SmcTest, TranslationBudgetAbortsTyped) {
+  guest::GuestImage Image = workloads::smcChurnProgram(4, 4000);
+  dbt::EngineConfig Config = smcConfig();
+  Config.Budget.MaxTranslations = 64;
+  dbt::RunResult R = runSmc(
+      Image, {mda::MechanismKind::Direct, 0, false, 0, false}, Config);
+  EXPECT_EQ(R.Error, dbt::RunError::BudgetTranslations);
+}
+
+TEST(SmcTest, CodeBytesBudgetBoundsEmissionAcrossFlushes) {
+  guest::GuestImage Image = workloads::smcChurnProgram(4, 4000);
+  dbt::EngineConfig Config = smcConfig();
+  Config.Budget.MaxCodeBytes = 32768;
+  dbt::RunResult R = runSmc(
+      Image, {mda::MechanismKind::Direct, 0, false, 0, false}, Config);
+  EXPECT_EQ(R.Error, dbt::RunError::BudgetCodeBytes);
+  // The ceiling is checked after each translation/stub, so emission may
+  // overshoot by at most one translation's worth of code — bounded, the
+  // whole point against a flush-and-refill adversary.
+  EXPECT_LE(R.Counters.get("budget.code_bytes_emitted"),
+            Config.Budget.MaxCodeBytes + 4096);
+}
+
+TEST(SmcTest, ChurnBudgetAbortsTyped) {
+  guest::GuestImage Image = workloads::smcChurnProgram(4, 4000);
+  dbt::EngineConfig Config = smcConfig();
+  Config.Budget.MaxChurn = 128;
+  dbt::RunResult R = runSmc(
+      Image, {mda::MechanismKind::Direct, 0, false, 0, false}, Config);
+  EXPECT_EQ(R.Error, dbt::RunError::BudgetChurn);
+}
+
+TEST(SmcTest, ChurnPinDegradesInsteadOfAborting) {
+  // The per-block pin is containment, not abort: rewritten-too-often
+  // blocks drop to the interpreter (where SMC is free) and the run
+  // still completes byte-identically.
+  guest::GuestImage Image = workloads::smcChurnProgram(3, 250);
+  Oracle O = interpretOracle(Image);
+  dbt::EngineConfig Config = smcConfig();
+  Config.Budget.SmcChurnPinLimit = 4;
+  dbt::RunResult R = runSmc(
+      Image, {mda::MechanismKind::Direct, 0, false, 0, false}, Config);
+  expectMatchesOracle(R, O, "smc.churn pinned");
+  EXPECT_GT(R.Counters.get("smc.churn_pins"), 0u);
+}
