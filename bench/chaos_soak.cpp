@@ -17,7 +17,7 @@
 ///     means the degradation ladder failed to contain a livelock
 ///     (an engine wedge), which fails the soak.
 ///
-/// Two campaign phases run back to back:
+/// Three campaign phases run back to back:
 ///
 ///   1. the classic phase over two SPEC programs (flush, supersede and
 ///      dispatch surfaces under injection);
@@ -25,12 +25,20 @@
 ///      (src/workloads/Hostile.h): self-modifying and churn adversaries
 ///      with the write barrier, re-analysis and the budget ceilings
 ///      live, still under fault injection, checked against the pure
-///      interpreter oracle.
+///      interpreter oracle;
+///   3. the shared-cache phase (docs/SERVING.md): batches of tenants on
+///      one TranslationService, half of them chaos campaigns tearing
+///      patches and storming flushes while the other half run clean
+///      with the verifier on and hold live leases.  Any clean tenant
+///      that diverges from its oracle, wedges, or aborts is
+///      cross-tenant bleed and fails the soak loudly; every batch must
+///      also drain its cache to zero live leases.
 ///
 /// Every failure line prints the campaign's derived fault-plan seed and
-/// the exact replay invocation (`--seed S --campaign I` or
-/// `--seed S --smc-campaign I`), so any wedge or corruption seen in a
-/// CI log is reproducible from the log alone.
+/// the exact replay invocation (`--seed S --campaign I`,
+/// `--seed S --smc-campaign I` or `--seed S --shared-campaign I`), so
+/// any wedge or corruption seen in a CI log is reproducible from the
+/// log alone.
 ///
 /// Registered as a ctest target; MDABT_CHAOS_CAMPAIGNS overrides the
 /// per-phase campaign count (default 250).
@@ -40,6 +48,7 @@
 #include "BenchCommon.h"
 
 #include "chaos/FaultPlan.h"
+#include "dbt/TranslationService.h"
 #include "guest/Interpreter.h"
 #include "mda/PolicyFactory.h"
 #include "workloads/Hostile.h"
@@ -151,7 +160,7 @@ int main(int argc, char **argv) {
   // Replay flags (left in argv by parseArgs): run exactly one campaign
   // of the chosen phase.  A failing CI log line prints the invocation
   // verbatim, so replay needs nothing but the log.
-  long long ReplayMain = -1, ReplaySmc = -1;
+  long long ReplayMain = -1, ReplaySmc = -1, ReplayShared = -1;
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
     auto Value = [&](const char *Flag) -> const char * {
@@ -168,15 +177,19 @@ int main(int argc, char **argv) {
       ReplayMain = std::atoll(V);
     } else if (const char *V = Value("--smc-campaign")) {
       ReplaySmc = std::atoll(V);
+    } else if (const char *V = Value("--shared-campaign")) {
+      ReplayShared = std::atoll(V);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--seed S] [--campaign I] "
-                   "[--smc-campaign I]\nerror: unknown argument %s\n",
+                   "[--smc-campaign I] [--shared-campaign I]\n"
+                   "error: unknown argument %s\n",
                    argv[0], Arg);
       return 2;
     }
   }
-  const bool Replay = ReplayMain >= 0 || ReplaySmc >= 0;
+  const bool Replay =
+      ReplayMain >= 0 || ReplaySmc >= 0 || ReplayShared >= 0;
 
   if (!Replay)
     banner("Chaos soak: seeded fault-injection campaigns against every MDA "
@@ -228,6 +241,9 @@ int main(int argc, char **argv) {
   };
   auto smcPlanSeed = [&](uint64_t I) -> uint64_t {
     return Opt.Seed * 1000003 + 1000000007 + I;
+  };
+  auto sharedPlanSeed = [&](uint64_t I) -> uint64_t {
+    return Opt.Seed * 1000003 + 2000000011 + I;
   };
 
   // --- campaign runners (shared by the soak and by replay mode) ------
@@ -293,15 +309,20 @@ int main(int argc, char **argv) {
     return reporting::runPolicy(*Progs[P], Cases[C].Spec, Scale, Config);
   };
 
-  auto runSmcCampaign = [&](uint64_t I) -> dbt::RunResult {
+  // Shared by phase 2 (isolated, PlanSeed = smcPlanSeed) and the chaos
+  // slots of phase 3 (serving-attached, PlanSeed = sharedPlanSeed).
+  auto runSmcCampaign = [&](uint64_t I, uint64_t PlanSeed,
+                            dbt::TranslationService *Service)
+      -> dbt::RunResult {
     size_t P = static_cast<size_t>(I % NumHostile);
     size_t C = static_cast<size_t>((I / NumHostile) % NumCases);
-    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(smcPlanSeed(I));
+    chaos::FaultPlan Plan = chaos::FaultPlan::randomized(PlanSeed);
 
     dbt::EngineConfig Config;
     Config.MaxMonitorSteps = 500'000;
     Config.Chaos = &Plan;
     Config.Verify = true;
+    Config.Service = Service;
     // The alignment analysis is on for every SMC campaign: verdict
     // revocation and lazy re-analysis must stay sound while the
     // injector tears patches out from under the invalidation path.
@@ -358,6 +379,27 @@ int main(int argc, char **argv) {
     return Engine.run();
   };
 
+  // A clean tenant sharing a cache with chaos campaigns: no injection,
+  // verifier on, full dispatch surface.  Anything but a bit-exact
+  // survival here is cross-tenant bleed.
+  auto runCleanTenant = [&](uint64_t I, dbt::TranslationService *Service)
+      -> dbt::RunResult {
+    size_t P = static_cast<size_t>(I % NumHostile);
+    size_t C = static_cast<size_t>((I / NumHostile) % NumCases);
+    dbt::EngineConfig Config;
+    Config.MaxMonitorSteps = 500'000;
+    Config.Verify = true;
+    Config.Analysis = true;
+    Config.HashDispatch = true;
+    Config.InlineCaches = true;
+    Config.Superblocks = true;
+    Config.Service = Service;
+    std::unique_ptr<dbt::MdaPolicy> Policy =
+        mda::makePolicy(Cases[C].Spec, &Hostile[P].Image);
+    dbt::Engine Engine(Hostile[P].Image, *Policy, Config);
+    return Engine.run();
+  };
+
   // --- ground truth --------------------------------------------------
 
   // Hostile baselines come straight from the interpreter oracle.
@@ -404,15 +446,29 @@ int main(int argc, char **argv) {
 
   if (Replay) {
     const bool Smc = ReplaySmc >= 0;
-    uint64_t I = static_cast<uint64_t>(Smc ? ReplaySmc : ReplayMain);
-    dbt::RunResult R = Smc ? runSmcCampaign(I) : runMainCampaign(I);
+    const bool Shared = ReplayShared >= 0;
+    uint64_t I = static_cast<uint64_t>(Shared ? ReplayShared
+                                       : Smc  ? ReplaySmc
+                                              : ReplayMain);
+    // A shared-campaign replay reruns the chaos tenant against a fresh
+    // service of its own: its verdict must not depend on cache state
+    // other tenants left behind — that independence is the phase's
+    // whole claim.
+    dbt::TranslationService ReplayService;
+    dbt::RunResult R =
+        Shared ? runSmcCampaign(I, sharedPlanSeed(I), &ReplayService)
+        : Smc  ? runSmcCampaign(I, smcPlanSeed(I), nullptr)
+               : runMainCampaign(I);
+    const bool Hostile_ = Smc || Shared;
     const Baseline &B =
-        Smc ? HostileBase[I % NumHostile] : Base[I % NumProgs];
-    const char *Prog = Smc ? Hostile[I % NumHostile].Name.c_str()
-                           : Progs[I % NumProgs]->Name;
+        Hostile_ ? HostileBase[I % NumHostile] : Base[I % NumProgs];
+    const char *Prog = Hostile_ ? Hostile[I % NumHostile].Name.c_str()
+                                : Progs[I % NumProgs]->Name;
     const char *Policy =
-        Cases[(I / (Smc ? NumHostile : NumProgs)) % NumCases].Label;
-    uint64_t PlanSeed = Smc ? smcPlanSeed(I) : mainPlanSeed(I);
+        Cases[(I / (Hostile_ ? NumHostile : NumProgs)) % NumCases].Label;
+    uint64_t PlanSeed = Shared ? sharedPlanSeed(I)
+                        : Smc  ? smcPlanSeed(I)
+                               : mainPlanSeed(I);
     Outcome O = classify(R, B);
     const char *Verdict = O == Outcome::Survived   ? "SURVIVED"
                           : O == Outcome::Degraded ? "DEGRADED"
@@ -420,7 +476,8 @@ int main(int argc, char **argv) {
                                                    : "CORRUPT";
     std::printf("replay %s campaign %" PRIu64 " (%s, %s, plan seed "
                 "0x%" PRIx64 "): %s (error=%s, injected=%" PRIu64 ")\n",
-                Smc ? "smc" : "main", I, Prog, Policy, PlanSeed, Verdict,
+                Shared ? "shared" : Smc ? "smc" : "main", I, Prog, Policy,
+                PlanSeed, Verdict,
                 dbt::runErrorName(R.Error),
                 R.Counters.get("chaos.injected"));
     return (O == Outcome::Wedged || O == Outcome::Corrupt) ? 1 : 0;
@@ -469,8 +526,9 @@ int main(int argc, char **argv) {
   // --- phase 2: SMC-storm campaigns over the hostile suite -----------
 
   std::vector<dbt::RunResult> SmcRuns(Campaigns);
-  parallelFor(Opt.Jobs, Campaigns,
-              [&](size_t I) { SmcRuns[I] = runSmcCampaign(I); });
+  parallelFor(Opt.Jobs, Campaigns, [&](size_t I) {
+    SmcRuns[I] = runSmcCampaign(I, smcPlanSeed(I), nullptr);
+  });
 
   PolicyTally SmcTally[NumCases];
   for (uint64_t I = 0; I != Campaigns; ++I) {
@@ -500,37 +558,113 @@ int main(int argc, char **argv) {
     }
   }
 
+  // --- phase 3: shared-cache campaigns (chaos + clean tenants) -------
+
+  // Batches of BatchSize campaigns share one TranslationService: even
+  // slots are chaos SMC campaigns (torn patches, flush storms, spurious
+  // traps — publishing into and hitting the shared cache), odd slots
+  // are clean tenants holding live leases on the same cache.  The
+  // isolation contract under test: no amount of chaos in one tenant may
+  // perturb another tenant's architectural results, and every batch
+  // drains its cache to zero live leases.
+  constexpr uint64_t BatchSize = 6;
+  const uint64_t NumBatches = (Campaigns + BatchSize - 1) / BatchSize;
+  std::vector<dbt::TranslationService> Services(NumBatches);
+  std::vector<dbt::RunResult> SharedRuns(Campaigns);
+  parallelFor(Opt.Jobs, Campaigns, [&](size_t I) {
+    dbt::TranslationService *S = &Services[I / BatchSize];
+    SharedRuns[I] = (I % 2 == 0)
+                        ? runSmcCampaign(I, sharedPlanSeed(I), S)
+                        : runCleanTenant(I, S);
+  });
+
+  PolicyTally SharedTally[NumCases];
+  uint64_t BleedTotal = 0;
+  for (uint64_t I = 0; I != Campaigns; ++I) {
+    size_t P = static_cast<size_t>(I % NumHostile);
+    size_t C = static_cast<size_t>((I / NumHostile) % NumCases);
+    const dbt::RunResult &R = SharedRuns[I];
+    Outcome O = classify(R, HostileBase[P]);
+    if (I % 2 == 0) {
+      // Chaos slot: the usual soak contract (typed degradation or
+      // bit-exact survival).
+      tallyOutcome(SharedTally[C], R, O);
+      if (O == Outcome::Corrupt || O == Outcome::Wedged) {
+        O == Outcome::Corrupt ? ++CorruptTotal : ++WedgedTotal;
+        std::fprintf(stderr,
+                     "%s: shared campaign %" PRIu64 " (%s, %s, plan seed "
+                     "0x%" PRIx64 ") — replay: chaos_soak --seed "
+                     "0x%" PRIx64 " --shared-campaign %" PRIu64 "\n",
+                     O == Outcome::Corrupt ? "CORRUPT" : "WEDGE", I,
+                     Hostile[P].Name.c_str(), Cases[C].Label,
+                     sharedPlanSeed(I), Opt.Seed, I);
+      }
+    } else if (O != Outcome::Survived) {
+      // Clean slot: nothing was injected into THIS tenant, so any
+      // deviation means a cache-mate's chaos leaked across the tenant
+      // boundary.
+      ++BleedTotal;
+      std::fprintf(stderr,
+                   "BLEED: clean tenant %" PRIu64 " (%s, %s) sharing a "
+                   "cache with chaos campaigns %s (error=%s) — "
+                   "cross-tenant isolation violated\n",
+                   I, Hostile[P].Name.c_str(), Cases[C].Label,
+                   O == Outcome::Corrupt ? "diverged from its oracle"
+                   : O == Outcome::Wedged ? "wedged"
+                                          : "aborted",
+                   dbt::runErrorName(R.Error));
+    }
+  }
+  uint64_t LeakedLeases = 0;
+  for (const dbt::TranslationService &S : Services)
+    LeakedLeases += S.cache().liveLeases();
+  if (LeakedLeases != 0)
+    std::fprintf(stderr,
+                 "LEAK: %" PRIu64 " live leases remain after every "
+                 "shared-cache tenant finished\n",
+                 LeakedLeases);
+
   // --- report --------------------------------------------------------
 
   printSurvival("chaos_soak", Cases, NumCases, Tally);
   printSurvival("chaos_soak_smc", Cases, NumCases, SmcTally);
+  printSurvival("chaos_soak_shared", Cases, NumCases, SharedTally);
 
   TablePrinter E({"RunError", "Count"});
   for (size_t K = 0; K != dbt::NumRunErrors; ++K) {
     uint64_t N = 0;
     for (size_t C = 0; C != NumCases; ++C)
-      N += Tally[C].ByError[K] + SmcTally[C].ByError[K];
+      N += Tally[C].ByError[K] + SmcTally[C].ByError[K] +
+           SharedTally[C].ByError[K];
     E.addRow({dbt::runErrorName(static_cast<dbt::RunError>(K)),
               withCommas(N)});
   }
   printTable(E, "chaos_soak_errors");
 
-  uint64_t SurvivedTotal = 0, DegradedTotal = 0, SmcSurvived = 0;
+  uint64_t SurvivedTotal = 0, DegradedTotal = 0, SmcSurvived = 0,
+           SharedSurvived = 0;
   for (size_t C = 0; C != NumCases; ++C) {
-    SurvivedTotal += Tally[C].Survived + SmcTally[C].Survived;
-    DegradedTotal += Tally[C].Degraded + SmcTally[C].Degraded;
+    SurvivedTotal += Tally[C].Survived + SmcTally[C].Survived +
+                     SharedTally[C].Survived;
+    DegradedTotal += Tally[C].Degraded + SmcTally[C].Degraded +
+                     SharedTally[C].Degraded;
     SmcSurvived += SmcTally[C].Survived;
+    SharedSurvived += SharedTally[C].Survived;
   }
   std::printf("Soak: %" PRIu64 " campaigns (%" PRIu64 " classic + %" PRIu64
-              " smc-storm), %" PRIu64 " survived, %" PRIu64
-              " degraded (typed), %" PRIu64 " wedged, %" PRIu64 " corrupt\n",
-              Campaigns * 2, Campaigns, Campaigns, SurvivedTotal,
-              DegradedTotal, WedgedTotal, CorruptTotal);
-  if (WedgedTotal != 0 || CorruptTotal != 0) {
+              " smc-storm + %" PRIu64 " shared-cache), %" PRIu64
+              " survived, %" PRIu64 " degraded (typed), %" PRIu64
+              " wedged, %" PRIu64 " corrupt, %" PRIu64
+              " cross-tenant bleeds, %" PRIu64 " leaked leases\n",
+              Campaigns * 3, Campaigns, Campaigns, Campaigns,
+              SurvivedTotal, DegradedTotal, WedgedTotal, CorruptTotal,
+              BleedTotal, LeakedLeases);
+  if (WedgedTotal != 0 || CorruptTotal != 0 || BleedTotal != 0 ||
+      LeakedLeases != 0) {
     std::fprintf(stderr, "chaos soak FAILED\n");
     return 1;
   }
-  if (SurvivedTotal == 0 || SmcSurvived == 0) {
+  if (SurvivedTotal == 0 || SmcSurvived == 0 || SharedSurvived == 0) {
     std::fprintf(stderr,
                  "chaos soak FAILED: no campaign survived — injection or "
                  "degradation machinery is misconfigured\n");

@@ -1,0 +1,428 @@
+//===- bench/serving_throughput.cpp - Multi-tenant serving benchmark ------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-architecture benchmark (docs/SERVING.md): replay
+/// thousands of heterogeneous translation requests — SPEC-shaped
+/// benchmarks under EH and DPEH plus the hostile self-modifying suite —
+/// against one process-wide TranslationService across a ThreadPool, and
+/// measure what the shared cache buys:
+///
+///  * cold: a fresh cache, every translation is a compulsory miss;
+///  * warm: the same request stream again, which must hit on every
+///    translation (the replay re-derives identical content keys);
+///  * disk-warmed: a fresh service loaded from the artifact save()
+///    wrote, which must perform no re-translation at all.
+///
+/// Three guarantees this binary enforces (exit nonzero on violation):
+///  * every run — every tenant, every phase, any --jobs — is
+///    byte-identical (Checksum, MemoryHash) to its single-tenant
+///    isolated-engine oracle;
+///  * the warm and disk-warmed phases miss zero times (hit rate 1.0,
+///    comfortably above the 0.9 serving floor) and spend strictly fewer
+///    modeled translate cycles than the cold phase;
+///  * the cache drains to zero live leases after every phase.
+///
+/// stdout (the per-tenant oracle table and phase verdicts) depends only
+/// on modeled state, so CI diffs it across --jobs values.  Wall-clock
+/// latency percentiles, aggregate MIPS and the cold-phase hit rate are
+/// scheduling-dependent and go to stderr — and into the bench_perf.json
+/// "serving" record via --perf-json [path].
+///
+/// Flags beyond the common set: --requests N (replay length per phase),
+/// --cache-file PATH (keep the artifact instead of a scratch file).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "dbt/TranslationService.h"
+#include "mda/PolicyFactory.h"
+#include "workloads/Hostile.h"
+#include "workloads/SpecPrograms.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace mdabt;
+using namespace mdabt::bench;
+
+namespace {
+
+/// One distinct tenant: an image plus the policy it runs under.
+struct Tenant {
+  std::string Name;
+  const char *PolicyName;
+  guest::GuestImage Image;
+  mda::PolicySpec Spec;
+  dbt::RunResult Expected; ///< isolated-engine oracle
+};
+
+/// The serving configuration every request runs under: full dispatch
+/// surface, analysis on so hostile SMC tenants exercise verdict
+/// revocation.  The structural verifier stays off here — it re-walks
+/// the whole code cache after every mutation, which is the right
+/// paranoia for tests/serving_test.cpp but would drown the throughput
+/// this bench exists to measure; oracle identity is still enforced on
+/// every request.
+dbt::EngineConfig servingConfig(dbt::TranslationService *Service) {
+  dbt::EngineConfig Config;
+  Config.Analysis = true;
+  Config.HashDispatch = true;
+  Config.InlineCaches = true;
+  Config.Superblocks = true;
+  Config.Service = Service;
+  return Config;
+}
+
+dbt::RunResult runTenant(const Tenant &T, dbt::TranslationService *Service) {
+  std::unique_ptr<dbt::MdaPolicy> Policy = mda::makePolicy(T.Spec, &T.Image);
+  dbt::Engine Engine(T.Image, *Policy, servingConfig(Service));
+  return Engine.run();
+}
+
+/// The heterogeneous tenant catalog: SPEC-shaped programs under the two
+/// production-shaped policies, plus every hostile self-modifying guest.
+std::vector<Tenant> tenantCatalog(const workloads::ScaleConfig &Scale) {
+  mda::PolicySpec Eh{mda::MechanismKind::ExceptionHandling, 50, true, 0,
+                     false};
+  mda::PolicySpec Dpeh{mda::MechanismKind::Dpeh, 50, false, 4, false};
+  std::vector<Tenant> Tenants;
+  for (const char *Name :
+       {"164.gzip", "179.art", "433.milc", "482.sphinx3"}) {
+    const workloads::BenchmarkInfo *Info = workloads::findBenchmark(Name);
+    guest::GuestImage Image =
+        workloads::buildBenchmark(*Info, workloads::InputKind::Ref, Scale);
+    Tenants.push_back({Name, "eh", Image, Eh, {}});
+    Tenants.push_back({Name, "dpeh", Image, Dpeh, {}});
+  }
+  for (const workloads::HostileProgram &P : workloads::hostileCatalog())
+    Tenants.push_back({P.Name, "dpeh", P.Image, Dpeh, {}});
+  return Tenants;
+}
+
+struct PhaseStats {
+  double Seconds = 0.0;       ///< phase wall clock
+  double P50Ms = 0.0;         ///< per-request latency percentiles
+  double P99Ms = 0.0;
+  double Mips = 0.0;          ///< aggregate wall-clock simulated MIPS
+  double HitRate = 0.0;       ///< cache hits / (hits + misses)
+  uint64_t Work = 0;          ///< interp + native insts, summed
+  uint64_t Cycles = 0;        ///< modeled cycles.total, summed
+  uint64_t TranslateCycles = 0; ///< modeled, summed over requests
+  uint64_t Mismatches = 0;    ///< runs that diverged from their oracle
+};
+
+/// Modeled throughput at a nominal 1 GHz host: instructions executed
+/// per modeled cycle, in MIPS.  Pure modeled state — deterministic at
+/// any --jobs, unlike the wall-clock advisories.
+double modeledMips(uint64_t Work, uint64_t Cycles) {
+  return Cycles ? static_cast<double>(Work) /
+                      static_cast<double>(Cycles) * 1000.0
+                : 0.0;
+}
+
+uint64_t runWork(const dbt::RunResult &R) {
+  return R.Counters.get("interp.insts") + R.Counters.get("host.insts");
+}
+
+/// Replay \p Requests (indices into \p Tenants) across the pool and
+/// check every result against its tenant's oracle.
+PhaseStats runPhase(const std::vector<Tenant> &Tenants,
+                    const std::vector<size_t> &Requests,
+                    dbt::TranslationService &Service, unsigned Jobs,
+                    const char *PhaseName) {
+  uint64_t Hits0 = Service.cache().hits();
+  uint64_t Misses0 = Service.cache().misses();
+  std::vector<double> LatencyMs(Requests.size());
+  std::vector<uint64_t> HostInsts(Requests.size());
+  std::vector<uint64_t> WorkInsts(Requests.size());
+  std::vector<uint64_t> TotalCycles(Requests.size());
+  std::vector<uint64_t> Translate(Requests.size());
+  std::vector<uint8_t> Ok(Requests.size(), 0);
+  auto T0 = std::chrono::steady_clock::now();
+  parallelFor(Jobs, Requests.size(), [&](size_t I) {
+    const Tenant &T = Tenants[Requests[I]];
+    auto R0 = std::chrono::steady_clock::now();
+    dbt::RunResult R = runTenant(T, &Service);
+    LatencyMs[I] = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - R0)
+                       .count();
+    HostInsts[I] = R.Counters.get("host.insts");
+    WorkInsts[I] = runWork(R);
+    TotalCycles[I] = R.Cycles;
+    Translate[I] = R.Counters.get("cycles.translate");
+    Ok[I] = R.Error == T.Expected.Error &&
+            R.Checksum == T.Expected.Checksum &&
+            R.MemoryHash == T.Expected.MemoryHash;
+    if (!Ok[I])
+      std::fprintf(stderr,
+                   "FAIL: %s/%s diverged from isolated oracle in %s "
+                   "phase (checksum %016llx vs %016llx)\n",
+                   T.Name.c_str(), T.PolicyName, PhaseName,
+                   (unsigned long long)R.Checksum,
+                   (unsigned long long)T.Expected.Checksum);
+  });
+  PhaseStats S;
+  S.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  std::vector<double> Sorted = LatencyMs;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (!Sorted.empty()) {
+    S.P50Ms = Sorted[Sorted.size() / 2];
+    S.P99Ms = Sorted[std::min(Sorted.size() - 1,
+                              Sorted.size() * 99 / 100)];
+  }
+  uint64_t Insts = 0;
+  for (size_t I = 0; I != Requests.size(); ++I) {
+    Insts += HostInsts[I];
+    S.Work += WorkInsts[I];
+    S.Cycles += TotalCycles[I];
+    S.TranslateCycles += Translate[I];
+    S.Mismatches += Ok[I] ? 0 : 1;
+  }
+  if (S.Seconds > 0.0)
+    S.Mips = static_cast<double>(Insts) / S.Seconds / 1e6;
+  uint64_t Hits = Service.cache().hits() - Hits0;
+  uint64_t Misses = Service.cache().misses() - Misses0;
+  if (Hits + Misses)
+    S.HitRate = static_cast<double>(Hits) /
+                static_cast<double>(Hits + Misses);
+  return S;
+}
+
+/// Merge the serving record into bench_perf.json: if \p Path already
+/// holds the micro_components record, the "serving" object is appended
+/// inside the top-level braces; otherwise a standalone file is written.
+void writeServingPerfJson(const char *Path, size_t Requests,
+                          const PhaseStats &Cold, const PhaseStats &Warm,
+                          double ColdModeled, double WarmModeled) {
+  std::string Existing;
+  if (std::FILE *F = std::fopen(Path, "rb")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Existing.append(Buf, N);
+    std::fclose(F);
+  }
+  size_t Close = Existing.find_last_of('}');
+  bool Merge = Close != std::string::npos &&
+               Existing.find("\"serving\"") == std::string::npos;
+  std::FILE *F = std::fopen(Path, "wb");
+  if (!F) {
+    std::fprintf(stderr, "serving_throughput: cannot write %s\n", Path);
+    return;
+  }
+  std::string Head = "{\n";
+  if (Merge) {
+    Head = Existing.substr(0, Close);
+    while (!Head.empty() && (Head.back() == '\n' || Head.back() == ' '))
+      Head.pop_back();
+    Head += ",\n";
+  }
+  std::fprintf(F,
+               "%s  \"serving\": {\n"
+               "    \"requests\": %zu,\n"
+               "    \"serving_cold_mips\": %g,\n"
+               "    \"serving_warm_mips\": %g,\n"
+               "    \"serving_cold_modeled_mips\": %g,\n"
+               "    \"serving_warm_modeled_mips\": %g,\n"
+               "    \"warm_hit_rate\": %g,\n"
+               "    \"cold_p50_ms\": %g,\n"
+               "    \"cold_p99_ms\": %g,\n"
+               "    \"warm_p50_ms\": %g,\n"
+               "    \"warm_p99_ms\": %g\n"
+               "  }\n}\n",
+               Head.c_str(), Requests, Cold.Mips, Warm.Mips, ColdModeled,
+               WarmModeled, Warm.HitRate, Cold.P50Ms, Cold.P99Ms,
+               Warm.P50Ms, Warm.P99Ms);
+  std::fclose(F);
+  std::fprintf(stderr, "serving_throughput: perf record written to %s\n",
+               Path);
+}
+
+void advisory(const char *Phase, const PhaseStats &S) {
+  std::fprintf(stderr,
+               "advisory: %-11s %7.2fs wall, %8.1f MIPS aggregate, "
+               "p50 %7.3f ms, p99 %7.3f ms, hit rate %5.1f%% "
+               "(machine-dependent)\n",
+               Phase, S.Seconds, S.Mips, S.P50Ms, S.P99Ms,
+               S.HitRate * 100.0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt = parseArgs(argc, argv);
+  size_t NumRequests = 1200;
+  const char *CacheFile = nullptr;
+  const char *PerfJsonPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--requests") == 0 && I + 1 < argc) {
+      long long V = std::atoll(argv[++I]);
+      if (V <= 0) {
+        std::fprintf(stderr, "error: bad value for --requests\n");
+        return 2;
+      }
+      NumRequests = static_cast<size_t>(V);
+    } else if (std::strcmp(argv[I], "--cache-file") == 0 && I + 1 < argc) {
+      CacheFile = argv[++I];
+    } else if (std::strcmp(argv[I], "--perf-json") == 0) {
+      PerfJsonPath = "results/bench_perf.json";
+      if (I + 1 < argc && argv[I + 1][0] != '-')
+        PerfJsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "error: unknown argument %s\n", argv[I]);
+      return 2;
+    }
+  }
+
+  banner("Serving throughput (beyond the paper): shared translation "
+         "cache, cold vs warm vs disk-warmed",
+         "warm replay hits every translation and skips re-translation; "
+         "per-run results byte-identical to isolated oracles");
+
+  // Per-request scale: a serving request is one short program run, not
+  // a full figure-scale campaign, so divide the standard scale down
+  // (overridable the usual way via --refs / MDABT_REFS).
+  workloads::ScaleConfig Scale = stdScale(Opt);
+  Scale.TotalRefs = std::max<uint64_t>(20'000, Scale.TotalRefs / 75);
+
+  std::vector<Tenant> Tenants = tenantCatalog(Scale);
+  for (Tenant &T : Tenants)
+    T.Expected = runTenant(T, /*Service=*/nullptr);
+
+  TablePrinter Table({"Tenant", "Policy", "Checksum", "MemHash", "Oracle"});
+  int Failures = 0;
+  for (const Tenant &T : Tenants) {
+    bool Completed = T.Expected.Error == dbt::RunError::None;
+    if (!Completed)
+      ++Failures;
+    Table.addRow({T.Name, T.PolicyName,
+                  format("%016llx",
+                         (unsigned long long)T.Expected.Checksum),
+                  format("%016llx",
+                         (unsigned long long)T.Expected.MemoryHash),
+                  Completed ? "ok" : "INCOMPLETE"});
+  }
+  printTable(Table, "serving_throughput");
+
+  // The replay stream: NumRequests heterogeneous requests round-robined
+  // over the tenant catalog (every tenant appears ~equally often, so
+  // concurrent same-tenant requests overlap in every phase).
+  std::vector<size_t> Requests(NumRequests);
+  for (size_t I = 0; I != NumRequests; ++I)
+    Requests[I] = I % Tenants.size();
+
+  // The deterministic cold-side reference: the isolated-oracle runs pay
+  // full translation on every request.  (The concurrent cold phase's
+  // own cache counters are scheduling-dependent — two in-flight
+  // requests for the same tenant can race to publish — so the stdout
+  // verdicts compare against this instead.)
+  uint64_t IsolatedWork = 0, IsolatedCycles = 0, IsolatedTranslate = 0;
+  for (size_t I : Requests) {
+    const dbt::RunResult &E = Tenants[I].Expected;
+    IsolatedWork += runWork(E);
+    IsolatedCycles += E.Cycles;
+    IsolatedTranslate += E.Counters.get("cycles.translate");
+  }
+
+  dbt::TranslationService Service;
+  PhaseStats Cold = runPhase(Tenants, Requests, Service, Opt.Jobs, "cold");
+  PhaseStats Warm = runPhase(Tenants, Requests, Service, Opt.Jobs, "warm");
+
+  std::string Artifact = CacheFile ? CacheFile : "serving_cache.tmp.bin";
+  std::string Err;
+  if (!Service.cache().save(Artifact, &Err)) {
+    std::fprintf(stderr, "FAIL: cache save failed: %s\n", Err.c_str());
+    ++Failures;
+  }
+  dbt::TranslationService DiskService;
+  if (!DiskService.load(Artifact, nullptr, &Err)) {
+    std::fprintf(stderr, "FAIL: cache load failed: %s\n", Err.c_str());
+    ++Failures;
+  }
+  PhaseStats Disk =
+      runPhase(Tenants, Requests, DiskService, Opt.Jobs, "disk-warmed");
+  if (!CacheFile)
+    std::remove(Artifact.c_str());
+
+  // --- modeled-state verdicts (deterministic; part of the CI diff) ----
+  Failures += static_cast<int>(Cold.Mismatches + Warm.Mismatches +
+                               Disk.Mismatches);
+  std::printf("oracle identity: cold %zu/%zu, warm %zu/%zu, disk-warmed "
+              "%zu/%zu requests byte-identical\n",
+              Requests.size() - Cold.Mismatches, Requests.size(),
+              Requests.size() - Warm.Mismatches, Requests.size(),
+              Requests.size() - Disk.Mismatches, Requests.size());
+  if (Warm.HitRate < 0.9) {
+    std::printf("FAIL: warm hit rate %.3f below the 0.9 serving floor\n",
+                Warm.HitRate);
+    ++Failures;
+  } else {
+    std::printf("warm hit rate: %.0f%% (every translation served from "
+                "the shared cache)\n", Warm.HitRate * 100.0);
+  }
+  if (Disk.HitRate < 1.0) {
+    std::printf("FAIL: disk-warmed phase re-translated (hit rate %.3f)\n",
+                Disk.HitRate);
+    ++Failures;
+  } else {
+    std::printf("disk-warmed start: zero re-translation (hit rate "
+                "100%%)\n");
+  }
+  if (Warm.TranslateCycles >= IsolatedTranslate) {
+    std::printf("FAIL: warm modeled translate cycles did not shrink "
+                "(%llu vs isolated %llu)\n",
+                (unsigned long long)Warm.TranslateCycles,
+                (unsigned long long)IsolatedTranslate);
+    ++Failures;
+  } else {
+    std::printf("warm modeled translate cycles: %s vs isolated-cold %s "
+                "(%s)\n",
+                withCommas(Warm.TranslateCycles).c_str(),
+                withCommas(IsolatedTranslate).c_str(),
+                signedPercent(reporting::gainOver(IsolatedTranslate,
+                                                  Warm.TranslateCycles))
+                    .c_str());
+  }
+  double ColdModeled = modeledMips(IsolatedWork, IsolatedCycles);
+  double WarmModeled = modeledMips(Warm.Work, Warm.Cycles);
+  if (WarmModeled <= ColdModeled) {
+    std::printf("FAIL: warm modeled throughput %.2f MIPS not above the "
+                "isolated-cold %.2f MIPS\n", WarmModeled, ColdModeled);
+    ++Failures;
+  } else {
+    std::printf("modeled aggregate throughput: %.2f MIPS warm vs %.2f "
+                "MIPS isolated-cold (%s, 1 GHz nominal host)\n",
+                WarmModeled, ColdModeled,
+                signedPercent(WarmModeled / ColdModeled - 1.0).c_str());
+  }
+  uint64_t Leaked = Service.cache().liveLeases() +
+                    DiskService.cache().liveLeases();
+  if (Leaked) {
+    std::printf("FAIL: %llu cache leases leaked at shutdown\n",
+                (unsigned long long)Leaked);
+    ++Failures;
+  } else {
+    std::printf("lease accounting: zero live leases after every phase\n");
+  }
+
+  // --- wall-clock advisories (stderr; machine-dependent) --------------
+  advisory("cold", Cold);
+  advisory("warm", Warm);
+  advisory("disk-warmed", Disk);
+  if (PerfJsonPath)
+    writeServingPerfJson(PerfJsonPath, Requests.size(), Cold, Warm,
+                         ColdModeled, WarmModeled);
+
+  return Failures == 0 ? 0 : 1;
+}

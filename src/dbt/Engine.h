@@ -42,6 +42,8 @@ struct FaultPlan;
 
 namespace dbt {
 
+class TranslationService;
+
 /// Why a run did not complete (RunError::None = clean completion).
 /// Every abnormal outcome is typed so that experiments can never
 /// silently publish figures from a truncated run.
@@ -203,6 +205,16 @@ struct EngineConfig {
   uint32_t SuperblockMaxBlocks = 8;
   /// Formation attempts per head PC (bounds retry after de-opt).
   uint32_t TraceFormationLimit = 8;
+
+  /// Optional process-wide translation service (docs/SERVING.md).  When
+  /// set, every translation is first looked up in the service's shared
+  /// cache by content key; a hit installs the cached host words instead
+  /// of translating (priced CostModel::CacheInstallCyclesPerInst), a
+  /// miss translates and publishes.  Architectural results are
+  /// byte-identical with or without a service; only modeled translation
+  /// cycles change.  The service must outlive the engine and may be
+  /// shared by concurrently running engines.  Null = isolated run.
+  TranslationService *Service = nullptr;
 };
 
 /// Everything an experiment wants to know about one run.

@@ -1,0 +1,58 @@
+//===- dbt/ExecutionContext.h - Per-run execution state --------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-run layer of the serving architecture (docs/SERVING.md): one
+/// ExecutionContext owns ALL mutable state of one guest run — guest
+/// memory and registers, the host code arena, trap/patch bookkeeping,
+/// SMC epochs, budgets, degradation-ladder state — and performs the
+/// run's monitor loop.  Translations are either produced locally by the
+/// stateless Translator or, when EngineConfig::Service is set, leased
+/// from the process-wide shared cache; either way the context installs
+/// a private copy in its own CodeSpace, so concurrent runs never share
+/// mutable code.
+///
+/// Engine is a thin façade over this class (one Engine::run constructs
+/// one ExecutionContext); benches that drive many runs against one
+/// TranslationService may also use it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_DBT_EXECUTIONCONTEXT_H
+#define MDABT_DBT_EXECUTIONCONTEXT_H
+
+#include "dbt/Engine.h"
+
+#include <memory>
+
+namespace mdabt {
+namespace dbt {
+
+/// All per-run state of one guest execution.  Single-use: construct,
+/// call run() once, destroy (destruction releases every cache lease the
+/// run still holds).
+class ExecutionContext {
+public:
+  ExecutionContext(const guest::GuestImage &Image, MdaPolicy &Policy,
+                   const EngineConfig &Config);
+  ~ExecutionContext();
+  ExecutionContext(const ExecutionContext &) = delete;
+  ExecutionContext &operator=(const ExecutionContext &) = delete;
+
+  /// Execute the program.  May be called once per context.
+  RunResult run();
+
+private:
+  struct Impl;
+  EngineConfig Cfg; ///< stable copy; Impl holds references into it
+  std::unique_ptr<Impl> I;
+  bool Used = false;
+};
+
+} // namespace dbt
+} // namespace mdabt
+
+#endif // MDABT_DBT_EXECUTIONCONTEXT_H

@@ -59,6 +59,11 @@ struct CostModel {
   /// interpretation/translation episode it starts, and the table keeps
   /// the same convention so the two dispatch models stay comparable.
   uint32_t DispatchProbeCycles = 5;
+  /// Installing one guest instruction's worth of host words from the
+  /// shared translation cache (EngineConfig::Service) on a cache hit:
+  /// a word copy plus metadata rebasing, replacing the full
+  /// TranslateCyclesPerInst re-translation price.
+  uint32_t CacheInstallCyclesPerInst = 12;
   /// A guest store into a page backing live translations: real DBTs
   /// write-protect translated guest code, so every such store costs a
   /// page-protection trap plus the coherence bookkeeping it triggers.

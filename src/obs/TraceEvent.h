@@ -67,7 +67,11 @@ namespace obs {
   X(SmcVerdictRevoked, "smc.verdict_revoked")                                \
   X(SmcChurnPin, "smc.churn_pin")                                            \
   X(SmcEpisodeStop, "smc.episode_stop")                                      \
-  X(BudgetExceeded, "budget.exceeded")
+  X(BudgetExceeded, "budget.exceeded")                                       \
+  X(CacheHit, "cache.hit")                                                   \
+  X(CacheMiss, "cache.miss")                                                 \
+  X(CacheEvict, "cache.evict")                                               \
+  X(CacheLoad, "cache.load")
 
 /// Every event the observability layer can record.
 enum class TraceEventKind : uint8_t {

@@ -21,12 +21,18 @@
 #include "analysis/HostVerifier.h"
 #include "chaos/FaultInjector.h"
 #include "chaos/FaultPlan.h"
+#include "dbt/TranslationService.h"
 #include "host/HostAssembler.h"
 #include "host/MdaSequences.h"
 #include "mda/PolicyFactory.h"
 #include "mda/Policies.h"
+#include "workloads/Hostile.h"
 
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
 
 using namespace mdabt;
 using namespace mdabt::testutil;
@@ -568,4 +574,179 @@ TEST(ChaosEngineTest, DisabledPlanLeavesRunUntouched) {
   EXPECT_EQ(A.Checksum, B.Checksum);
   EXPECT_EQ(A.MemoryHash, B.MemoryHash);
   EXPECT_EQ(B.Counters.get("chaos.injected"), 0u);
+}
+
+// ---- shared-cache chaos: cross-tenant isolation ----------------------------
+//
+// The serving contract under chaos (docs/SERVING.md): faults injected
+// into one tenant's run may degrade THAT tenant -- typed abort or
+// bit-identical completion, as above -- but can never retire, corrupt,
+// or leak into translations other tenants reach through the same
+// SharedTranslationCache, and can never strand a lease.
+
+namespace {
+
+/// Serving configuration used by the shared-cache chaos tests: verifier
+/// armed (a corrupt cached body is a typed abort, not silent reuse),
+/// analysis on (the hostile SMC tenants require the write monitor), the
+/// full dispatch surface, all bound to one shared service.
+dbt::EngineConfig sharedConfig(dbt::TranslationService *Service) {
+  dbt::EngineConfig Config;
+  Config.Verify = true;
+  Config.Analysis = true;
+  Config.HashDispatch = true;
+  Config.InlineCaches = true;
+  Config.Superblocks = true;
+  Config.Service = Service;
+  return Config;
+}
+
+dbt::RunResult runServed(const guest::GuestImage &Image,
+                         const mda::PolicySpec &Spec,
+                         dbt::EngineConfig Config) {
+  std::unique_ptr<dbt::MdaPolicy> Policy = mda::makePolicy(Spec, &Image);
+  dbt::Engine Engine(Image, *Policy, Config);
+  return Engine.run();
+}
+
+dbt::RunResult runServedChaos(const guest::GuestImage &Image,
+                              const mda::PolicySpec &Spec,
+                              const chaos::FaultPlan &Plan,
+                              dbt::EngineConfig Config) {
+  std::unique_ptr<dbt::MdaPolicy> Policy = mda::makePolicy(Spec, &Image);
+  return runChaos(Image, *Policy, Plan, Config);
+}
+
+mda::PolicySpec servedEh() {
+  return {mda::MechanismKind::ExceptionHandling, 50, true, 0, false};
+}
+mda::PolicySpec servedDpeh() {
+  return {mda::MechanismKind::Dpeh, 50, false, 4, false};
+}
+
+} // namespace
+
+TEST(ChaosServingTest, ChaosTenantCannotRetireOtherTenantsEntries) {
+  guest::GuestImage Clean = misalignedSumProgram(400);
+  Oracle O = interpretOracle(Clean);
+  dbt::TranslationService Service;
+
+  // A well-behaved tenant warms the shared cache.
+  dbt::RunResult Warm0 = runServed(Clean, servedEh(), sharedConfig(&Service));
+  expectMatchesOracle(Warm0, O, "clean tenant, cold");
+  uint64_t Entries = Service.cache().entries();
+  ASSERT_GT(Entries, 0u);
+
+  // A hostile tenant hammers the same service with torn patches, dropped
+  // patches and flush storms.  Its own run may degrade; the shared
+  // entries must survive untouched.
+  chaos::FaultPlan Plan;
+  Plan.Seed = 2024;
+  Plan.PatchTornRate = 0.3;
+  Plan.PatchDropRate = 0.2;
+  Plan.FlushStormRate = 0.1;
+  const workloads::HostileProgram H = workloads::hostileCatalog().front();
+  dbt::RunResult HBase = runServed(H.Image, servedDpeh(), sharedConfig(nullptr));
+  dbt::RunResult RChaos =
+      runServedChaos(H.Image, servedDpeh(), Plan, sharedConfig(&Service));
+  if (RChaos.completed()) {
+    EXPECT_EQ(RChaos.Checksum, HBase.Checksum) << "chaos tenant corrupted";
+    EXPECT_EQ(RChaos.MemoryHash, HBase.MemoryHash) << "chaos tenant corrupted";
+  }
+
+  // The clean tenant's translations are still resident: a re-run is
+  // all hits, and still bit-identical to the interpreter oracle.
+  EXPECT_GE(Service.cache().entries(), Entries)
+      << "chaos tenant retired shared entries";
+  dbt::RunResult Warm1 = runServed(Clean, servedEh(), sharedConfig(&Service));
+  expectMatchesOracle(Warm1, O, "clean tenant, after chaos neighbour");
+  EXPECT_EQ(Warm1.Counters.get("cache.misses"), 0u)
+      << "chaos tenant forced re-translation of a clean tenant";
+  EXPECT_GT(Warm1.Counters.get("cache.hits"), 0u);
+  EXPECT_EQ(Service.cache().liveLeases(), 0u) << "lease leak";
+}
+
+TEST(ChaosServingTest, EntriesPublishedUnderChaosAreSafeToReuse) {
+  // The publisher runs entirely under fault injection.  Anything it
+  // manages to publish must still be the translator's exact output:
+  // a later clean tenant reusing those entries has to be byte-identical
+  // to a tenant that never shared a cache with anyone.
+  guest::GuestImage Image = misalignedSumProgram(500);
+  chaos::FaultPlan Plan;
+  Plan.Seed = 77;
+  Plan.PatchTornRate = 0.3;
+  Plan.TranslateFailRate = 0.2;
+  Plan.FlushStormRate = 0.05;
+
+  dbt::TranslationService Service;
+  dbt::RunResult RChaos =
+      runServedChaos(Image, servedEh(), Plan, sharedConfig(&Service));
+  EXPECT_GT(RChaos.Counters.get("chaos.injected"), 0u);
+  EXPECT_EQ(Service.cache().liveLeases(), 0u) << "lease leak";
+
+  dbt::EngineConfig Isolated = sharedConfig(nullptr);
+  dbt::RunResult Expected = runServed(Image, servedEh(), Isolated);
+  dbt::RunResult RClean = runServed(Image, servedEh(), sharedConfig(&Service));
+  EXPECT_EQ(RClean.Error, Expected.Error);
+  EXPECT_EQ(RClean.Checksum, Expected.Checksum);
+  EXPECT_EQ(RClean.MemoryHash, Expected.MemoryHash);
+  // Reusing entries is cheaper than translating, never dearer: modeled
+  // cycles may only drop relative to the isolated tenant.
+  EXPECT_LE(RClean.Cycles, Expected.Cycles);
+  EXPECT_EQ(Service.cache().liveLeases(), 0u) << "lease leak";
+}
+
+TEST(ChaosServingTest, ConcurrentChaosAndCleanTenantsDoNotBleed) {
+  // Chaos and clean tenants interleave on one service from several
+  // threads; the clean tenants hold leases while the chaos tenants
+  // storm flushes and tear patches next door.
+  guest::GuestImage Clean = misalignedSumProgram(300);
+  Oracle O = interpretOracle(Clean);
+  const std::vector<workloads::HostileProgram> Hostile =
+      workloads::hostileCatalog();
+  std::vector<dbt::RunResult> HostileBase;
+  for (const workloads::HostileProgram &H : Hostile)
+    HostileBase.push_back(
+        runServed(H.Image, servedDpeh(), sharedConfig(nullptr)));
+
+  dbt::TranslationService Service;
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned Rounds = 3;
+  std::vector<dbt::RunResult> CleanRuns(NumThreads * Rounds);
+  std::vector<dbt::RunResult> ChaosRuns(NumThreads * Rounds);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      for (unsigned R = 0; R != Rounds; ++R) {
+        unsigned Slot = T * Rounds + R;
+        if (T % 2 == 0) {
+          CleanRuns[Slot] =
+              runServed(Clean, servedEh(), sharedConfig(&Service));
+        } else {
+          chaos::FaultPlan Plan = chaos::FaultPlan::randomized(9000 + Slot);
+          const workloads::HostileProgram &H = Hostile[Slot % Hostile.size()];
+          ChaosRuns[Slot] = runServedChaos(H.Image, servedDpeh(), Plan,
+                                           sharedConfig(&Service));
+        }
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    for (unsigned R = 0; R != Rounds; ++R) {
+      unsigned Slot = T * Rounds + R;
+      if (T % 2 == 0) {
+        expectMatchesOracle(CleanRuns[Slot], O, "clean tenant under chaos");
+      } else if (ChaosRuns[Slot].completed()) {
+        const dbt::RunResult &Base = HostileBase[Slot % Hostile.size()];
+        EXPECT_EQ(ChaosRuns[Slot].Checksum, Base.Checksum)
+            << "chaos slot " << Slot << " corrupted";
+        EXPECT_EQ(ChaosRuns[Slot].MemoryHash, Base.MemoryHash)
+            << "chaos slot " << Slot << " corrupted";
+      }
+    }
+  }
+  EXPECT_EQ(Service.cache().liveLeases(), 0u) << "lease leak";
 }

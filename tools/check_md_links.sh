@@ -31,7 +31,7 @@ check_file() {
 
 rm -f "$ROOT/.md_links_failed"
 for md in "$ROOT"/README.md "$ROOT"/DESIGN.md "$ROOT"/ROADMAP.md \
-  "$ROOT"/docs/*.md; do
+  "$ROOT"/EXPERIMENTS.md "$ROOT"/docs/*.md; do
   [ -f "$md" ] || continue
   checked=$((checked + 1))
   check_file "$md"

@@ -29,8 +29,13 @@ field() { sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9.eE+-]*\).*/\1/p' "$1" | head -n 
 
 # Every MIPS field the perf record carries; ratios/seconds are excluded
 # (they compare a run against itself, so the floor is meaningless there).
+# The serving warm-path floors guard the shared-cache payoff: wall-clock
+# warm MIPS like the rest, plus the modeled warm MIPS, which is
+# deterministic (docs/SERVING.md) so a regression there is a real
+# costing change, not runner noise.
 FIELDS="predecode_mips legacy_mips interpreter_mips
-        baseline_mips hash_mips ic_mips superblock_mips all_on_mips"
+        baseline_mips hash_mips ic_mips superblock_mips all_on_mips
+        serving_warm_mips serving_warm_modeled_mips"
 
 checked=0
 warned=0

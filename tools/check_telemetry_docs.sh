@@ -29,8 +29,30 @@ for name in $names; do
   fi
 done
 
-if [ "$missing" -ne 0 ]; then
-  echo "check_telemetry_docs: FAILED — add the missing events to the catalog table" >&2
+# Serving-layer coverage: every cache.* counter the execution context
+# registers, and every field of the "serving" record that
+# bench/serving_throughput writes into results/bench_perf.json, must be
+# documented too.
+SERVING_CTX="$ROOT/src/dbt/ExecutionContext.cpp"
+SERVING_BENCH="$ROOT/bench/serving_throughput.cpp"
+extra=$(
+  sed -n 's/.*addCounter("\(cache\.[a-z_]*\)".*/\1/p' "$SERVING_CTX"
+  sed -n 's/.*\\"\(serving_[a-z_]*\|warm_hit_rate\|cold_p[059]*_ms\|warm_p[059]*_ms\)\\".*/\1/p' "$SERVING_BENCH"
+)
+if [ -z "$extra" ]; then
+  echo "check_telemetry_docs: no serving metrics parsed from $SERVING_CTX / $SERVING_BENCH" >&2
   exit 1
 fi
-echo "check_telemetry_docs: OK ($count event kinds all documented)"
+for name in $extra; do
+  count=$((count + 1))
+  if ! grep -qF "\`$name\`" "$DOC"; then
+    echo "check_telemetry_docs: serving metric '$name' is not documented in docs/TELEMETRY.md" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_telemetry_docs: FAILED — add the missing events/metrics to the catalog" >&2
+  exit 1
+fi
+echo "check_telemetry_docs: OK ($count event kinds and serving metrics all documented)"
