@@ -34,6 +34,13 @@
 ///      cross-tenant bleed and fails the soak loudly; every batch must
 ///      also drain its cache to zero live leases.
 ///
+/// Phases 1 and 2 additionally rotate guest-idiom fusion on (coprime
+/// modulus, so fused campaigns cross-product with every cache/dispatch/
+/// hardening configuration): fused cores carry the byte-exact re-check
+/// of verifier invariant 9, so a torn patch inside one must surface as
+/// a typed abort, never as silent corruption — and fused runs are still
+/// diffed against the same fusion-oblivious baselines.
+///
 /// Every failure line prints the campaign's derived fault-plan seed and
 /// the exact replay invocation (`--seed S --campaign I`,
 /// `--seed S --smc-campaign I` or `--seed S --shared-campaign I`), so
@@ -296,6 +303,13 @@ int main(int argc, char **argv) {
     default:
       break;
     }
+    // Rotate guest-idiom fusion in (modulus 11, coprime with every
+    // rotation above, so fused campaigns cross-product with all cache,
+    // dispatch and hardening configs): fused cores add the byte-exact
+    // re-check surface of verifier invariant 9, and torn patches inside
+    // a fused sequence must abort typed, never corrupt silently.
+    if (I % 11 < 5)
+      Config.Fusion = true;
     // Every fifth campaign runs with tight tolerance ceilings so the
     // typed-abort paths (PatchFailed/TranslationFailed/CacheThrash) are
     // exercised, not just the unlimited-degradation paths.
@@ -363,6 +377,12 @@ int main(int argc, char **argv) {
       Config.Hardening.FlushLimit = 32;
       Config.Hardening.MaxWatchdogTrips = 64;
     }
+    // Fusion under SMC chaos (same coprime-rotation rationale as the
+    // main phase): a fused store's episode-stop resume point and the
+    // fused-core byte re-check must both hold while the injector tears
+    // invalidation patches.
+    if (I % 11 < 5)
+      Config.Fusion = true;
     // Rotate the resource-governance surfaces in too: ceilings convert
     // the churn adversary into typed budget aborts, the pin converts it
     // into interp-only degradation — both must stay typed under chaos.

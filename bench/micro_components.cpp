@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dbt/Engine.h"
+#include "dbt/FusionRules.h"
 #include "dbt/GuestBlock.h"
 #include "dbt/Translator.h"
 #include "guest/Assembler.h"
@@ -26,6 +27,7 @@
 #include "support/CacheModel.h"
 #include "support/RNG.h"
 #include "support/ThreadPool.h"
+#include "workloads/Kernels.h"
 #include "workloads/SpecCatalog.h"
 
 #include <benchmark/benchmark.h>
@@ -327,6 +329,54 @@ double engineDispatchMips(const dbt::EngineConfig &Config) {
   return Best;
 }
 
+/// Fused-vs-unfused engine throughput and code density on the
+/// fusion-dense memcpy kernel (workloads::buildFusionMemcpyKernel): the
+/// workload where the peephole fusion table (dbt/FusionRules.h) fires
+/// on nearly every hot-loop instruction window.  Returns wall-clock
+/// *guest* MIPS (guest instructions retired per wall-clock second —
+/// fusion shrinks the host work per guest instruction, so useful
+/// throughput is the number that must rise) and the
+/// host-instructions-per-guest-instruction density itself.
+struct FusionPerf {
+  double Mips = 0.0;
+  double Hipgi = 0.0;
+};
+
+FusionPerf engineFusionPerf(uint32_t Mask) {
+  constexpr uint32_t Words = 256, Rounds = 2000;
+  guest::GuestImage Image =
+      workloads::buildFusionMemcpyKernel(Words, Rounds);
+  uint64_t GuestInsts;
+  {
+    guest::GuestMemory Mem;
+    Mem.loadImage(Image);
+    guest::GuestCPU Cpu;
+    Cpu.reset(Image);
+    GuestInsts = guest::Interpreter(Mem).run(Cpu);
+  }
+  dbt::EngineConfig Config;
+  Config.Fusion = Mask != 0;
+  Config.FusionMask = Mask;
+  FusionPerf P;
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    mda::DpehPolicy Policy(50);
+    dbt::Engine Engine(Image, Policy, Config);
+    auto T0 = std::chrono::steady_clock::now();
+    dbt::RunResult R = Engine.run();
+    double Sec = elapsedSeconds(T0);
+    reporting::checkRunCompleted(R, "engineFusionPerf");
+    if (Sec <= 0.0)
+      return {};
+    uint64_t Host = R.Counters.get("host.insts");
+    P.Mips =
+        std::max(P.Mips, static_cast<double>(GuestInsts) / Sec / 1e6);
+    if (GuestInsts != 0)
+      P.Hipgi =
+          static_cast<double>(Host) / static_cast<double>(GuestInsts);
+  }
+  return P;
+}
+
 void writeBenchPerfJson(const char *Path) {
   double LegacyMips = hostSimMips(false);
   double PredecodeMips = hostSimMips(true);
@@ -354,6 +404,14 @@ void writeBenchPerfJson(const char *Path) {
   double DispatchGain =
       DispatchBase > 0.0 ? DispatchAll / DispatchBase - 1.0 : 0.0;
 
+  FusionPerf FusionOff = engineFusionPerf(0);
+  FusionPerf FusionOn = engineFusionPerf(dbt::FusionMaskAll);
+  double FusionGain =
+      FusionOff.Mips > 0.0 ? FusionOn.Mips / FusionOff.Mips - 1.0 : 0.0;
+  double HipgiReduction =
+      FusionOff.Hipgi > 0.0 ? 1.0 - FusionOn.Hipgi / FusionOff.Hipgi
+                            : 0.0;
+
   std::filesystem::create_directories(
       std::filesystem::path(Path).parent_path());
   std::ofstream Out(Path);
@@ -372,6 +430,14 @@ void writeBenchPerfJson(const char *Path) {
   Out << "    \"all_on_mips\": " << DispatchAll << ",\n";
   Out << "    \"all_on_gain\": " << DispatchGain << "\n";
   Out << "  },\n";
+  Out << "  \"fusion\": {\n";
+  Out << "    \"off_guest_mips\": " << FusionOff.Mips << ",\n";
+  Out << "    \"on_guest_mips\": " << FusionOn.Mips << ",\n";
+  Out << "    \"on_gain\": " << FusionGain << ",\n";
+  Out << "    \"hipgi_off\": " << FusionOff.Hipgi << ",\n";
+  Out << "    \"hipgi_on\": " << FusionOn.Hipgi << ",\n";
+  Out << "    \"hipgi_reduction\": " << HipgiReduction << "\n";
+  Out << "  },\n";
   Out << "  \"matrix\": {\n";
   Out << "    \"jobs\": " << Jobs << ",\n";
   Out << "    \"jobs1_seconds\": " << Serial << ",\n";
@@ -380,11 +446,14 @@ void writeBenchPerfJson(const char *Path) {
   Out << "}\n";
   std::printf("bench_perf: host-sim %.1f MIPS predecoded vs %.1f legacy "
               "(%+.1f%%), interpreter %.1f MIPS, engine dispatch %.1f "
-              "MIPS baseline vs %.1f all-on (%+.1f%%), matrix %.2fs at "
-              "jobs=1 vs %.2fs at jobs=%u -> %s\n",
+              "MIPS baseline vs %.1f all-on (%+.1f%%), fusion %.1f "
+              "guest-MIPS off vs %.1f on (%+.1f%%, host/guest %.3f -> "
+              "%.3f), matrix %.2fs at jobs=1 vs %.2fs at jobs=%u -> %s\n",
               PredecodeMips, LegacyMips, Gain * 100.0, InterpMips,
-              DispatchBase, DispatchAll, DispatchGain * 100.0, Serial,
-              Fanned, Jobs, Path);
+              DispatchBase, DispatchAll, DispatchGain * 100.0,
+              FusionOff.Mips, FusionOn.Mips, FusionGain * 100.0,
+              FusionOff.Hipgi, FusionOn.Hipgi, Serial, Fanned, Jobs,
+              Path);
 }
 
 } // namespace

@@ -25,6 +25,7 @@
 
 #include "analysis/AlignmentAnalysis.h"
 #include "analysis/HostVerifier.h"
+#include "dbt/FusionRules.h"
 #include "mda/PolicyFactory.h"
 #include "obs/TraceSink.h"
 #include "reporting/Experiment.h"
@@ -72,12 +73,14 @@ std::string runDemo() {
   Config.HashDispatch = true;
   Config.InlineCaches = true;
   Config.Superblocks = true;
+  // Plus the fusion kinds (fusion.applied / fusion.summary).
+  Config.Fusion = true;
   dbt::RunResult R =
       reporting::runPolicyChecked(*Info, Spec, Scale, Config);
   Sink.flush();
   reporting::writeMetricsJson(R, "trace_demo.metrics.json");
   std::printf("demo: %s under Exception Handling (analysis + verifier "
-              "+ hot dispatch on) — %llu events -> %s, "
+              "+ hot dispatch + fusion on) — %llu events -> %s, "
               "metrics -> trace_demo.metrics.json\n\n",
               Name, static_cast<unsigned long long>(Sink.written()),
               Path.c_str());
@@ -159,6 +162,15 @@ std::string payloadText(const obs::TraceEvent &E) {
                   static_cast<unsigned long long>(E.B));
   case K::TraceDeopt:
     return format("blocks=%llu gen=%llu",
+                  static_cast<unsigned long long>(E.A),
+                  static_cast<unsigned long long>(E.B));
+  case K::FusionApplied:
+    return format("rule=%s saved_words=%llu",
+                  dbt::fusionRuleName(
+                      static_cast<dbt::FusionRuleId>(E.A)),
+                  static_cast<unsigned long long>(E.B));
+  case K::FusionSummary:
+    return format("sites=%llu saved_words=%llu",
                   static_cast<unsigned long long>(E.A),
                   static_cast<unsigned long long>(E.B));
   default:

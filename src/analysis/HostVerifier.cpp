@@ -37,6 +37,8 @@ const char *verifyIssueKindName(VerifyIssueKind K) {
     return "ic-way-bad";
   case VerifyIssueKind::StaleGuestCode:
     return "stale-guest-code";
+  case VerifyIssueKind::FusedSiteBad:
+    return "fused-site-bad";
   }
   return "?";
 }
@@ -349,6 +351,42 @@ struct Verifier {
     }
   }
 
+  /// Check 9: fused-sequence integrity.  Every fused core must still be
+  /// byte-exact against the words captured at install time, except at
+  /// words the engine legitimately rewrote afterwards (patched fault
+  /// sites, adaptive reverts) or quarantined (ExemptWords).  The
+  /// issue's word is the first diverging word; aux is its current raw
+  /// value.
+  void checkFusedSites() {
+    for (const VerifierBlock &B : Input.Blocks) {
+      for (const VerifierFusedSite &F : B.FusedSites) {
+        ++Report.FusedSitesChecked;
+        if (F.Begin > F.End || F.Begin < B.EntryWord ||
+            F.End > B.EndWord ||
+            F.Words.size() != F.End - F.Begin) {
+          issue(VerifyIssueKind::FusedSiteBad, F.Begin, F.End);
+          continue;
+        }
+        for (uint32_t K = 0; K != F.Words.size(); ++K) {
+          uint32_t W = F.Begin + K;
+          if (Input.ExemptWords.count(W))
+            continue;
+          bool Patched =
+              std::any_of(B.Patches.begin(), B.Patches.end(),
+                          [&](const VerifierPatch &P) {
+                            return P.Word == W;
+                          });
+          if (Patched)
+            continue;
+          if (Code.word(W) != F.Words[K]) {
+            issue(VerifyIssueKind::FusedSiteBad, W, Code.word(W));
+            break; // first diverging word per site is enough signal
+          }
+        }
+      }
+    }
+  }
+
   VerifyReport run() {
     checkPredecode();
     checkRegions();
@@ -357,6 +395,7 @@ struct Verifier {
     checkMdaSequences();
     checkIcWays();
     checkGuestCoherence();
+    checkFusedSites();
     return std::move(Report);
   }
 };

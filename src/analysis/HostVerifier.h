@@ -36,7 +36,14 @@
 ///     ranges carry a dirty epoch newer than the translation's birth —
 ///     i.e. the engine's write barrier invalidated every translation
 ///     whose source bytes were rewritten (self-modifying code) before
-///     this verification point.
+///     this verification point;
+///  9. fused-sequence integrity: every fused guest-idiom core
+///     (dbt/FusionRules.h) is byte-exact against the words the
+///     translator emitted at install time — fusion rewrites guest
+///     semantics into denser host code, so a single flipped word inside
+///     a fused core silently changes architectural behaviour.  Words
+///     the engine legitimately patched (fault-site stubs, reverts) or
+///     quarantined are excused.
 ///
 /// The verifier is read-only and engine-agnostic: the engine describes
 /// its bookkeeping through `VerifierInput` and gets a `VerifyReport`
@@ -72,6 +79,8 @@ enum class VerifyIssueKind : uint8_t {
             ///< byte-exact filled shape targeting a live entry.
   StaleGuestCode, ///< Live translation built from guest bytes that were
                   ///< rewritten after it was installed.
+  FusedSiteBad,   ///< Fused-sequence core diverged from the byte-exact
+                  ///< words captured at install time.
 };
 
 const char *verifyIssueKindName(VerifyIssueKind K);
@@ -105,6 +114,16 @@ struct VerifierIcWay {
   uint32_t TargetGuestPc = 0; ///< Expected tag constant when filled.
 };
 
+/// One fused guest-idiom core (check 9): the half-open word range the
+/// fusion emitter produced plus the pristine words captured right after
+/// label resolution at install time.
+struct VerifierFusedSite {
+  uint8_t Rule = 0; ///< dbt::FusionRuleId value, diagnostic only.
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  std::vector<uint32_t> Words; ///< Reference words, size == End - Begin.
+};
+
 /// One live translation as the engine knows it.
 struct VerifierBlock {
   uint32_t EntryWord = 0;
@@ -119,6 +138,8 @@ struct VerifierBlock {
   std::vector<VerifierRegion> GuestRanges;
   /// Guest-store epoch when this translation was installed (check 8).
   uint64_t BornEpoch = 0;
+  /// Fused guest-idiom cores with their reference words (check 9).
+  std::vector<VerifierFusedSite> FusedSites;
 };
 
 /// The engine's view of the cache, handed to the verifier.
@@ -145,6 +166,7 @@ struct VerifyReport {
   uint64_t WordsChecked = 0;
   uint64_t RegionsChecked = 0;
   uint64_t MdaSequencesChecked = 0;
+  uint64_t FusedSitesChecked = 0;
   bool ok() const { return Issues.empty(); }
 };
 

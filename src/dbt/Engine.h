@@ -206,6 +206,18 @@ struct EngineConfig {
   /// Formation attempts per head PC (bounds retry after de-opt).
   uint32_t TraceFormationLimit = 8;
 
+  /// Table-driven peephole fusion (dbt/FusionRules.h): rewrite short
+  /// windows of guest instructions — mov-op chains, compare-branch
+  /// against zero, negative-immediate adds, load-op-store, and runs of
+  /// memory ops sharing one indexed address — into fused host sequences
+  /// with fewer words.  Architecturally invisible; composes with every
+  /// MDA policy and dispatch mechanism (fused sites keep their own
+  /// MemPlan, fault-site and SMC-resume metadata).
+  bool Fusion = false;
+  /// Enabled-rule mask when Fusion is set (bit i enables FusionRuleId
+  /// i; masked to the table width).  All rules by default.
+  uint32_t FusionMask = 0xffffffffu;
+
   /// Optional process-wide translation service (docs/SERVING.md).  When
   /// set, every translation is first looked up in the service's shared
   /// cache by content key; a hit installs the cached host words instead

@@ -10,6 +10,7 @@
 #include "analysis/HostVerifier.h"
 #include "chaos/FaultInjector.h"
 #include "dbt/DispatchTable.h"
+#include "dbt/FusionRules.h"
 #include "dbt/GuestBlock.h"
 #include "dbt/TranslationService.h"
 #include "dbt/Translator.h"
@@ -244,7 +245,28 @@ private:
   TranslationOpts translationOpts() {
     TranslationOpts Opts = Policy.translationOpts();
     Opts.IcWays = icWays();
+    Opts.FusionMask =
+        Config.Fusion ? (Config.FusionMask & FusionMaskAll) : 0;
     return Opts;
+  }
+
+  /// Account for the fused sequences of a freshly installed translation
+  /// (local or cache-instantiated): per-site and per-block trace
+  /// events, plus the fusion.* counters.
+  void recordFusion(const Translation &T) {
+    if (T.FusedSites.empty())
+      return;
+    uint64_t Saved = 0;
+    for (const FusedSite &F : T.FusedSites) {
+      Saved += F.SavedWords;
+      Trace.emit(obs::TraceEventKind::FusionApplied, F.GuestPc, T.GuestPc,
+                 F.Rule, F.SavedWords);
+    }
+    FusionSites += T.FusedSites.size();
+    FusionSavedWords += Saved;
+    ++FusionBlocks;
+    Trace.emit(obs::TraceEventKind::FusionSummary, T.GuestPc, T.GuestPc,
+               T.FusedSites.size(), Saved);
   }
 
   Translation *installTranslation(uint32_t GuestPc, uint32_t Generation,
@@ -340,6 +362,7 @@ private:
     HTransInsts->record(Block.size());
     Trace.emit(obs::TraceEventKind::BlockTranslated, GuestPc, GuestPc,
                Block.size(), Generation);
+    recordFusion(*T);
     // A single block bigger than the whole cache would flush-thrash on
     // every dispatch: pin it interpret-only instead.
     if (Config.CodeCacheLimitWords != 0 &&
@@ -797,6 +820,8 @@ private:
                 {W.Begin, W.Filled, W.TargetEntry, W.TargetGuestPc});
       for (uint32_t W : T.PatchedWords)
         B.Patches.push_back({W, T.MemWordToGuestPc.count(W) != 0});
+      for (const FusedSite &F : T.FusedSites)
+        B.FusedSites.push_back({F.Rule, F.Begin, F.End, F.Words});
       Index[&T] = In.Blocks.size();
       In.Blocks.push_back(std::move(B));
     }
@@ -1398,6 +1423,7 @@ private:
     HTransInsts->record(TotalInsts);
     Trace.emit(obs::TraceEventKind::TraceFormed, HeadPc, HeadPc,
                Pcs.size(), Tr->EntryWord);
+    recordFusion(*Tr);
     if (Config.CodeCacheLimitWords != 0 &&
         Tr->EndWord - Tr->EntryWord > Config.CodeCacheLimitWords) {
       // The trace alone would thrash the cache: drop it and stop trying
@@ -1462,6 +1488,13 @@ private:
     Put8(IsTrace ? 1 : 0);
     Put8(Opts.BlockMultiVersion ? 1 : 0);
     Put8(static_cast<uint8_t>(Opts.IcWays));
+    // Fusion changes emitted words without changing guest bytes or
+    // plans, so the enabled-rule mask and the rule-table version are
+    // part of the content key: a fused translation can never alias a
+    // differently-fused (or differently-versioned) entry.
+    Put8(Opts.FusionMask != 0 ? 1 : 0);
+    Put8(FusionRuleTableVersion);
+    Put32(Opts.FusionMask);
     Put32(static_cast<uint32_t>(NBlocks));
     for (size_t BI = 0; BI != NBlocks; ++BI) {
       const GuestBlock &B = *Blocks[BI];
@@ -1526,6 +1559,9 @@ private:
     }
     C.Constituents = T.Constituents;
     C.GuestRanges = T.GuestRanges;
+    for (const FusedSite &F : T.FusedSites)
+      C.FusedSites.push_back({F.Rule, F.GuestLen, F.Begin - Base,
+                              F.End - Base, F.GuestPc, F.SavedWords});
     return C;
   }
 
@@ -1575,6 +1611,19 @@ private:
     T.IsTrace = C.IsTrace != 0;
     T.Constituents = C.Constituents;
     T.GuestRanges = C.GuestRanges;
+    for (const CachedTranslation::RelFusedSite &F : C.FusedSites) {
+      FusedSite S;
+      S.Rule = F.Rule;
+      S.GuestLen = F.GuestLen;
+      S.Begin = Base + F.Begin;
+      S.End = Base + F.End;
+      S.GuestPc = F.GuestPc;
+      S.SavedWords = F.SavedWords;
+      // The cached payload is the pristine translator output, so the
+      // fused core's reference words come straight from it.
+      S.Words.assign(C.Words.begin() + F.Begin, C.Words.begin() + F.End);
+      T.FusedSites.push_back(std::move(S));
+    }
     return T;
   }
 
@@ -1736,6 +1785,9 @@ private:
   uint64_t TracesFormed = 0;
   uint64_t TraceBlocksEmitted = 0;
   uint64_t TraceDeopts = 0;
+  uint64_t FusionSites = 0;
+  uint64_t FusionSavedWords = 0;
+  uint64_t FusionBlocks = 0;
   uint64_t VerifyPasses = 0;
   uint64_t VerifyWords = 0;
   uint64_t VerifyIssues = 0;
@@ -2019,6 +2071,11 @@ RunResult ExecutionContext::Impl::run() {
     Reg.addCounter("trace.formed", TracesFormed);
     Reg.addCounter("trace.blocks_emitted", TraceBlocksEmitted);
     Reg.addCounter("trace.deopts", TraceDeopts);
+  }
+  if (Config.Fusion) {
+    Reg.addCounter("fusion.sites", FusionSites);
+    Reg.addCounter("fusion.saved_words", FusionSavedWords);
+    Reg.addCounter("fusion.blocks", FusionBlocks);
   }
   if (Ana) {
     Reg.addCounter("analysis.blocks", Ana->Blocks);

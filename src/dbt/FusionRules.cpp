@@ -1,0 +1,314 @@
+//===- dbt/FusionRules.cpp ------------------------------------------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/FusionRules.h"
+
+#include <cassert>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+using guest::GuestInst;
+using guest::Opcode;
+
+namespace {
+
+/// Must match Translator.cpp's MaxMemDisp: the largest displacement the
+/// translator leaves on a memory operand (so Disp + 7 still fits disp16
+/// for MDA sequences and exception-handler stubs).  A fused member's
+/// displacement is emitted as-is, so the matcher enforces the same
+/// bound.
+constexpr int32_t MaxMemDisp = 32767 - 8;
+
+/// Host words HostAssembler::materialize32 emits for \p V (mirrors its
+/// lda / ldah+lda / +zextl staging; the cost model for dropped
+/// immediate materializations).
+unsigned materialize32Words(uint32_t V) {
+  if (V <= 0x7fff)
+    return 1;
+  int32_t Lo = static_cast<int16_t>(V & 0xffff);
+  int32_t Hi = static_cast<int32_t>(V - static_cast<uint32_t>(Lo)) >> 16;
+  unsigned N = Lo != 0 ? 2u : 1u;
+  int64_t Sum = static_cast<int64_t>(Hi) * 65536 + Lo;
+  if (Sum != static_cast<int64_t>(static_cast<uint64_t>(V)))
+    ++N;
+  return N;
+}
+
+/// True when the translator needs address arithmetic beyond the single
+/// (base, disp16) memory operand: an indexed mode or an out-of-range
+/// displacement.  Fusing the *second* computation away is only
+/// profitable then.
+bool nontrivialAddress(const GuestInst &I) {
+  return I.HasIndex || I.Disp < -32768 || I.Disp > MaxMemDisp;
+}
+
+/// Host words of the address arithmetic computeAddress emits for \p I.
+unsigned addrSetupWords(const GuestInst &I) {
+  unsigned N = 0;
+  if (I.HasIndex)
+    N += I.Scale != 0 ? 2 : 1;
+  if (I.Disp < -32768 || I.Disp > MaxMemDisp)
+    N += materialize32Words(static_cast<uint32_t>(I.Disp)) + 1;
+  return N;
+}
+
+// --- Operand-constraint predicates (the data table points at these) ---
+
+/// MovRR d,s ; alu d,r2.  The fused op reads r2's *pre-window* value,
+/// the baseline reads it post-mov — identical unless r2 is d itself.
+/// (s == d is fine: the mov is then a no-op in both renderings.)
+bool movOpConstraint(const GuestInst *W, size_t N) {
+  assert(N == 2);
+  (void)N;
+  return W[1].Reg1 == W[0].Reg1 && W[1].Reg2 != W[0].Reg1;
+}
+
+/// MovRR d,s ; aluI d,imm.  The literal form needs imm in [0, 255].
+bool movOpIConstraint(const GuestInst *W, size_t N) {
+  assert(N == 2);
+  (void)N;
+  return W[1].Reg1 == W[0].Reg1 && W[1].Imm >= 0 && W[1].Imm <= 255;
+}
+
+/// CmpI r,0 ; Jcc.  Guest GPRs live zero-extended in 64-bit host
+/// registers, so only the equality conditions reduce to a direct
+/// branch-on-register test; signed/unsigned orderings do not (the
+/// host beq/blt family tests the full 64-bit value).
+bool cmpBr0Constraint(const GuestInst *W, size_t N) {
+  assert(N == 2);
+  (void)N;
+  return W[0].Imm == 0 &&
+         (W[1].CC == guest::Cond::Eq || W[1].CC == guest::Cond::Ne);
+}
+
+/// AddI/SubI r,imm with imm in [-255, -1]: 32-bit wrap makes it the
+/// opposite operation on -imm, which fits the literal form.
+bool immNegConstraint(const GuestInst *W, size_t N) {
+  assert(N == 1);
+  (void)N;
+  return W[0].Imm >= -255 && W[0].Imm <= -1;
+}
+
+/// Identical addressing operands (base, index mode, displacement).
+bool sameMemOperand(const GuestInst &A, const GuestInst &B) {
+  return A.Reg2 == B.Reg2 && A.HasIndex == B.HasIndex &&
+         (!A.HasIndex ||
+          (A.IndexReg == B.IndexReg && A.Scale == B.Scale)) &&
+         A.Disp == B.Disp;
+}
+
+/// Ld r,[A] ; alu r ; St r,[A].  The shared address lives in RegScratch0
+/// (when nontrivial), so the middle op must not clobber it (the slot
+/// set excludes Sar/SarI) and must not rewrite the base or index
+/// registers — which it cannot, since it only writes r, provided r is
+/// neither of them.
+bool ldOpStConstraint(const GuestInst *W, size_t N) {
+  assert(N == 3);
+  (void)N;
+  if (guest::accessSize(W[0].Op) != guest::accessSize(W[2].Op))
+    return false;
+  if (!sameMemOperand(W[0], W[2]) || W[2].Reg1 != W[0].Reg1)
+    return false;
+  if (W[1].Reg1 != W[0].Reg1)
+    return false;
+  if (W[0].Reg1 == W[0].Reg2 ||
+      (W[0].HasIndex && W[0].Reg1 == W[0].IndexReg))
+    return false;
+  return nontrivialAddress(W[0]);
+}
+
+/// A run of indexed memory ops sharing (base, index, scale).  Valid for
+/// any N >= 1 prefix of a longer run; the matcher grows the window
+/// greedily and requires N >= 2 to fire.  An interior (non-last) load
+/// must not write the base or index register, or later members would
+/// see a stale shared address.
+bool sharedAddrConstraint(const GuestInst *W, size_t N) {
+  const GuestInst &H = W[0];
+  if (!H.HasIndex)
+    return false;
+  for (size_t K = 0; K != N; ++K) {
+    const GuestInst &I = W[K];
+    if (!I.HasIndex || I.Reg2 != H.Reg2 || I.IndexReg != H.IndexReg ||
+        I.Scale != H.Scale)
+      return false;
+    if (I.Disp < -32768 || I.Disp > MaxMemDisp)
+      return false;
+    bool WritesGpr = guest::isLoad(I.Op) && I.Op != Opcode::Ldq;
+    if (K + 1 != N && WritesGpr &&
+        (I.Reg1 == H.Reg2 || I.Reg1 == H.IndexReg))
+      return false;
+  }
+  return true;
+}
+
+const FusionRule RuleTable[NumFusionRules] = {
+    {FusionRuleId::MovOp,
+     "mov_op",
+     2,
+     false,
+     2,
+     {{1, {Opcode::MovRR}},
+      {6,
+       {Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or, Opcode::Xor,
+        Opcode::Mul}},
+      {}},
+     movOpConstraint,
+     1},
+    {FusionRuleId::MovOpI,
+     "mov_opi",
+     2,
+     false,
+     2,
+     {{1, {Opcode::MovRR}},
+      {6,
+       {Opcode::AddI, Opcode::SubI, Opcode::AndI, Opcode::OrI,
+        Opcode::XorI, Opcode::MulI}},
+      {}},
+     movOpIConstraint,
+     1},
+    {FusionRuleId::CmpBr0,
+     "cmp_br0",
+     2,
+     false,
+     2,
+     {{1, {Opcode::CmpI}}, {1, {Opcode::Jcc}}, {}},
+     cmpBr0Constraint,
+     1},
+    {FusionRuleId::ImmNeg,
+     "imm_neg",
+     1,
+     false,
+     1,
+     {{2, {Opcode::AddI, Opcode::SubI}}, {}, {}},
+     immNegConstraint,
+     3},
+    {FusionRuleId::LdOpSt,
+     "ld_op_st",
+     3,
+     false,
+     3,
+     {{3, {Opcode::Ldb, Opcode::Ldw, Opcode::Ldl}},
+      {14,
+       {Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or, Opcode::Xor,
+        Opcode::Mul, Opcode::AddI, Opcode::SubI, Opcode::AndI,
+        Opcode::OrI, Opcode::XorI, Opcode::MulI, Opcode::ShlI,
+        Opcode::ShrI}},
+      {3, {Opcode::Stb, Opcode::Stw, Opcode::Stl}}},
+     ldOpStConstraint,
+     1},
+    {FusionRuleId::SharedAddr,
+     "shared_addr",
+     2,
+     true,
+     16,
+     {{8,
+       {Opcode::Ldb, Opcode::Ldw, Opcode::Ldl, Opcode::Ldq, Opcode::Stb,
+        Opcode::Stw, Opcode::Stl, Opcode::Stq}},
+      {},
+      {}},
+     sharedAddrConstraint,
+     1},
+};
+
+bool planOk(MemPlan P) {
+  return P == MemPlan::Normal || P == MemPlan::Elide;
+}
+
+/// Indices (relative to the window start) of the memory operations a
+/// fixed-length match covers; their plans gate the match.
+void memberMemIndices(const FusionRule &R, size_t Out[3], size_t &N) {
+  N = 0;
+  if (R.Id == FusionRuleId::LdOpSt) {
+    Out[N++] = 0;
+    Out[N++] = 2;
+  }
+}
+
+} // namespace
+
+const char *mdabt::dbt::fusionRuleName(FusionRuleId Id) {
+  return RuleTable[static_cast<unsigned>(Id)].Name;
+}
+
+bool mdabt::dbt::slotAccepts(const FusionSlot &S, Opcode Op) {
+  for (uint8_t K = 0; K != S.NumOps; ++K)
+    if (S.Ops[K] == Op)
+      return true;
+  return false;
+}
+
+const FusionRule *mdabt::dbt::fusionRuleTable() { return RuleTable; }
+
+bool FusionMatcher::match(const GuestBlock &Block, size_t Idx, size_t To,
+                          const std::function<MemPlan(size_t)> &PlanAt,
+                          FusionMatch &Out) const {
+  const GuestInst *Insts = Block.Insts.data();
+  for (unsigned RI = 0; RI != NumFusionRules; ++RI) {
+    const FusionRule &R = RuleTable[RI];
+    if ((Mask & fusionRuleBit(R.Id)) == 0)
+      continue;
+
+    if (R.Repeating) {
+      // Greedy growth: the window is valid for every prefix (the
+      // constraint is prefix-closed), so stop at the first failure.
+      size_t K = 0;
+      while (Idx + K < To && K < R.MaxLen) {
+        if (!slotAccepts(R.Slots[0], Insts[Idx + K].Op))
+          break;
+        if (!R.Constraint(Insts + Idx, K + 1))
+          break;
+        if (!planOk(PlanAt(Idx + K)))
+          break;
+        ++K;
+      }
+      if (K < R.Len)
+        continue;
+      Out.Rule = R.Id;
+      Out.Length = K;
+      Out.SavedWords = static_cast<uint32_t>(K - 1) *
+                       (Insts[Idx].Scale != 0 ? 2u : 1u);
+      return true;
+    }
+
+    if (To - Idx < R.Len)
+      continue;
+    bool Accepts = true;
+    for (uint8_t S = 0; S != R.Len; ++S)
+      if (!slotAccepts(R.Slots[S], Insts[Idx + S].Op)) {
+        Accepts = false;
+        break;
+      }
+    if (!Accepts || !R.Constraint(Insts + Idx, R.Len))
+      continue;
+    size_t MemIdx[3];
+    size_t NMem;
+    memberMemIndices(R, MemIdx, NMem);
+    bool PlansOk = true;
+    for (size_t K = 0; K != NMem; ++K)
+      if (!planOk(PlanAt(Idx + MemIdx[K]))) {
+        PlansOk = false;
+        break;
+      }
+    if (!PlansOk)
+      continue;
+    Out.Rule = R.Id;
+    Out.Length = R.Len;
+    switch (R.Id) {
+    case FusionRuleId::ImmNeg:
+      Out.SavedWords =
+          materialize32Words(static_cast<uint32_t>(Insts[Idx].Imm));
+      break;
+    case FusionRuleId::LdOpSt:
+      Out.SavedWords = addrSetupWords(Insts[Idx]);
+      break;
+    default:
+      Out.SavedWords = R.CostDelta;
+      break;
+    }
+    return true;
+  }
+  return false;
+}

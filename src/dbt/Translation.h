@@ -103,6 +103,27 @@ struct TranslationOpts {
   /// clamped by the engine to 1..4 when EngineConfig::InlineCaches is
   /// set).  Ways are emitted disabled; the monitor fills them.
   unsigned IcWays = 0;
+  /// Enabled fusion-rule mask (dbt/FusionRules.h; bit i enables rule
+  /// id i).  0 disables peephole fusion entirely.
+  uint32_t FusionMask = 0;
+};
+
+/// One fused multi-guest-instruction host sequence (dbt/FusionRules.h).
+/// The core range [Begin, End) covers the translator-final fused words
+/// — address arithmetic and memory/ALU/branch ops, but *not* the exit
+/// materialization that may follow a fused compare-branch (exit words
+/// are chained/patched by the monitor).  HostVerifier re-checks the
+/// captured words byte-exactly (invariant 9), skipping words the
+/// exception handler has patched to MDA stubs.
+struct FusedSite {
+  uint8_t Rule = 0;        ///< FusionRuleId
+  uint32_t Begin = 0;      ///< first host word of the fused core
+  uint32_t End = 0;        ///< one past the fused core
+  uint32_t GuestPc = 0;    ///< PC of the first fused guest instruction
+  uint8_t GuestLen = 0;    ///< guest instructions consumed
+  uint32_t SavedWords = 0; ///< estimated host words saved vs unfused
+  /// Word values of [Begin, End), captured after label resolution.
+  std::vector<uint32_t> Words;
 };
 
 /// Episode-stop resume point for a guest store (SMC coherence).  When
@@ -180,6 +201,9 @@ struct Translation {
   /// installed.  HostVerifier invariant: no byte of a live
   /// translation's GuestRanges may carry a dirty epoch newer than this.
   uint64_t BornEpoch = 0;
+  /// Fused guest-idiom sequences in this translation, in emission
+  /// order (empty when TranslationOpts::FusionMask was 0).
+  std::vector<FusedSite> FusedSites;
 };
 
 } // namespace dbt

@@ -7,6 +7,7 @@
 #include "dbt/TranslationService.h"
 
 #include "dbt/Engine.h"
+#include "dbt/FusionRules.h"
 #include "dbt/Translation.h"
 
 #include <algorithm>
@@ -43,6 +44,7 @@ size_t CachedTranslation::footprintBytes() const {
     N += sizeof(RelIcSite) + S.WayBegins.size() * sizeof(uint32_t);
   N += Constituents.size() * sizeof(uint32_t);
   N += GuestRanges.size() * sizeof(std::pair<uint32_t, uint32_t>);
+  N += FusedSites.size() * sizeof(RelFusedSite);
   return N;
 }
 
@@ -276,6 +278,15 @@ void serializeEntry(std::vector<uint8_t> &B, const CacheKey &Key,
     put32(B, R.first);
     put32(B, R.second);
   }
+  put32(B, static_cast<uint32_t>(T.FusedSites.size()));
+  for (const CachedTranslation::RelFusedSite &F : T.FusedSites) {
+    put8(B, F.Rule);
+    put8(B, F.GuestLen);
+    put32(B, F.Begin);
+    put32(B, F.End);
+    put32(B, F.GuestPc);
+    put32(B, F.SavedWords);
+  }
 }
 
 /// Parse one entry; returns false on a structural defect (truncated
@@ -370,6 +381,21 @@ bool parseEntry(Cursor &C, CacheKey &Key, CachedTranslation &T) {
     if (Lo >= HiB)
       return false;
     T.GuestRanges.push_back({Lo, HiB});
+  }
+  uint32_t NFused = C.u32();
+  if (C.Bad || NFused > MaxElems)
+    return false;
+  for (uint32_t I = 0; I != NFused; ++I) {
+    CachedTranslation::RelFusedSite F;
+    F.Rule = C.u8();
+    F.GuestLen = C.u8();
+    F.Begin = C.u32();
+    F.End = C.u32();
+    F.GuestPc = C.u32();
+    F.SavedWords = C.u32();
+    if (F.Rule >= NumFusionRules || F.Begin >= F.End || F.End > NWords)
+      return false;
+    T.FusedSites.push_back(F);
   }
   return !C.Bad;
 }

@@ -106,6 +106,19 @@ struct CachedTranslation {
   std::vector<uint32_t> Constituents;
   /// Half-open guest byte ranges the translation compiled.
   std::vector<std::pair<uint32_t, uint32_t>> GuestRanges;
+  /// Fused peephole sequences (dbt/FusionRules.h), entry-relative.  The
+  /// fused cores' reference words are not stored separately: the Words
+  /// payload *is* the pristine translator output, so instantiation
+  /// re-derives them from [Begin, End).
+  struct RelFusedSite {
+    uint8_t Rule = 0;
+    uint8_t GuestLen = 0;
+    uint32_t Begin = 0; ///< entry-relative fused-core start
+    uint32_t End = 0;   ///< entry-relative, one past the core
+    uint32_t GuestPc = 0;
+    uint32_t SavedWords = 0;
+  };
+  std::vector<RelFusedSite> FusedSites;
 
   /// Approximate heap footprint, for accounting.
   size_t footprintBytes() const;
@@ -207,8 +220,9 @@ public:
   bool load(const std::string &Path, uint64_t *Loaded = nullptr,
             std::string *Err = nullptr);
 
-  /// On-disk format version written by save().
-  static constexpr uint32_t FormatVersion = 1;
+  /// On-disk format version written by save().  Version 2 appended the
+  /// per-entry fused-site records (CachedTranslation::RelFusedSite).
+  static constexpr uint32_t FormatVersion = 2;
 
 private:
   struct Shard {

@@ -6,12 +6,14 @@
 
 #include "dbt/Translator.h"
 
+#include "dbt/FusionRules.h"
 #include "host/HostAssembler.h"
 #include "host/MdaSequences.h"
 
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <unordered_map>
 
 using namespace mdabt;
 using namespace mdabt::dbt;
@@ -132,8 +134,10 @@ enum class MvMode { PerInst, Plain, Sequences };
 /// side-exit labels instead of materializing an exit inline.
 struct BodyEmitter {
   BodyEmitter(HostAssembler &Asm, Translation &T, const GuestBlock &Block,
-              const Translator::PlanFn &Plan, unsigned IcWays)
-      : Asm(Asm), T(T), Block(Block), Plan(Plan), IcWays(IcWays) {}
+              const Translator::PlanFn &Plan, unsigned IcWays,
+              uint32_t FusionMask)
+      : Asm(Asm), T(T), Block(Block), Plan(Plan), IcWays(IcWays),
+        Matcher(FusionMask) {}
 
   HostAssembler &Asm;
   Translation &T;
@@ -141,6 +145,15 @@ struct BodyEmitter {
   const Translator::PlanFn &Plan;
   /// Inline-cache ways to emit before each indirect exit (0 = none).
   unsigned IcWays;
+  /// Enabled peephole fusion rules (dbt/FusionRules.h).
+  FusionMatcher Matcher;
+  /// Raw policy-intent plans memoized per instruction index.  Fusion
+  /// matching peeks at plans ahead of emission; the memo keeps the
+  /// planning chain (analysis verdicts, policy state, the engine's
+  /// elide counters) consulted exactly once per site.  Only populated
+  /// when fusion is enabled, so the fusion-off translator consults the
+  /// chain exactly as it always has.
+  std::unordered_map<size_t, MemPlan> PlanMemo;
   /// Trace mode: this block is a non-last trace constituent and
   /// execution reaching NextPc must fall through into the next one.
   bool Continues = false;
@@ -215,8 +228,16 @@ struct BodyEmitter {
     const guest::GuestInst &Inst = Block.Insts[Idx];
     if (!guest::isMemoryOp(Inst.Op) || guest::accessSize(Inst.Op) < 2)
       return MemPlan::Normal;
-    MemPlan P = Plan(Block.InstPcs[Idx], Inst);
-    T.PlanByPc[Block.InstPcs[Idx]] = P;
+    MemPlan P;
+    auto It = PlanMemo.find(Idx);
+    if (It != PlanMemo.end()) {
+      P = It->second;
+    } else {
+      P = Plan(Block.InstPcs[Idx], Inst);
+      if (Matcher.enabled())
+        PlanMemo.emplace(Idx, P);
+      T.PlanByPc[Block.InstPcs[Idx]] = P;
+    }
     if (P == MemPlan::MultiVersion) {
       if (Mode == MvMode::Plain)
         return MemPlan::Normal;
@@ -226,10 +247,245 @@ struct BodyEmitter {
     return P;
   }
 
+  /// Record one fused sequence whose core words are [Begin, End).  The
+  /// word values themselves are captured after label resolution, by the
+  /// translate entry points.
+  void recordFused(const FusionMatch &M, size_t Idx, uint32_t Begin,
+                   uint32_t End) {
+    FusedSite F;
+    F.Rule = static_cast<uint8_t>(M.Rule);
+    F.Begin = Begin;
+    F.End = End;
+    F.GuestPc = Block.InstPcs[Idx];
+    F.GuestLen = static_cast<uint8_t>(M.Length);
+    F.SavedWords = M.SavedWords;
+    T.FusedSites.push_back(std::move(F));
+  }
+
+  /// Baseline lowering of the simple GPR ALU ops a fused window may
+  /// contain (the FusionRules slot sets; excludes the
+  /// RegScratch0-clobbering Sar/SarI, since a fused shared address
+  /// lives there).
+  void emitSimpleAlu(const guest::GuestInst &I) {
+    switch (I.Op) {
+    case guest::Opcode::Add:
+      Asm.op(HostOp::Addl, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Sub:
+      Asm.op(HostOp::Subl, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::And:
+      Asm.op(HostOp::And, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Or:
+      Asm.op(HostOp::Bis, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Xor:
+      Asm.op(HostOp::Xor, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::Mul:
+      Asm.op(HostOp::Mull, hostGpr(I.Reg1), hostGpr(I.Reg2),
+             hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::AddI:
+      emitAluImm(Asm, HostOp::Addl, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::SubI:
+      emitAluImm(Asm, HostOp::Subl, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::AndI:
+      emitAluImm(Asm, HostOp::And, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::OrI:
+      emitAluImm(Asm, HostOp::Bis, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::XorI:
+      emitAluImm(Asm, HostOp::Xor, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::MulI:
+      emitAluImm(Asm, HostOp::Mull, hostGpr(I.Reg1), I.Imm);
+      break;
+    case guest::Opcode::ShlI:
+      Asm.opl(HostOp::Sll, hostGpr(I.Reg1),
+              static_cast<uint8_t>(I.Imm & 31), hostGpr(I.Reg1));
+      Asm.op(HostOp::Zextl, RegZero, hostGpr(I.Reg1), hostGpr(I.Reg1));
+      break;
+    case guest::Opcode::ShrI:
+      Asm.opl(HostOp::Srl, hostGpr(I.Reg1),
+              static_cast<uint8_t>(I.Imm & 31), hostGpr(I.Reg1));
+      break;
+    default:
+      assert(false && "op not in a fusable slot set");
+      break;
+    }
+  }
+
+  /// Host ALU opcode for a fusable guest reg-reg / reg-imm op.
+  static HostOp fusedAluOp(guest::Opcode Op) {
+    switch (Op) {
+    case guest::Opcode::Add:
+    case guest::Opcode::AddI:
+      return HostOp::Addl;
+    case guest::Opcode::Sub:
+    case guest::Opcode::SubI:
+      return HostOp::Subl;
+    case guest::Opcode::And:
+    case guest::Opcode::AndI:
+      return HostOp::And;
+    case guest::Opcode::Or:
+    case guest::Opcode::OrI:
+      return HostOp::Bis;
+    case guest::Opcode::Xor:
+    case guest::Opcode::XorI:
+      return HostOp::Xor;
+    case guest::Opcode::Mul:
+    case guest::Opcode::MulI:
+      return HostOp::Mull;
+    default:
+      assert(false && "op not in a fusable slot set");
+      return HostOp::Addl;
+    }
+  }
+
+  /// Emit the fused lowering for match \p M starting at \p Idx.  Every
+  /// covered memory site keeps its own MemWordToGuestPc / StoreResume
+  /// registration, so stub patching, SMC episode stops and fault
+  /// attribution behave exactly as in the unfused rendering.
+  void emitFused(const FusionMatch &M, size_t Idx, MvMode Mode) {
+    uint32_t Begin = Asm.pos();
+    const guest::GuestInst &I0 = Block.Insts[Idx];
+    switch (M.Rule) {
+    case FusionRuleId::MovOp: {
+      const guest::GuestInst &A = Block.Insts[Idx + 1];
+      Asm.op(fusedAluOp(A.Op), hostGpr(I0.Reg2), hostGpr(A.Reg2),
+             hostGpr(A.Reg1));
+      recordFused(M, Idx, Begin, Asm.pos());
+      break;
+    }
+    case FusionRuleId::MovOpI: {
+      const guest::GuestInst &A = Block.Insts[Idx + 1];
+      Asm.opl(fusedAluOp(A.Op), hostGpr(I0.Reg2),
+              static_cast<uint8_t>(A.Imm), hostGpr(A.Reg1));
+      recordFused(M, Idx, Begin, Asm.pos());
+      break;
+    }
+    case FusionRuleId::ImmNeg:
+      Asm.opl(I0.Op == guest::Opcode::AddI ? HostOp::Subl : HostOp::Addl,
+              hostGpr(I0.Reg1), static_cast<uint8_t>(-I0.Imm),
+              hostGpr(I0.Reg1));
+      recordFused(M, Idx, Begin, Asm.pos());
+      break;
+    case FusionRuleId::CmpBr0: {
+      const guest::GuestInst &J = Block.Insts[Idx + 1];
+      uint32_t JPc = Block.InstPcs[Idx + 1];
+      uint8_t R = hostGpr(I0.Reg1);
+      // Eq is taken when r == 0, Ne when r != 0; the constraint admits
+      // only these (guest GPRs are zero-extended, never negative, so
+      // orderings against 0 do not reduce to a register test).
+      bool TakenWhenZero = J.CC == guest::Cond::Eq;
+      if (Continues) {
+        uint32_t TakenPc = J.branchTarget(JPc);
+        uint32_t FallPc = J.nextPc(JPc);
+        if (TakenPc == NextPc) {
+          if (TakenWhenZero)
+            Asm.bne(R, side(FallPc));
+          else
+            Asm.beq(R, side(FallPc));
+        } else if (FallPc == NextPc) {
+          if (TakenWhenZero)
+            Asm.beq(R, side(TakenPc));
+          else
+            Asm.bne(R, side(TakenPc));
+        } else {
+          if (TakenWhenZero)
+            Asm.beq(R, side(TakenPc));
+          else
+            Asm.bne(R, side(TakenPc));
+          Asm.br(side(FallPc));
+        }
+        recordFused(M, Idx, Begin, Asm.pos());
+        break;
+      }
+      HostAssembler::Label Taken = Asm.newLabel();
+      if (TakenWhenZero)
+        Asm.beq(R, Taken);
+      else
+        Asm.bne(R, Taken);
+      // Core ends here: the exits below are monitor-patched (chaining).
+      recordFused(M, Idx, Begin, Asm.pos());
+      emitExit(J.nextPc(JPc));
+      Asm.bind(Taken);
+      emitExit(J.branchTarget(JPc));
+      break;
+    }
+    case FusionRuleId::LdOpSt: {
+      const guest::GuestInst &St = Block.Insts[Idx + 2];
+      uint32_t StPc = Block.InstPcs[Idx + 2];
+      AddrOperand A = computeAddress(Asm, I0);
+      unsigned Size = guest::accessSize(I0.Op);
+      uint8_t Data = hostGpr(I0.Reg1);
+      MemPlan PL = planFor(Idx, Mode);
+      uint32_t WL = Asm.mem(hostMemOp(I0.Op), Data, A.Disp, A.Base);
+      if (Size >= 2 && PL != MemPlan::Elide)
+        T.MemWordToGuestPc[WL] = Block.InstPcs[Idx];
+      emitSimpleAlu(Block.Insts[Idx + 1]);
+      MemPlan PS = planFor(Idx + 2, Mode);
+      uint32_t WS = Asm.mem(hostMemOp(St.Op), Data, A.Disp, A.Base);
+      if (Size >= 2 && PS != MemPlan::Elide)
+        T.MemWordToGuestPc[WS] = StPc;
+      recordStoreResume(WS, St.nextPc(StPc));
+      recordFused(M, Idx, Begin, Asm.pos());
+      break;
+    }
+    case FusionRuleId::SharedAddr: {
+      // One base + index*scale computation shared by the whole run;
+      // per-member displacements ride on the memory operands.
+      if (I0.Scale != 0) {
+        Asm.opl(HostOp::Sll, hostGpr(I0.IndexReg), I0.Scale, RegScratch0);
+        Asm.op(HostOp::Addl, hostGpr(I0.Reg2), RegScratch0, RegScratch0);
+      } else {
+        Asm.op(HostOp::Addl, hostGpr(I0.Reg2), hostGpr(I0.IndexReg),
+               RegScratch0);
+      }
+      for (size_t K = 0; K != M.Length; ++K) {
+        const guest::GuestInst &I = Block.Insts[Idx + K];
+        uint32_t Pc = Block.InstPcs[Idx + K];
+        MemPlan P = planFor(Idx + K, Mode);
+        uint8_t Data = (I.Op == guest::Opcode::Ldq ||
+                        I.Op == guest::Opcode::Stq)
+                           ? hostQ(I.Reg1)
+                           : hostGpr(I.Reg1);
+        uint32_t W = Asm.mem(hostMemOp(I.Op), Data, I.Disp, RegScratch0);
+        if (guest::accessSize(I.Op) >= 2 && P != MemPlan::Elide)
+          T.MemWordToGuestPc[W] = Pc;
+        if (guest::isStore(I.Op))
+          recordStoreResume(W, I.nextPc(Pc));
+      }
+      recordFused(M, Idx, Begin, Asm.pos());
+      break;
+    }
+    }
+  }
+
   void emitRange(size_t From, size_t To, MvMode Mode) {
   for (size_t Idx = From; Idx != To; ++Idx) {
     const guest::GuestInst &I = Block.Insts[Idx];
     uint32_t Pc = Block.InstPcs[Idx];
+
+    if (Matcher.enabled()) {
+      FusionMatch M;
+      auto PlanAt = [&](size_t J) { return planFor(J, Mode); };
+      if (Matcher.match(Block, Idx, To, PlanAt, M)) {
+        emitFused(M, Idx, Mode);
+        Idx += M.Length - 1;
+        continue;
+      }
+    }
 
     switch (I.Op) {
     case guest::Opcode::Nop:
@@ -543,7 +799,7 @@ Translation Translator::translate(const GuestBlock &Block,
   T.Generation = Generation;
   T.GuestRanges.push_back({Block.StartPc, Block.endPc()});
 
-  BodyEmitter E(Asm, T, Block, Plan, Opts.IcWays);
+  BodyEmitter E(Asm, T, Block, Plan, Opts.IcWays, Opts.FusionMask);
 
   // Block-granularity multi-version (paper section IV-D): find the
   // first multi-version site; one alignment check there selects between
@@ -584,6 +840,11 @@ Translation Translator::translate(const GuestBlock &Block,
   }
 
   Asm.finish();
+  // Capture each fused core's final word values (after label
+  // resolution) for HostVerifier's byte-exact re-check.
+  for (FusedSite &F : T.FusedSites)
+    for (uint32_t W = F.Begin; W != F.End; ++W)
+      F.Words.push_back(Code.word(W));
   T.EndWord = Asm.pos();
   return T;
 }
@@ -613,7 +874,7 @@ Translation Translator::translateTrace(const std::vector<GuestBlock> &Blocks,
     if (std::find(T.GuestRanges.begin(), T.GuestRanges.end(), Range) ==
         T.GuestRanges.end())
       T.GuestRanges.push_back(Range);
-    BodyEmitter E(Asm, T, Blk, Plan, Opts.IcWays);
+    BodyEmitter E(Asm, T, Blk, Plan, Opts.IcWays, Opts.FusionMask);
     if (B + 1 != Blocks.size()) {
       E.Continues = true;
       E.NextPc = Blocks[B + 1].StartPc;
@@ -634,6 +895,9 @@ Translation Translator::translateTrace(const std::vector<GuestBlock> &Blocks,
   }
 
   Asm.finish();
+  for (FusedSite &F : T.FusedSites)
+    for (uint32_t W = F.Begin; W != F.End; ++W)
+      F.Words.push_back(Code.word(W));
   T.EndWord = Asm.pos();
   return T;
 }

@@ -71,7 +71,9 @@ namespace obs {
   X(CacheHit, "cache.hit")                                                   \
   X(CacheMiss, "cache.miss")                                                 \
   X(CacheEvict, "cache.evict")                                               \
-  X(CacheLoad, "cache.load")
+  X(CacheLoad, "cache.load")                                                 \
+  X(FusionApplied, "fusion.applied")                                         \
+  X(FusionSummary, "fusion.summary")
 
 /// Every event the observability layer can record.
 enum class TraceEventKind : uint8_t {

@@ -361,3 +361,89 @@ GuestImage mdabt::workloads::buildProgram(const ProgramPlan &Plan,
 
   return B.build();
 }
+
+// -- fusion-dense kernels ----------------------------------------------------
+//
+// Register roles (guest::RegSP == 4 is never touched):
+//   r0 src base / seed, r1 dst base, r2 element index, r3/r5 data,
+//   r6 inner counter, r7 round counter.
+
+GuestImage mdabt::workloads::buildFusionMemcpyKernel(uint32_t Words,
+                                                     uint32_t Rounds) {
+  assert(Words >= 2 && Words % 2 == 0 && Rounds >= 1);
+  ProgramBuilder B("fusion-memcpy");
+  uint32_t Src = B.dataReserve(Words * 4 + 16, 8);
+  uint32_t Dst = B.dataReserve(Words * 4 + 16, 8);
+  // Deterministic non-zero source contents.
+  for (uint32_t I = 0; I != Words; ++I)
+    B.patchDataU32(Src + I * 4, 0x9e3779b9u * (I + 1));
+
+  B.movri(0, static_cast<int32_t>(Src));
+  B.movri(1, static_cast<int32_t>(Dst));
+  B.movri(7, static_cast<int32_t>(Rounds));
+  ProgramBuilder::Label Round = B.here();
+  B.movri(2, 0);
+  B.movri(6, static_cast<int32_t>(Words / 2));
+  ProgramBuilder::Label Inner = B.here();
+  // Two-word copy: load run and store run each share [base + r2*4 + d]
+  // (SharedAddr), then a mov-op mix (MovOp) and a destination
+  // read-modify-write (LdOpSt).
+  B.ldl(3, memIdx(0, 2, 2, 0));
+  B.ldl(5, memIdx(0, 2, 2, 4));
+  B.stl(memIdx(1, 2, 2, 0), 3);
+  B.stl(memIdx(1, 2, 2, 4), 5);
+  B.movrr(3, 5);
+  B.add(3, 6); // MovOp: fold the counter into the copied word
+  B.chk(3);    // keep the fused result architecturally observable
+  B.ldl(3, memIdx(1, 2, 2, 0));
+  B.xori(3, 0x33);
+  B.stl(memIdx(1, 2, 2, 0), 3);
+  B.addi(2, 2);
+  B.addi(6, -1); // ImmNeg
+  B.cmpi(6, 0);
+  B.jcc(Cond::Ne, Inner); // CmpBr0
+  B.addi(7, -1);          // ImmNeg
+  B.cmpi(7, 0);
+  B.jcc(Cond::Ne, Round);
+  B.chk(3);
+  B.chk(5);
+  B.halt();
+  return B.build();
+}
+
+GuestImage mdabt::workloads::buildFusionMemsetKernel(uint32_t Words,
+                                                     uint32_t Rounds) {
+  assert(Words >= 4 && Words % 4 == 0 && Rounds >= 1);
+  ProgramBuilder B("fusion-memset");
+  uint32_t Dst = B.dataReserve(Words * 4 + 16, 8);
+  B.movri(0, 0x01020304); // evolving fill seed
+  B.movri(1, static_cast<int32_t>(Dst));
+  B.movri(7, static_cast<int32_t>(Rounds));
+  ProgramBuilder::Label Round = B.here();
+  B.movri(2, 0);
+  B.movri(6, static_cast<int32_t>(Words / 4));
+  ProgramBuilder::Label Inner = B.here();
+  // Derive two fill values from the seed via mov-op chains (MovOp and
+  // MovOpI), then a four-store run at one shared indexed address.
+  B.movrr(3, 0);
+  B.xor_(3, 6); // MovOp: xor seed with the counter
+  B.movrr(5, 3);
+  B.addi(5, 7); // MovOpI
+  B.stl(memIdx(1, 2, 2, 0), 3);
+  B.stl(memIdx(1, 2, 2, 4), 5);
+  B.stl(memIdx(1, 2, 2, 8), 3);
+  B.stl(memIdx(1, 2, 2, 12), 5);
+  B.addi(2, 4);
+  B.addi(6, -1); // ImmNeg
+  B.cmpi(6, 0);
+  B.jcc(Cond::Ne, Inner); // CmpBr0
+  B.addi(0, -3);          // evolve the seed (ImmNeg)
+  B.addi(7, -1);
+  B.cmpi(7, 0);
+  B.jcc(Cond::Ne, Round);
+  B.chk(0);
+  B.chk(3);
+  B.chk(5);
+  B.halt();
+  return B.build();
+}

@@ -114,6 +114,27 @@ guest::GuestImage buildProgram(const ProgramPlan &Plan, InputKind Input,
                                LayoutKind Layout = LayoutKind::Default,
                                double PaddingFactor = 1.0);
 
+// -- fusion-dense kernels ------------------------------------------------
+//
+// Aligned synthetic kernels whose hot-loop bodies are saturated with the
+// guest idioms the peephole fusion table (dbt/FusionRules.h) targets:
+// runs of indexed memory ops sharing one (base, index, scale) address
+// (SharedAddr), load-modify-store read-modify-writes (LdOpSt), mov-op
+// chains (MovOp/MovOpI), and loops closed with `addi -1; cmpi 0; jcc Ne`
+// (ImmNeg + CmpBr0).  Used by bench/ablation_fusion and the
+// micro_components fusion row; all accesses are aligned so the measured
+// delta is pure code-density effect, not MDA-policy noise.
+
+/// A memcpy-like kernel: copy \p Words 32-bit words from a source to a
+/// destination array, \p Rounds times, two words per iteration plus a
+/// read-modify-write pass over the destination.
+guest::GuestImage buildFusionMemcpyKernel(uint32_t Words, uint32_t Rounds);
+
+/// A memset-like kernel: fill \p Words 32-bit words (four per
+/// iteration, one shared indexed address) with an evolving pattern,
+/// \p Rounds times.
+guest::GuestImage buildFusionMemsetKernel(uint32_t Words, uint32_t Rounds);
+
 } // namespace workloads
 } // namespace mdabt
 
