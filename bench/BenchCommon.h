@@ -41,11 +41,14 @@ struct Options {
   /// Enable the static alignment analysis (EngineConfig::Analysis) for
   /// every engine run the bench performs.
   bool Analysis = false;
+  /// Enable hybrid static AOT pre-translation (EngineConfig::Aot =
+  /// AotMode::Hybrid) for every engine run the bench performs.
+  bool Aot = false;
 };
 
-/// Parse the shared flags (--jobs N, --seed S, --refs R, --analysis;
-/// value flags accept both "--flag N" and "--flag=N").  Recognized
-/// flags are removed
+/// Parse the shared flags (--jobs N, --seed S, --refs R, --analysis,
+/// --aot; value flags accept both "--flag N" and "--flag=N").
+/// Recognized flags are removed
 /// from argv so binaries with their own argument consumers
 /// (micro_components hands the remainder to google-benchmark) can layer
 /// on top.  Unknown arguments are left in place.  Exits with a usage
@@ -54,7 +57,8 @@ inline Options parseArgs(int &Argc, char **Argv) {
   Options Opt;
   auto Fail = [&](const char *Flag) {
     std::fprintf(stderr,
-                 "usage: %s [--jobs N] [--seed S] [--refs R] [--analysis]\n"
+                 "usage: %s [--jobs N] [--seed S] [--refs R] [--analysis] "
+                 "[--aot]\n"
                  "error: bad value for %s\n",
                  Argv[0], Flag);
     std::exit(2);
@@ -93,6 +97,8 @@ inline Options parseArgs(int &Argc, char **Argv) {
       Opt.Refs = static_cast<uint64_t>(V);
     } else if (std::strcmp(Argv[I], "--analysis") == 0) {
       Opt.Analysis = true;
+    } else if (std::strcmp(Argv[I], "--aot") == 0) {
+      Opt.Aot = true;
     } else {
       Argv[Out++] = Argv[I];
     }

@@ -310,6 +310,13 @@ int main(int argc, char **argv) {
     // a fused sequence must abort typed, never corrupt silently.
     if (I % 11 < 5)
       Config.Fusion = true;
+    // Rotate hybrid static AOT pre-translation in (modulus 13, coprime
+    // with every rotation above): AOT-published entries must obey the
+    // same dirty-epoch retirement as dynamic ones while the injector
+    // tears patches, and the AOT reachability invariant (verifier
+    // check 10) must hold through chaos flush storms.
+    if (I % 13 < 4)
+      Config.Aot = dbt::AotMode::Hybrid;
     // Every fifth campaign runs with tight tolerance ceilings so the
     // typed-abort paths (PatchFailed/TranslationFailed/CacheThrash) are
     // exercised, not just the unlimited-degradation paths.
@@ -383,6 +390,12 @@ int main(int argc, char **argv) {
     // invalidation patches.
     if (I % 11 < 5)
       Config.Fusion = true;
+    // Hybrid AOT under SMC chaos (same coprime rationale, modulus 13):
+    // statically pre-translated units sit right in the blast radius of
+    // self-modifying stores — staleness must drop them and the lazy
+    // install path must never resurrect a stale payload.
+    if (I % 13 < 4)
+      Config.Aot = dbt::AotMode::Hybrid;
     // Rotate the resource-governance surfaces in too: ceilings convert
     // the churn adversary into typed budget aborts, the pin converts it
     // into interp-only degradation — both must stay typed under chaos.

@@ -44,8 +44,12 @@ int main(int argc, char **argv) {
       workloads::selectedBenchmarks();
   dbt::EngineConfig Config;
   Config.Analysis = Opt.Analysis;
+  Config.Aot = Opt.Aot ? dbt::AotMode::Hybrid : dbt::AotMode::Off;
   if (Opt.Analysis)
     std::printf("(static alignment analysis enabled for every run)\n\n");
+  if (Opt.Aot)
+    std::printf("(hybrid static AOT pre-translation enabled for every "
+                "run)\n\n");
   std::vector<reporting::MatrixCell> Cells;
   for (const workloads::BenchmarkInfo *Info : Benchmarks)
     for (int C = 0; C != NumCols; ++C)

@@ -1,0 +1,178 @@
+//===- analysis/CfgRecovery.cpp - Whole-binary CFG recovery ---------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CfgRecovery.h"
+
+#include "guest/Encoding.h"
+#include "guest/GuestInst.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace mdabt;
+using namespace mdabt::analysis;
+
+const char *mdabt::analysis::frontierKindName(FrontierKind K) {
+  switch (K) {
+  case FrontierKind::IndirectJump:
+    return "indirect-jump";
+  case FrontierKind::Undecodable:
+    return "undecodable";
+  case FrontierKind::Runaway:
+    return "runaway";
+  }
+  return "?";
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+CfgResult::coverageRanges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> Ranges;
+  Ranges.reserve(Blocks.size());
+  for (const auto &KV : Blocks)
+    Ranges.emplace_back(KV.second.StartPc, KV.second.EndPc);
+  // Blocks is PC-ordered; merge touching/overlapping ranges in place.
+  std::vector<std::pair<uint32_t, uint32_t>> Merged;
+  for (const auto &R : Ranges) {
+    if (!Merged.empty() && R.first <= Merged.back().second)
+      Merged.back().second = std::max(Merged.back().second, R.second);
+    else
+      Merged.push_back(R);
+  }
+  return Merged;
+}
+
+CfgResult mdabt::analysis::recoverCfg(const guest::GuestMemory &Mem,
+                                      uint32_t Entry, size_t MaxBlockInsts) {
+  CfgResult Cfg;
+  std::vector<uint32_t> Worklist{Entry};
+  // Walks already performed, including ones that ended at a frontier
+  // and were erased from Blocks — without this, two paths into the
+  // same bad region would record the frontier twice.
+  std::set<uint32_t> Visited;
+
+  auto Propagate = [&](uint32_t Pc, CfgBlock &B) {
+    B.Succs.push_back(Pc);
+    if (Visited.count(Pc) == 0)
+      Worklist.push_back(Pc);
+  };
+
+  while (!Worklist.empty()) {
+    uint32_t Start = Worklist.back();
+    Worklist.pop_back();
+    if (!Visited.insert(Start).second)
+      continue;
+    // Reserve the slot up front so self-loops don't re-enqueue.
+    CfgBlock &B = Cfg.Blocks[Start];
+    B.StartPc = Start;
+
+    uint32_t Pc = Start;
+    bool Done = false;
+    while (!Done) {
+      guest::GuestInst I;
+      if (!guest::decode(Mem.data(), Mem.size(), Pc, I)) {
+        // The walk ran into bytes that are not code (or off the image).
+        // The partial block is not statically proven: remove it and
+        // flag the frontier so the dynamic DBT owns everything here.
+        Cfg.Frontier.push_back({Pc, Start, FrontierKind::Undecodable});
+        Cfg.Blocks.erase(Start);
+        break;
+      }
+      ++B.NumInsts;
+      if (guest::isBlockTerminator(I.Op)) {
+        B.EndPc = I.nextPc(Pc);
+        B.Terminator = I.Op;
+        switch (I.Op) {
+        case guest::Opcode::Jmp:
+          Propagate(I.branchTarget(Pc), B);
+          break;
+        case guest::Opcode::Jcc:
+          Propagate(I.branchTarget(Pc), B);
+          Propagate(I.nextPc(Pc), B);
+          break;
+        case guest::Opcode::Call:
+          // Both the callee and the return site are provable edges;
+          // Ret itself contributes nothing (its targets are exactly
+          // the call fall-throughs already enqueued here).
+          Propagate(I.branchTarget(Pc), B);
+          Propagate(I.nextPc(Pc), B);
+          break;
+        case guest::Opcode::JmpR:
+          // No heuristics: the block is proven, its successors are not.
+          B.EndsAtFrontier = true;
+          Cfg.Frontier.push_back({Pc, Start, FrontierKind::IndirectJump});
+          break;
+        case guest::Opcode::Ret:
+        case guest::Opcode::Halt:
+        default:
+          break;
+        }
+        Done = true;
+        break;
+      }
+      Pc = I.nextPc(Pc);
+      if (B.NumInsts >= MaxBlockInsts) {
+        // Mirrors discoverBlock's straight-line bound: the dynamic
+        // engine would refuse this region too, so it is a frontier,
+        // not a proven block.
+        Cfg.Frontier.push_back({Pc, Start, FrontierKind::Runaway});
+        Cfg.Blocks.erase(Start);
+        break;
+      }
+    }
+    if (Done) {
+      // Dedup and order the successor list (Jcc to the fall-through,
+      // self-loops and call-to-next all produce duplicates).
+      std::sort(B.Succs.begin(), B.Succs.end());
+      B.Succs.erase(std::unique(B.Succs.begin(), B.Succs.end()),
+                    B.Succs.end());
+      Cfg.NumEdges += B.Succs.size();
+    }
+  }
+
+  std::sort(Cfg.Frontier.begin(), Cfg.Frontier.end(),
+            [](const FrontierSite &A, const FrontierSite &B) {
+              return A.Pc != B.Pc ? A.Pc < B.Pc : A.BlockPc < B.BlockPc;
+            });
+  return Cfg;
+}
+
+CfgResult mdabt::analysis::recoverCfg(const guest::GuestImage &Image) {
+  guest::GuestMemory Mem;
+  Mem.loadImage(Image);
+  return recoverCfg(Mem, Image.Entry);
+}
+
+uint64_t mdabt::analysis::annotateVerdicts(CfgResult &Cfg,
+                                           const guest::GuestMemory &Mem,
+                                           const AnalysisResult &Ana) {
+  uint64_t Classified = 0;
+  for (auto &KV : Cfg.Blocks) {
+    CfgBlock &B = KV.second;
+    B.SitesAligned = B.SitesMisaligned = B.SitesUnknown = 0;
+    uint32_t Pc = B.StartPc;
+    for (uint32_t N = 0; N != B.NumInsts; ++N) {
+      guest::GuestInst I;
+      if (!guest::decode(Mem.data(), Mem.size(), Pc, I))
+        break; // bytes changed since recovery; stale tallies are fine
+      if (guest::isMemoryOp(I.Op) && guest::accessSize(I.Op) >= 2) {
+        ++Classified;
+        switch (Ana.verdictFor(Pc, I)) {
+        case AlignVerdict::Aligned:
+          ++B.SitesAligned;
+          break;
+        case AlignVerdict::Misaligned:
+          ++B.SitesMisaligned;
+          break;
+        case AlignVerdict::Unknown:
+          ++B.SitesUnknown;
+          break;
+        }
+      }
+      Pc = I.nextPc(Pc);
+    }
+  }
+  return Classified;
+}

@@ -1,0 +1,138 @@
+//===- analysis/CfgRecovery.h - Whole-binary CFG recovery ------*- C++ -*-===//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, heuristic-free reachability / control-flow-graph
+/// recovery over a guest image: the static foundation of the AOT
+/// pre-translator (`dbt/AotTranslator.h`, DESIGN.md section 16).
+///
+/// The pass runs a worklist over *provable* control-flow edges only —
+/// direct jumps, both arms of conditional branches, call targets and
+/// call fall-through (return) sites — and records every block whose
+/// bytes it can fully decode.  Where static reasoning ends, it does not
+/// guess: an indirect jump (`JmpR`), undecodable bytes, or a runaway
+/// straight-line region become explicit **Unknown frontier** records
+/// instead of speculative successors.  The result is therefore an
+/// *under*-approximation of the dynamically reachable code with a
+/// precise boundary: every block the DBT ever discovers at run time is
+/// either in the recovered set or reachable only through a flagged
+/// frontier site (the differential property pinned by
+/// `tests/cfg_test.cpp`).
+///
+/// Unlike AlignmentAnalysis — which *poisons* its whole result on
+/// constructs its lattice cannot follow — recovery is total: frontiers
+/// are local, and everything proven stays proven.  The two passes
+/// compose: recovery decides *which* blocks exist statically, while
+/// AlignmentAnalysis's congruence verdicts decide *how* each recovered
+/// block's memory sites are planned (see `annotateVerdicts`).
+///
+/// Provenance: every block this pass emits is `Static`.  The `Dynamic`
+/// tag exists for the AOT consumer, which marks run-time discoveries
+/// that fell outside the recovered set (the frontier residual).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MDABT_ANALYSIS_CFGRECOVERY_H
+#define MDABT_ANALYSIS_CFGRECOVERY_H
+
+#include "analysis/AlignmentAnalysis.h"
+#include "guest/GuestISA.h"
+#include "guest/GuestImage.h"
+#include "guest/GuestMemory.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace mdabt {
+namespace analysis {
+
+/// Why static recovery stopped at one program point.
+enum class FrontierKind : uint8_t {
+  /// An indirect jump (`JmpR`): the successor set is not statically
+  /// enumerable without heuristics, so none is assumed.
+  IndirectJump,
+  /// The bytes at the frontier PC did not decode (jump into data, or a
+  /// direct branch leaving the loaded image).
+  Undecodable,
+  /// A straight-line run exceeded the decode bound without reaching a
+  /// terminator (mirrors discoverBlock's MaxInsts guard).
+  Runaway,
+};
+
+const char *frontierKindName(FrontierKind K);
+
+/// One point where static reachability ends and only the dynamic
+/// two-phase DBT can continue.
+struct FrontierSite {
+  uint32_t Pc = 0;      ///< The JmpR / first bad byte / runaway PC.
+  uint32_t BlockPc = 0; ///< Start of the walk that hit the frontier.
+  FrontierKind Kind = FrontierKind::IndirectJump;
+};
+
+/// Who proved a block reachable.
+enum class BlockProvenance : uint8_t {
+  Static,  ///< Recovered by this pass from provable edges.
+  Dynamic, ///< Discovered at run time (AOT fallback residual).
+};
+
+/// One statically recovered basic block.  Blocks may overlap byte-wise
+/// (a branch into the middle of another block starts a new block), just
+/// like the dynamic discoverBlock view.
+struct CfgBlock {
+  uint32_t StartPc = 0;
+  uint32_t EndPc = 0; ///< One past the last instruction byte.
+  uint32_t NumInsts = 0;
+  guest::Opcode Terminator = guest::Opcode::Halt;
+  /// Statically proven successor block starts, sorted ascending.
+  std::vector<uint32_t> Succs;
+  /// True when the terminator is an indirect jump: the block itself is
+  /// proven reachable but its successors are a frontier.
+  bool EndsAtFrontier = false;
+  BlockProvenance Provenance = BlockProvenance::Static;
+  /// Alignment verdicts of the block's planned memory sites (2/4/8-byte
+  /// ops), filled by annotateVerdicts.
+  uint32_t SitesAligned = 0;
+  uint32_t SitesMisaligned = 0;
+  uint32_t SitesUnknown = 0;
+};
+
+/// Result of one recovery pass.  Deterministic: blocks are keyed (and
+/// frontier sites sorted) by PC, independent of worklist order.
+struct CfgResult {
+  std::map<uint32_t, CfgBlock> Blocks;
+  std::vector<FrontierSite> Frontier;
+  uint64_t NumEdges = 0; ///< Proven successor edges across all blocks.
+
+  bool contains(uint32_t Pc) const { return Blocks.count(Pc) != 0; }
+
+  /// Merged, sorted half-open [begin, end) guest byte ranges covering
+  /// every recovered block — the reachable set the HostVerifier's AOT
+  /// invariant checks installed translations against.
+  std::vector<std::pair<uint32_t, uint32_t>> coverageRanges() const;
+};
+
+/// Recover the statically provable CFG of the code reachable from
+/// \p Entry.  Pure function of the guest bytes; never throws, never
+/// asserts on hostile input — undecodable regions become frontiers.
+CfgResult recoverCfg(const guest::GuestMemory &Mem, uint32_t Entry,
+                     size_t MaxBlockInsts = 4096);
+
+/// Convenience overload: load \p Image into scratch memory and recover.
+CfgResult recoverCfg(const guest::GuestImage &Image);
+
+/// Fold AlignmentAnalysis congruence verdicts into the recovered
+/// blocks: for every recovered block, classify its sized memory sites
+/// under \p Ana and fill the per-block Sites* tallies.  Returns the
+/// number of sites classified.
+uint64_t annotateVerdicts(CfgResult &Cfg, const guest::GuestMemory &Mem,
+                          const AnalysisResult &Ana);
+
+} // namespace analysis
+} // namespace mdabt
+
+#endif // MDABT_ANALYSIS_CFGRECOVERY_H

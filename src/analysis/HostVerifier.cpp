@@ -39,6 +39,8 @@ const char *verifyIssueKindName(VerifyIssueKind K) {
     return "stale-guest-code";
   case VerifyIssueKind::FusedSiteBad:
     return "fused-site-bad";
+  case VerifyIssueKind::AotUnreachable:
+    return "aot-unreachable";
   }
   return "?";
 }
@@ -387,6 +389,40 @@ struct Verifier {
     }
   }
 
+  /// Check 10: AOT reachability.  An AOT-installed translation's guest
+  /// ranges must all lie inside the statically recovered reachable set
+  /// — the pre-translator can only ever install code the CFG-recovery
+  /// pass proved the guest can reach.  The issue's word is the
+  /// translation's entry; aux is the first uncovered guest byte.
+  void checkAotReachability() {
+    if (!Input.ReachableRanges)
+      return;
+    const std::vector<VerifierRegion> &Set = *Input.ReachableRanges;
+    auto Covered = [&](uint32_t Begin, uint32_t End, uint32_t &Bad) {
+      // Ranges are sorted and disjoint: one range must cover the whole
+      // [Begin, End) span (recovery merges adjacent blocks).
+      for (const VerifierRegion &R : Set) {
+        if (Begin >= R.Begin && End <= R.End)
+          return true;
+        if (R.Begin > Begin)
+          break;
+      }
+      Bad = Begin;
+      return false;
+    };
+    for (const VerifierBlock &B : Input.Blocks) {
+      if (!B.AotInstalled)
+        continue;
+      for (const VerifierRegion &G : B.GuestRanges) {
+        uint32_t Bad = 0;
+        if (!Covered(G.Begin, G.End, Bad)) {
+          issue(VerifyIssueKind::AotUnreachable, B.EntryWord, Bad);
+          break; // one uncovered range per block is enough signal
+        }
+      }
+    }
+  }
+
   VerifyReport run() {
     checkPredecode();
     checkRegions();
@@ -396,6 +432,7 @@ struct Verifier {
     checkIcWays();
     checkGuestCoherence();
     checkFusedSites();
+    checkAotReachability();
     return std::move(Report);
   }
 };

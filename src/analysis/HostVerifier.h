@@ -43,7 +43,13 @@
 ///     semantics into denser host code, so a single flipped word inside
 ///     a fused core silently changes architectural behaviour.  Words
 ///     the engine legitimately patched (fault-site stubs, reverts) or
-///     quarantined are excused.
+///     quarantined are excused;
+/// 10. AOT reachability: every translation the static AOT
+///     pre-translator installed covers only guest bytes inside the
+///     statically recovered reachable set — static pre-translation can
+///     never smuggle code for bytes the CFG-recovery pass did not
+///     prove reachable.  Skipped when the engine supplies no
+///     reachable-range set (AOT off).
 ///
 /// The verifier is read-only and engine-agnostic: the engine describes
 /// its bookkeeping through `VerifierInput` and gets a `VerifyReport`
@@ -81,6 +87,8 @@ enum class VerifyIssueKind : uint8_t {
                   ///< rewritten after it was installed.
   FusedSiteBad,   ///< Fused-sequence core diverged from the byte-exact
                   ///< words captured at install time.
+  AotUnreachable, ///< AOT-installed translation covers guest bytes
+                  ///< outside the statically recovered reachable set.
 };
 
 const char *verifyIssueKindName(VerifyIssueKind K);
@@ -140,6 +148,8 @@ struct VerifierBlock {
   uint64_t BornEpoch = 0;
   /// Fused guest-idiom cores with their reference words (check 9).
   std::vector<VerifierFusedSite> FusedSites;
+  /// Installed by the static AOT pre-translator (check 10).
+  bool AotInstalled = false;
 };
 
 /// The engine's view of the cache, handed to the verifier.
@@ -159,6 +169,10 @@ struct VerifierInput {
   /// page with a rewritten neighbour is not a false positive.  Null
   /// disables the check.
   const std::unordered_map<uint32_t, uint64_t> *GuestDirtyEpoch = nullptr;
+  /// Statically recovered reachable guest byte ranges, half-open,
+  /// sorted and non-overlapping (check 10: every AOT-installed block's
+  /// guest ranges must lie inside them).  Null disables the check.
+  const std::vector<VerifierRegion> *ReachableRanges = nullptr;
 };
 
 struct VerifyReport {

@@ -1,0 +1,112 @@
+//===- dbt/AotTranslator.cpp - Static AOT pre-translation -----------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/AotTranslator.h"
+
+#include "dbt/GuestBlock.h"
+#include "dbt/TranslationCapture.h"
+
+#include <utility>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+
+AotTranslator::AotTranslator(const guest::GuestMemory &Mem,
+                             const analysis::CfgResult &Cfg,
+                             Translator::PlanFn Plan, TranslationOpts Opts,
+                             TranslationService *Service,
+                             const host::CostModel &Cost)
+    : Mem(Mem), Cfg(Cfg), Plan(std::move(Plan)), Opts(Opts),
+      Service(Service), Cost(Cost), Trans(Scratch) {
+  S.RecoveredBlocks = Cfg.Blocks.size();
+  S.FrontierSites = Cfg.Frontier.size();
+}
+
+void AotTranslator::pretranslateAll() {
+  // PC order (CfgResult::Blocks is an ordered map): payload production,
+  // publish order and modeled startup cost are all deterministic.
+  for (const auto &KV : Cfg.Blocks) {
+    const analysis::CfgBlock &B = KV.second;
+    // Re-discover through the same decoder the demand path uses; a
+    // proven block decodes by construction.
+    GuestBlock GB = discoverBlock(Mem, B.StartPc);
+    Unit U;
+    U.GuestPc = B.StartPc;
+    const GuestBlock *One = &GB;
+    U.Key = translationContentKey(Mem, &One, 1, Plan, Opts, false);
+    if (Service) {
+      if (TranslationLease L = Service->acquire(U.Key)) {
+        // Warm start: someone (a previous run, the disk artifact, or a
+        // concurrent tenant) already produced these exact words.
+        U.Payload = L.get();
+        U.Lease = std::move(L);
+        U.FromCache = true;
+        ++S.FromCache;
+      }
+    }
+    if (!U.FromCache) {
+      Translation T = Trans.translate(GB, Plan, 0, Opts);
+      U.Payload = captureTranslation(T, Scratch);
+      if (Service)
+        U.Lease = Service->publish(U.Key, U.Payload);
+      ++S.Translated;
+      S.StartupTranslateCycles +=
+          static_cast<uint64_t>(GB.size()) * Cost.TranslateCyclesPerInst;
+    }
+    S.GuestInsts += GB.size();
+    Units.emplace(B.StartPc, std::move(U));
+  }
+}
+
+AotTranslator::Unit *AotTranslator::find(uint32_t Pc) {
+  auto It = Units.find(Pc);
+  return It == Units.end() ? nullptr : &It->second;
+}
+
+std::vector<uint32_t> AotTranslator::noteGuestStore(uint32_t Addr,
+                                                    uint32_t Size) {
+  std::vector<uint32_t> Staled;
+  uint32_t Lo = Addr, Hi = Addr + Size;
+  for (auto &KV : Units) {
+    Unit &U = KV.second;
+    if (U.Stale)
+      continue;
+    for (const auto &R : U.Payload.GuestRanges) {
+      if (R.first < Hi && Lo < R.second) {
+        U.Stale = true;
+        U.Lease.release();
+        ++S.StaleDropped;
+        Staled.push_back(U.GuestPc);
+        break;
+      }
+    }
+  }
+  return Staled;
+}
+
+bool AotTranslator::drop(uint32_t Pc) {
+  Unit *U = find(Pc);
+  if (!U || U->Stale)
+    return false;
+  U->Stale = true;
+  U->Lease.release();
+  ++S.StaleDropped;
+  return true;
+}
+
+std::vector<uint32_t> AotTranslator::dropAll() {
+  std::vector<uint32_t> Staled;
+  for (auto &KV : Units) {
+    Unit &U = KV.second;
+    if (U.Stale)
+      continue;
+    U.Stale = true;
+    U.Lease.release();
+    ++S.StaleDropped;
+    Staled.push_back(U.GuestPc);
+  }
+  return Staled;
+}

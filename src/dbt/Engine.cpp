@@ -57,6 +57,18 @@ const char *mdabt::dbt::runErrorName(RunError E) {
   return "unknown";
 }
 
+const char *mdabt::dbt::aotModeName(AotMode M) {
+  switch (M) {
+  case AotMode::Off:
+    return "off";
+  case AotMode::Full:
+    return "full";
+  case AotMode::Hybrid:
+    return "hybrid";
+  }
+  return "unknown";
+}
+
 MdaPolicy::~MdaPolicy() = default;
 
 Engine::Engine(const guest::GuestImage &Image, MdaPolicy &Policy,

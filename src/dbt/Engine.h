@@ -83,6 +83,25 @@ inline constexpr size_t NumRunErrors = 10;
 /// Stable human-readable name for a RunError.
 const char *runErrorName(RunError E);
 
+/// Ahead-of-time pre-translation mode (`EngineConfig::Aot`, DESIGN.md
+/// section 16).  Architectural results are byte-identical across all
+/// three modes; only modeled cycles and code layout change.
+enum class AotMode : uint8_t {
+  /// Pure two-phase DBT: interpret to heat, translate hot blocks.
+  Off,
+  /// Statically translate *and install* every proven-reachable block
+  /// before the first guest instruction; dynamic fallback only for
+  /// code behind indirect-jump frontiers.
+  Full,
+  /// Statically translate every proven-reachable block up front, but
+  /// install lazily at first dispatch — no interpretation heating for
+  /// covered code, no arena cost for code the run never reaches.
+  Hybrid,
+};
+
+/// Stable human-readable name for an AotMode.
+const char *aotModeName(AotMode M);
+
 /// Tolerances of the graceful-degradation machinery.  Defaults are
 /// permissive: the engine degrades (rearrange -> retranslate ->
 /// interpret-only) rather than aborting; the ceilings exist so that an
@@ -227,6 +246,20 @@ struct EngineConfig {
   /// cycles change.  The service must outlive the engine and may be
   /// shared by concurrently running engines.  Null = isolated run.
   TranslationService *Service = nullptr;
+
+  /// Static AOT pre-translation (`dbt/AotTranslator.h`, DESIGN.md
+  /// section 16).  When not Off, the engine recovers the statically
+  /// provable CFG of the guest image (`analysis/CfgRecovery.h`), runs
+  /// the alignment analysis (implied even when `Analysis` is false, so
+  /// MemPlans come from congruence verdicts), and pre-translates every
+  /// proven-reachable block before the first guest instruction —
+  /// publishing into the shared cache when a Service is attached.  The
+  /// HostVerifier sweeps the pre-populated code cache before execution
+  /// starts (even when `Verify` is false) and enforces that every
+  /// AOT-installed translation stays inside the recovered reachable
+  /// set.  Dynamic two-phase translation remains the fallback for code
+  /// discovered through indirect-jump frontiers.
+  AotMode Aot = AotMode::Off;
 };
 
 /// Everything an experiment wants to know about one run.

@@ -7,11 +7,14 @@
 #include "dbt/ExecutionContext.h"
 
 #include "analysis/AlignmentAnalysis.h"
+#include "analysis/CfgRecovery.h"
 #include "analysis/HostVerifier.h"
 #include "chaos/FaultInjector.h"
+#include "dbt/AotTranslator.h"
 #include "dbt/DispatchTable.h"
 #include "dbt/FusionRules.h"
 #include "dbt/GuestBlock.h"
+#include "dbt/TranslationCapture.h"
 #include "dbt/TranslationService.h"
 #include "dbt/Translator.h"
 #include "guest/Encoding.h"
@@ -104,6 +107,20 @@ public:
                    Ana->Poisoned ? 1 : 0, Ana->NumAligned,
                    Ana->NumMisaligned);
       }
+    }
+    if (Config.Aot != AotMode::Off) {
+      // AOT MemPlans come from congruence verdicts, so the alignment
+      // analysis is implied even when EngineConfig::Analysis is off.
+      // Like the recovery pass below it is modeled as offline work.
+      if (!Ana)
+        Ana.emplace(
+            analysis::analyzeAlignment(Mem, Image.Entry, Image.StackTop));
+      // Deterministic whole-image CFG recovery over the pristine bytes:
+      // the statically proven reachable set the pre-translator covers
+      // and the verifier's reachability invariant checks against.
+      AotCfg.emplace(analysis::recoverCfg(Mem, Image.Entry));
+      for (const auto &R : AotCfg->coverageRanges())
+        AotReachable.push_back({R.first, R.second});
     }
     Interp.setObserver(&Profiler);
     Machine.setFaultHandler(
@@ -402,6 +419,10 @@ private:
   void invalidate(Translation *Old) {
     Old->Valid = false;
     untrackTranslation(Old);
+    // Whatever retired this translation (SMC, supersede, verdict
+    // revocation, ladder) also invalidates the statically computed
+    // plans of its pending AOT unit: never re-install those.
+    dropAotUnit(Old->GuestPc);
     if (Dispatch)
       Dispatch->eraseIf(Old->GuestPc, Old);
     HTrapBlock->record(Old->FaultCount);
@@ -462,6 +483,11 @@ private:
   void supersede(Translation *Old) {
     if (!Old->Valid)
       return; // already superseded; the stale code may still be running
+    // The plans are being revised: the block's pending AOT unit is now
+    // stale even on the FlushOnSupersede path (which never reaches
+    // invalidate()) — re-installing it after the flush would recreate
+    // the very translation this supersede is retiring, forever.
+    dropAotUnit(Old->GuestPc);
     Trace.emit(obs::TraceEventKind::BlockRetranslated, 0, Old->GuestPc,
                Old->Generation + 1, Config.FlushOnSupersede ? 1 : 0);
     if (Config.FlushOnSupersede) {
@@ -515,7 +541,10 @@ private:
       if (T.Valid)
         untrackTranslation(&T);
     TrackedByPage.clear();
-    assert(Mem.watchedPages() == 0 &&
+    // Pending AOT units keep their write-barrier watches across the
+    // flush (their payloads survive for lazy re-install), so the drain
+    // target is their mirrored page set, not zero.
+    assert(Mem.watchedPages() == AotWatchRef.size() &&
            "write-watch refcounts must drain on flush");
     Code.clear();
     BlockMap.clear();
@@ -585,6 +614,138 @@ private:
     });
   }
 
+  // -- static AOT pre-translation (EngineConfig::Aot) -----------------------
+
+  /// Register a pending AOT unit's source bytes with the write barrier
+  /// and mirror the page refcounts: a guest store into a pending unit
+  /// must stale it even before (or after) installation, and flushAll's
+  /// drain assertion needs to know how many watched pages are AOT's.
+  void watchAotUnit(const AotTranslator::Unit &U) {
+    for (const auto &R : U.Payload.GuestRanges) {
+      Mem.watchRange(R.first, R.second);
+      uint32_t P0 = R.first >> guest::GuestMemory::WatchPageShift;
+      uint32_t P1 = (R.second - 1) >> guest::GuestMemory::WatchPageShift;
+      for (uint32_t P = P0; P <= P1; ++P)
+        ++AotWatchRef[P];
+    }
+  }
+
+  void unwatchAotUnit(const AotTranslator::Unit &U) {
+    for (const auto &R : U.Payload.GuestRanges) {
+      Mem.unwatchRange(R.first, R.second);
+      uint32_t P0 = R.first >> guest::GuestMemory::WatchPageShift;
+      uint32_t P1 = (R.second - 1) >> guest::GuestMemory::WatchPageShift;
+      for (uint32_t P = P0; P <= P1; ++P) {
+        auto It = AotWatchRef.find(P);
+        if (It != AotWatchRef.end() && --It->second == 0)
+          AotWatchRef.erase(It);
+      }
+    }
+  }
+
+  /// A plan revision retired the translation at \p Pc (supersede,
+  /// degradation ladder, SMC victim): its pending AOT unit, compiled
+  /// under the old plans, must never be re-installed.
+  void dropAotUnit(uint32_t Pc) {
+    if (!Aot)
+      return;
+    if (Aot->drop(Pc))
+      unwatchAotUnit(*Aot->find(Pc));
+  }
+
+  /// Instantiate one pending AOT unit into the run's arena.  Mirrors
+  /// installTranslation's serving-hit path: install cycles, dispatch and
+  /// write-barrier tracking, budgets and oversized pinning all behave
+  /// identically.  \p Sweep runs the forced verifier sweep after the
+  /// install (the startup batch defers to one sweep over the whole
+  /// pre-populated cache instead).
+  Translation *installAotUnit(AotTranslator::Unit &U, bool Sweep) {
+    Store.push_back(instantiateCached(U.Payload, /*Generation=*/0));
+    Translation *T = &Store.back();
+    T->AotInstalled = true;
+    Regions[T->EntryWord] = {T->EndWord, T};
+    BlockMap[U.GuestPc] = T;
+    if (Dispatch)
+      Dispatch->insert(U.GuestPc, T);
+    trackTranslation(T);
+    if (!Policy.translationIsOffline())
+      TranslateCycles += static_cast<uint64_t>(T->GuestInsts) *
+                         Cost.CacheInstallCyclesPerInst;
+    ++Translations;
+    ++AotInstalls;
+    chargeCodeGrowth();
+    checkBudgets();
+    HTransInsts->record(T->GuestInsts);
+    Trace.emit(obs::TraceEventKind::AotInstall, U.GuestPc, U.GuestPc,
+               T->GuestInsts, U.FromCache ? 1 : 0);
+    recordFusion(*T);
+    // Same containment as the demand path: a single block bigger than
+    // the whole cache would flush-thrash on every dispatch.
+    if (Config.CodeCacheLimitWords != 0 &&
+        T->EndWord - T->EntryWord > Config.CodeCacheLimitWords) {
+      InterpOnly.insert(U.GuestPc);
+      ++OversizedPins;
+      invalidate(T);
+      runVerifier(/*Force=*/true);
+      return nullptr;
+    }
+    if (Sweep)
+      runVerifier(/*Force=*/true);
+    return T;
+  }
+
+  /// The AOT startup phase (run() calls this before the first guest
+  /// instruction): statically translate every proven-reachable block,
+  /// watch every unit's source bytes, eagerly install the lot under
+  /// AotMode::Full, and run the verifier as the AOT output checker over
+  /// the pre-populated cache — even when EngineConfig::Verify is off.
+  void aotStartup() {
+    uint64_t Cycles0 = now();
+    Translator::PlanFn Plan = [this](uint32_t Pc,
+                                     const guest::GuestInst &I) {
+      return planMemOp(Pc, I);
+    };
+    Aot.emplace(Mem, *AotCfg, Plan, translationOpts(), Service, Cost);
+    Aot->pretranslateAll();
+    const AotTranslator::Stats &AS = Aot->stats();
+    if (!Policy.translationIsOffline())
+      TranslateCycles += AS.StartupTranslateCycles;
+    if (Trace.enabled())
+      for (const auto &KV : Aot->units())
+        Trace.emit(obs::TraceEventKind::AotTranslated, KV.first, KV.first,
+                   KV.second.Payload.GuestInsts,
+                   KV.second.FromCache ? 1 : 0);
+    for (const auto &KV : Aot->units())
+      watchAotUnit(KV.second);
+    if (Config.Aot == AotMode::Full) {
+      std::vector<uint32_t> Pcs;
+      Pcs.reserve(Aot->units().size());
+      for (const auto &KV : Aot->units())
+        Pcs.push_back(KV.first);
+      for (uint32_t Pc : Pcs) {
+        if (Abort != RunError::None)
+          break;
+        // Capacity containment: leave the tail pending — it installs
+        // lazily at first dispatch, exactly the hybrid path.
+        if (Config.CodeCacheLimitWords != 0 &&
+            Code.size() > Config.CodeCacheLimitWords)
+          break;
+        AotTranslator::Unit *U = Aot->find(Pc);
+        if (U->Stale || InterpOnly.count(Pc))
+          continue;
+        installAotUnit(*U, /*Sweep=*/false);
+      }
+    }
+    AotStartupCycles = now() - Cycles0;
+    Trace.emit(obs::TraceEventKind::AotSummary,
+               static_cast<uint32_t>(AS.RecoveredBlocks),
+               static_cast<uint32_t>(AS.FrontierSites), AS.Translated,
+               AS.FromCache);
+    // The AOT output checker: one full structural sweep (including the
+    // reachability invariant) before the first guest instruction.
+    runVerifier(/*Force=*/true);
+  }
+
   /// The guest-code write barrier.  GuestMemory calls this for every
   /// store whose first or last byte lands on a watched page — i.e. a
   /// page backing at least one live translation.  Models the
@@ -605,6 +766,12 @@ private:
     Trace.emit(obs::TraceEventKind::SmcStore, 0, 0, Addr, Size);
     for (uint32_t B = Addr; B != Addr + Size; ++B)
       ByteDirtyEpoch[B] = StoreEpoch;
+    // Pending AOT units whose source bytes this store rewrote can never
+    // be installed: the dynamic path re-discovers from the new bytes.
+    if (Aot)
+      for (uint32_t Pc :
+           Aot->noteGuestStore(Addr, static_cast<uint32_t>(Size)))
+        unwatchAotUnit(*Aot->find(Pc));
     // Victim collection first, mutation after: invalidation edits the
     // per-page index we are reading.
     std::vector<Translation *> Victims;
@@ -711,6 +878,14 @@ private:
     ++SmcReanalyses;
     Trace.emit(obs::TraceEventKind::SmcReanalysis, 0, 0,
                Ana->Sites.size(), Ana->Poisoned ? 1 : 0);
+    // Every pending AOT unit was planned under the old verdicts, and a
+    // rewritten byte anywhere can shift dataflow into blocks it does
+    // not overlap — a stale Elide re-installed from a pre-translation
+    // would skip MDA handling without a current proof.  Drop them all;
+    // covered code falls back to demand translation under fresh plans.
+    if (Aot)
+      for (uint32_t Pc : Aot->dropAll())
+        unwatchAotUnit(*Aot->find(Pc));
     revokeStaleElides();
   }
 
@@ -796,9 +971,11 @@ private:
   /// Run the structural verifier (EngineConfig::Verify) over the
   /// current cache.  Called after every mutation of installed code; a
   /// violation aborts the run with VerifyFailed.  Read-only, so it is
-  /// safe even from fault-handler context.
-  void runVerifier() {
-    if (!Config.Verify || Abort != RunError::None)
+  /// safe even from fault-handler context.  \p Force runs the sweep
+  /// even when EngineConfig::Verify is off — the AOT output checker
+  /// verifies statically produced code unconditionally.
+  void runVerifier(bool Force = false) {
+    if ((!Config.Verify && !Force) || Abort != RunError::None)
       return;
     analysis::VerifierInput In;
     std::unordered_map<const Translation *, size_t> Index;
@@ -809,6 +986,7 @@ private:
       B.EntryWord = T.EntryWord;
       B.EndWord = T.EndWord;
       B.BornEpoch = T.BornEpoch;
+      B.AotInstalled = T.AotInstalled;
       for (const auto &R : T.GuestRanges)
         B.GuestRanges.push_back({R.first, R.second});
       for (const ExitSite &X : T.Exits)
@@ -836,6 +1014,8 @@ private:
     In.ExemptWords = StaleChainWords;
     In.IcWayWords = IcWayWords;
     In.GuestDirtyEpoch = &ByteDirtyEpoch;
+    if (AotCfg)
+      In.ReachableRanges = &AotReachable;
     analysis::VerifyReport Report = analysis::verifyCodeSpace(Code, In);
     VerifyWords += Report.WordsChecked;
     if (Report.ok()) {
@@ -1478,45 +1658,7 @@ private:
   CacheKey serviceKey(const GuestBlock *const *Blocks, size_t NBlocks,
                       const Translator::PlanFn &Plan,
                       const TranslationOpts &Opts, bool IsTrace) {
-    std::vector<uint8_t> M;
-    auto Put8 = [&M](uint8_t V) { M.push_back(V); };
-    auto Put32 = [&M](uint32_t V) {
-      for (int S = 0; S != 32; S += 8)
-        M.push_back(static_cast<uint8_t>(V >> S));
-    };
-    Put8(static_cast<uint8_t>(SharedTranslationCache::FormatVersion));
-    Put8(IsTrace ? 1 : 0);
-    Put8(Opts.BlockMultiVersion ? 1 : 0);
-    Put8(static_cast<uint8_t>(Opts.IcWays));
-    // Fusion changes emitted words without changing guest bytes or
-    // plans, so the enabled-rule mask and the rule-table version are
-    // part of the content key: a fused translation can never alias a
-    // differently-fused (or differently-versioned) entry.
-    Put8(Opts.FusionMask != 0 ? 1 : 0);
-    Put8(FusionRuleTableVersion);
-    Put32(Opts.FusionMask);
-    Put32(static_cast<uint32_t>(NBlocks));
-    for (size_t BI = 0; BI != NBlocks; ++BI) {
-      const GuestBlock &B = *Blocks[BI];
-      uint32_t Len = B.endPc() - B.StartPc;
-      Put32(B.StartPc);
-      Put32(Len);
-      // The raw guest bytes: SMC rewrites change the key, so a hostile
-      // tenant's rewritten block can only miss — it can never collide
-      // into (or poison) the entry other tenants execute.
-      M.insert(M.end(), Mem.data() + B.StartPc,
-               Mem.data() + B.StartPc + Len);
-      for (size_t I = 0; I != B.Insts.size(); ++I) {
-        const guest::GuestInst &Inst = B.Insts[I];
-        // Mirror the translator's planned-site predicate exactly: only
-        // sites it would consult the plan for contribute to the key.
-        if (!guest::isMemoryOp(Inst.Op) || guest::accessSize(Inst.Op) < 2)
-          continue;
-        Put32(B.InstPcs[I]);
-        Put8(static_cast<uint8_t>(Plan(B.InstPcs[I], Inst)));
-      }
-    }
-    return cacheKeyFromBytes(M.data(), M.size());
+    return translationContentKey(Mem, Blocks, NBlocks, Plan, Opts, IsTrace);
   }
 
   /// Snapshot a freshly translated block's pristine words and install
@@ -1524,45 +1666,7 @@ private:
   /// chaining/patching can touch the words; hash-map metadata is sorted
   /// so the published payload is deterministic.
   CachedTranslation captureCached(const Translation &T) {
-    CachedTranslation C;
-    C.GuestPc = T.GuestPc;
-    C.GuestInsts = T.GuestInsts;
-    C.IsTrace = T.IsTrace ? 1 : 0;
-    uint32_t Base = T.EntryWord;
-    C.Words.reserve(T.EndWord - Base);
-    for (uint32_t W = Base; W != T.EndWord; ++W)
-      C.Words.push_back(Code.word(W));
-    for (const ExitSite &X : T.Exits)
-      C.Exits.push_back({X.SrvWord - Base, X.TargetGuestPc,
-                         static_cast<uint8_t>(X.Direct ? 1 : 0)});
-    for (const auto &KV : T.MemWordToGuestPc)
-      C.MemWordToGuestPc.push_back({KV.first - Base, KV.second});
-    std::sort(C.MemWordToGuestPc.begin(), C.MemWordToGuestPc.end());
-    for (const auto &KV : T.StoreResume)
-      C.StoreResume.push_back(
-          {KV.first - Base, KV.second.EndWord - Base, KV.second.ResumePc});
-    std::sort(C.StoreResume.begin(), C.StoreResume.end(),
-              [](const CachedTranslation::RelResume &A,
-                 const CachedTranslation::RelResume &B) {
-                return A.Word < B.Word;
-              });
-    for (const auto &KV : T.PlanByPc)
-      C.PlanByPc.push_back({KV.first, static_cast<uint8_t>(KV.second)});
-    std::sort(C.PlanByPc.begin(), C.PlanByPc.end());
-    for (const IcSite &S : T.IcSites) {
-      CachedTranslation::RelIcSite RS;
-      RS.SrvWord = S.SrvWord - Base;
-      RS.WayBegins.reserve(S.Ways.size());
-      for (const IcWay &W : S.Ways)
-        RS.WayBegins.push_back(W.Begin - Base);
-      C.IcSites.push_back(std::move(RS));
-    }
-    C.Constituents = T.Constituents;
-    C.GuestRanges = T.GuestRanges;
-    for (const FusedSite &F : T.FusedSites)
-      C.FusedSites.push_back({F.Rule, F.GuestLen, F.Begin - Base,
-                              F.End - Base, F.GuestPc, F.SavedWords});
-    return C;
+    return captureTranslation(T, Code);
   }
 
   /// Install a cached translation at this run's arena tail, rebasing
@@ -1690,8 +1794,30 @@ private:
   bool HaveLastPatch = false;
 
   /// Static alignment analysis (EngineConfig::Analysis); empty when
-  /// disabled.
+  /// disabled.  Also implied by EngineConfig::Aot != Off.
   std::optional<analysis::AnalysisResult> Ana;
+
+  // -- static AOT pre-translation state (EngineConfig::Aot) --------------
+
+  /// Statically recovered CFG of the pristine image (Aot != Off only).
+  std::optional<analysis::CfgResult> AotCfg;
+  /// AotCfg's merged reachable byte ranges in the verifier's region
+  /// form (HostVerifier check 10), sorted and disjoint.
+  std::vector<analysis::VerifierRegion> AotReachable;
+  /// The pre-translator; emplaced by aotStartup() before the first
+  /// guest instruction.
+  std::optional<AotTranslator> Aot;
+  /// Mirror of the write-watch page refcounts held for pending AOT
+  /// units: flushAll()'s drain assertion and stale-unit unwatching.
+  std::unordered_map<uint32_t, uint32_t> AotWatchRef;
+  /// First-touch dynamic block heads (coverage accounting: a head the
+  /// monitor ever dispatches is either statically covered or a flagged
+  /// fallback).
+  std::unordered_set<uint32_t> DynHeads;
+  uint64_t AotInstalls = 0;
+  uint64_t AotCoveredHeads = 0;
+  uint64_t AotFallbackBlocks = 0;
+  uint64_t AotStartupCycles = 0;
 
   /// Chain-exit words whose unchain patch failed under fault injection:
   /// quarantined from the verifier's liveness checks until the next
@@ -1827,6 +1953,11 @@ RunResult ExecutionContext::Impl::run() {
   Trace.emit(obs::TraceEventKind::RunBegin, Cpu.Pc, 0,
              Policy.hotThreshold(), Injector ? 1 : 0);
 
+  // Static AOT pre-translation: populate (and under Full, install) the
+  // code cache before the first guest instruction executes.
+  if (Config.Aot != AotMode::Off)
+    aotStartup();
+
   while (!Cpu.Halted) {
     if (++StepIndex > Config.MaxMonitorSteps) {
       Guarded = true;
@@ -1869,6 +2000,20 @@ RunResult ExecutionContext::Impl::run() {
     if (Abort != RunError::None)
       break;
 
+    // AOT coverage accounting: every executed head reaches this point
+    // at least once before any chain or inline cache can bypass the
+    // monitor, so first touch here decides statically-covered vs.
+    // dynamically-discovered exactly once per head.
+    if (Aot && DynHeads.insert(Cpu.Pc).second) {
+      if (AotCfg->contains(Cpu.Pc)) {
+        ++AotCoveredHeads;
+      } else {
+        ++AotFallbackBlocks;
+        Trace.emit(obs::TraceEventKind::AotFallback, Cpu.Pc, Cpu.Pc,
+                   AotFallbackBlocks, 0);
+      }
+    }
+
     Translation *T = nullptr;
     if (Dispatch) {
       // Hash-table dispatch: one open-addressed probe chain instead of
@@ -1903,6 +2048,25 @@ RunResult ExecutionContext::Impl::run() {
                                                       : nullptr;
       if (T)
         MonitorCycles += Cost.MonitorDispatchCycles;
+    }
+
+    // Dispatch miss with a pending pre-translated unit: install it now,
+    // before any heating — statically covered code never pays the
+    // interpretation phase (the Hybrid install path; Full reaches it
+    // only for units a capacity flush spilled back to pending).
+    if (!T && Aot) {
+      AotTranslator::Unit *U = Aot->find(Cpu.Pc);
+      if (U && !U->Stale && !InterpOnly.count(Cpu.Pc)) {
+        if (Config.CodeCacheLimitWords != 0 &&
+            Code.size() > Config.CodeCacheLimitWords) {
+          flushAll();
+          if (Abort != RunError::None)
+            break;
+        }
+        T = installAotUnit(*U, /*Sweep=*/true);
+        if (Abort != RunError::None)
+          break;
+      }
     }
 
     if (T) {
@@ -2091,6 +2255,21 @@ RunResult ExecutionContext::Impl::run() {
     Reg.addCounter("verify.passes", VerifyPasses);
     Reg.addCounter("verify.words", VerifyWords);
     Reg.addCounter("verify.issues", VerifyIssues);
+  }
+  if (Config.Aot != AotMode::Off) {
+    const AotTranslator::Stats &AS = Aot->stats();
+    Reg.addCounter("aot.blocks", AS.RecoveredBlocks);
+    Reg.addCounter("aot.frontier_sites", AS.FrontierSites);
+    Reg.addCounter("aot.translated", AS.Translated);
+    Reg.addCounter("aot.from_cache", AS.FromCache);
+    Reg.addCounter("aot.installed", AotInstalls);
+    Reg.addCounter("aot.covered_blocks", AotCoveredHeads);
+    Reg.addCounter("aot.fallback_blocks", AotFallbackBlocks);
+    Reg.addCounter("aot.stale_dropped", AS.StaleDropped);
+    Reg.addCounter("aot.startup_cycles", AotStartupCycles);
+    uint64_t Heads = AotCoveredHeads + AotFallbackBlocks;
+    Reg.setGauge("aot.coverage_pct",
+                 Heads ? (AotCoveredHeads * 100) / Heads : 100);
   }
   if (Injector) {
     Reg.addCounter("chaos.injected", Injector->injected());

@@ -204,6 +204,10 @@ struct Translation {
   /// Fused guest-idiom sequences in this translation, in emission
   /// order (empty when TranslationOpts::FusionMask was 0).
   std::vector<FusedSite> FusedSites;
+  /// Instantiated from a static AOT pre-translation unit
+  /// (EngineConfig::Aot); HostVerifier holds such blocks to the
+  /// recovered-reachable-set invariant (check 10).
+  bool AotInstalled = false;
 };
 
 } // namespace dbt

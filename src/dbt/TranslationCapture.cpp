@@ -1,0 +1,102 @@
+//===- dbt/TranslationCapture.cpp - Content keys + capture ----------------==//
+//
+// Part of the MDABT project (CGO 2009 MDA-handling reproduction).
+//
+//===----------------------------------------------------------------------===//
+
+#include "dbt/TranslationCapture.h"
+
+#include "dbt/FusionRules.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace mdabt;
+using namespace mdabt::dbt;
+
+CacheKey mdabt::dbt::translationContentKey(
+    const guest::GuestMemory &Mem, const GuestBlock *const *Blocks,
+    size_t NBlocks, const Translator::PlanFn &Plan,
+    const TranslationOpts &Opts, bool IsTrace) {
+  std::vector<uint8_t> M;
+  auto Put8 = [&M](uint8_t V) { M.push_back(V); };
+  auto Put32 = [&M](uint32_t V) {
+    for (int S = 0; S != 32; S += 8)
+      M.push_back(static_cast<uint8_t>(V >> S));
+  };
+  Put8(static_cast<uint8_t>(SharedTranslationCache::FormatVersion));
+  Put8(IsTrace ? 1 : 0);
+  Put8(Opts.BlockMultiVersion ? 1 : 0);
+  Put8(static_cast<uint8_t>(Opts.IcWays));
+  // Fusion changes emitted words without changing guest bytes or
+  // plans, so the enabled-rule mask and the rule-table version are
+  // part of the content key: a fused translation can never alias a
+  // differently-fused (or differently-versioned) entry.
+  Put8(Opts.FusionMask != 0 ? 1 : 0);
+  Put8(FusionRuleTableVersion);
+  Put32(Opts.FusionMask);
+  Put32(static_cast<uint32_t>(NBlocks));
+  for (size_t BI = 0; BI != NBlocks; ++BI) {
+    const GuestBlock &B = *Blocks[BI];
+    uint32_t Len = B.endPc() - B.StartPc;
+    Put32(B.StartPc);
+    Put32(Len);
+    // The raw guest bytes: SMC rewrites change the key, so a hostile
+    // tenant's rewritten block can only miss — it can never collide
+    // into (or poison) the entry other tenants execute.
+    M.insert(M.end(), Mem.data() + B.StartPc, Mem.data() + B.StartPc + Len);
+    for (size_t I = 0; I != B.Insts.size(); ++I) {
+      const guest::GuestInst &Inst = B.Insts[I];
+      // Mirror the translator's planned-site predicate exactly: only
+      // sites it would consult the plan for contribute to the key.
+      if (!guest::isMemoryOp(Inst.Op) || guest::accessSize(Inst.Op) < 2)
+        continue;
+      Put32(B.InstPcs[I]);
+      Put8(static_cast<uint8_t>(Plan(B.InstPcs[I], Inst)));
+    }
+  }
+  return cacheKeyFromBytes(M.data(), M.size());
+}
+
+CachedTranslation mdabt::dbt::captureTranslation(const Translation &T,
+                                                 const host::CodeSpace &Code) {
+  CachedTranslation C;
+  C.GuestPc = T.GuestPc;
+  C.GuestInsts = T.GuestInsts;
+  C.IsTrace = T.IsTrace ? 1 : 0;
+  uint32_t Base = T.EntryWord;
+  C.Words.reserve(T.EndWord - Base);
+  for (uint32_t W = Base; W != T.EndWord; ++W)
+    C.Words.push_back(Code.word(W));
+  for (const ExitSite &X : T.Exits)
+    C.Exits.push_back({X.SrvWord - Base, X.TargetGuestPc,
+                       static_cast<uint8_t>(X.Direct ? 1 : 0)});
+  for (const auto &KV : T.MemWordToGuestPc)
+    C.MemWordToGuestPc.push_back({KV.first - Base, KV.second});
+  std::sort(C.MemWordToGuestPc.begin(), C.MemWordToGuestPc.end());
+  for (const auto &KV : T.StoreResume)
+    C.StoreResume.push_back(
+        {KV.first - Base, KV.second.EndWord - Base, KV.second.ResumePc});
+  std::sort(C.StoreResume.begin(), C.StoreResume.end(),
+            [](const CachedTranslation::RelResume &A,
+               const CachedTranslation::RelResume &B) {
+              return A.Word < B.Word;
+            });
+  for (const auto &KV : T.PlanByPc)
+    C.PlanByPc.push_back({KV.first, static_cast<uint8_t>(KV.second)});
+  std::sort(C.PlanByPc.begin(), C.PlanByPc.end());
+  for (const IcSite &S : T.IcSites) {
+    CachedTranslation::RelIcSite RS;
+    RS.SrvWord = S.SrvWord - Base;
+    RS.WayBegins.reserve(S.Ways.size());
+    for (const IcWay &W : S.Ways)
+      RS.WayBegins.push_back(W.Begin - Base);
+    C.IcSites.push_back(std::move(RS));
+  }
+  C.Constituents = T.Constituents;
+  C.GuestRanges = T.GuestRanges;
+  for (const FusedSite &F : T.FusedSites)
+    C.FusedSites.push_back({F.Rule, F.GuestLen, F.Begin - Base, F.End - Base,
+                            F.GuestPc, F.SavedWords});
+  return C;
+}

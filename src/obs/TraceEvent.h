@@ -73,7 +73,11 @@ namespace obs {
   X(CacheEvict, "cache.evict")                                               \
   X(CacheLoad, "cache.load")                                                 \
   X(FusionApplied, "fusion.applied")                                         \
-  X(FusionSummary, "fusion.summary")
+  X(FusionSummary, "fusion.summary")                                         \
+  X(AotTranslated, "aot.translated")                                         \
+  X(AotInstall, "aot.install")                                               \
+  X(AotFallback, "aot.fallback")                                             \
+  X(AotSummary, "aot.summary")
 
 /// Every event the observability layer can record.
 enum class TraceEventKind : uint8_t {

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Layering lint: enforce the docs/ARCHITECTURE.md dependency rules from
+# the *actual* `#include` edges under src/.
+#
+# Each src/<layer>/ may include headers only from itself and from the
+# layers ARCHITECTURE.md allows below it.  Two deliberately narrow
+# exceptions are whitelisted by exact file -> header pair:
+#   * host/HostMachine.h -> guest/GuestMemory.h   (the trapping machine
+#     reads/writes guest memory directly; the layers stay otherwise
+#     independent)
+#   * mda/* -> dbt/Policy.h                       ("mda policies see the
+#     engine only through dbt/Policy.h")
+# Anything else crossing the map upward or sideways is a back-edge and
+# fails the lint, so a new violation cannot land silently.
+#
+# Usage: check_layering.sh [--self-test] [src-dir]
+#   --self-test: build a synthetic tree containing a back-edge and
+#   assert the lint demonstrably FAILS on it (the CI negative test),
+#   then exit 0.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+# Allowed cross-layer edges, straight from ARCHITECTURE.md's rules:
+#   support depends on nothing; everything may depend on support.
+#   obs sits just above support.
+#   guest/host are independent (HostMachine exception aside).
+#   chaos is observability-free: support only.
+#   analysis knows guest+host, never dbt/mda.
+#   dbt orchestrates analysis/chaos/guest/host/obs.
+#   mda sees guest (+ dbt/Policy.h by exception).
+#   workloads builds guest programs.
+#   reporting drives dbt/mda/workloads.
+allowed_edge() { # $1 = from-layer, $2 = to-layer
+  case "$1:$2" in
+  obs:support | guest:support | host:support | chaos:support) return 0 ;;
+  analysis:guest | analysis:host | analysis:support) return 0 ;;
+  dbt:analysis | dbt:chaos | dbt:guest | dbt:host | dbt:obs | dbt:support) return 0 ;;
+  mda:guest | mda:support) return 0 ;;
+  workloads:guest | workloads:support) return 0 ;;
+  reporting:dbt | reporting:guest | reporting:mda | reporting:support | reporting:workloads) return 0 ;;
+  esac
+  return 1
+}
+
+allowed_exception() { # $1 = file relative to src dir, $2 = included header
+  case "$1:$2" in
+  host/HostMachine.h:guest/GuestMemory.h) return 0 ;;
+  mda/*:dbt/Policy.h) return 0 ;;
+  esac
+  return 1
+}
+
+# Lint one src tree; prints violations, returns the violation count.
+lint_tree() { # $1 = src dir
+  local src="$1" violations=0 checked=0
+  local file rel from line lineno target to
+  while IFS= read -r file; do
+    rel="${file#"$src"/}"
+    from="${rel%%/*}"
+    # Only first-party quoted includes that name a known layer matter;
+    # system headers and third-party includes are not layer edges.
+    while IFS=: read -r lineno line; do
+      target="$(printf '%s\n' "$line" | sed -n 's/.*#include "\([A-Za-z0-9_][A-Za-z0-9_]*\/[A-Za-z0-9_.\/]*\)".*/\1/p')"
+      [ -n "$target" ] || continue
+      to="${target%%/*}"
+      [ -d "$src/$to" ] || continue # not a layer (e.g. gtest/ headers)
+      checked=$((checked + 1))
+      [ "$to" = "$from" ] && continue
+      if allowed_exception "$rel" "$target"; then
+        continue
+      fi
+      if ! allowed_edge "$from" "$to"; then
+        echo "::error file=src/$rel,line=$lineno ::layering: $from -> $to back-edge ($rel includes \"$target\"; not in docs/ARCHITECTURE.md's dependency rules)"
+        violations=$((violations + 1))
+      fi
+    done < <(grep -n '#include "' "$file" || true)
+  done < <(find "$src" -name '*.h' -o -name '*.cpp' | sort)
+  echo "check_layering: $checked first-party include edges checked, $violations violations" >&2
+  return "$violations"
+}
+
+self_test() {
+  local tmp
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  mkdir -p "$tmp/src/guest" "$tmp/src/dbt" "$tmp/src/support"
+  cat > "$tmp/src/dbt/Engine.h" <<'EOF'
+#include "support/Format.h"
+EOF
+  # The synthetic back-edge: guest reaching up into the engine.
+  cat > "$tmp/src/guest/Bad.h" <<'EOF'
+#include "dbt/Engine.h"
+EOF
+  if lint_tree "$tmp/src" > /dev/null 2>&1; then
+    echo "check_layering: self-test FAILED (synthetic guest -> dbt back-edge was not caught)" >&2
+    exit 1
+  fi
+  echo "check_layering: self-test ok (synthetic back-edge caught)"
+  exit 0
+}
+
+SRC="$ROOT/src"
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+fi
+[ -n "${1:-}" ] && SRC="$1"
+
+if lint_tree "$SRC"; then
+  exit 0
+fi
+exit 1

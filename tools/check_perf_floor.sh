@@ -43,10 +43,13 @@ WARN_FIELDS="predecode_mips legacy_mips interpreter_mips"
 # floors guard the shared-cache payoff (serving_warm_modeled_mips is
 # deterministic — docs/SERVING.md — so a regression there is a real
 # costing change, not runner noise); the fusion floors guard the
-# guest-idiom fusion layer's throughput win (dbt/FusionRules.h).
+# guest-idiom fusion layer's throughput win (dbt/FusionRules.h); the
+# AOT floor guards the hybrid pre-translation steady state
+# (aot_steady_mips is fully modeled, so any regression is a real
+# costing change in the AOT pipeline).
 HARD_FIELDS="baseline_mips hash_mips ic_mips superblock_mips all_on_mips
              serving_warm_mips serving_warm_modeled_mips
-             off_guest_mips on_guest_mips"
+             off_guest_mips on_guest_mips aot_steady_mips"
 
 checked=0
 warned=0
